@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: Section 6.3's overhead-reduction reasoning, made
+ * measurable.
+ *
+ *  - "Overhead can be reduced by not executing slices for problem
+ *    instructions that will not miss/mispredict... gating the fork
+ *    using confidence [8]" -> the fork-confidence gate.
+ *  - "Execution overhead could be eliminated by having dedicated
+ *    resources to execute the slice at the expense of additional
+ *    hardware" -> dedicated fetch/window/issue for helper threads.
+ *
+ * The interesting rows are the overhead-bound benchmarks (bzip2,
+ * crafty) where shared-resource slices lose money, and gzip, whose
+ * hoisted fork produces many useless (literal-position) slices.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace specslice;
+using bench::benchOpts;
+using bench::benchParams;
+using bench::speedupPct;
+
+int
+main()
+{
+    std::printf("Ablation: Section 6.3 overhead reduction "
+                "(speedup over no-slice baseline, %%)\n\n");
+
+    const char *benches[] = {"bzip2", "crafty", "gzip", "twolf", "vpr"};
+
+    sim::Table table({"Program", "shared", "fork-gated", "dedicated",
+                      "gated forks", "slice fetch% (shared)",
+                      "(dedicated)"});
+
+    for (const char *name : benches) {
+        auto wl = workloads::buildWorkload(name, benchParams());
+        sim::Simulator base_sim(sim::MachineConfig::fourWide());
+        auto base = base_sim.runBaseline(wl, benchOpts());
+
+        sim::Simulator shared_sim(sim::MachineConfig::fourWide());
+        auto shared = shared_sim.run(wl, benchOpts(), true);
+
+        sim::MachineConfig gated_cfg = sim::MachineConfig::fourWide();
+        gated_cfg.forkConfidenceGating = true;
+        sim::Simulator gated_sim(gated_cfg);
+        auto gated = gated_sim.run(wl, benchOpts(), true);
+
+        sim::MachineConfig ded_cfg = sim::MachineConfig::fourWide();
+        ded_cfg.dedicatedSliceResources = true;
+        sim::Simulator ded_sim(ded_cfg);
+        auto ded = ded_sim.run(wl, benchOpts(), true);
+
+        auto fetch_pct = [](const sim::RunResult &r) {
+            std::uint64_t total = r.mainFetched + r.sliceFetched;
+            return total ? 100.0 * static_cast<double>(r.sliceFetched) /
+                               static_cast<double>(total)
+                         : 0.0;
+        };
+
+        table.addRow({
+            name,
+            sim::Table::fmt(speedupPct(base, shared), 1),
+            sim::Table::fmt(speedupPct(base, gated), 1),
+            sim::Table::fmt(speedupPct(base, ded), 1),
+            sim::Table::count(gated.detail.get("forks_gated")),
+            sim::Table::fmt(fetch_pct(shared), 0),
+            sim::Table::fmt(fetch_pct(ded), 0),
+        });
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Expected shape: dedicated resources flip the overhead-bound "
+        "benchmarks (bzip2)\npositive, though they can over-supply "
+        "slices that then contend for the shared\ncache ports (twolf). "
+        "The per-PC fork gate trims useless forks cheaply, but a\n"
+        "fork point whose slices are useful only in some contexts "
+        "(gzip's hoisted fork\ncovers literal positions too) gets "
+        "over-gated — the paper's observation that\ncontext-dependent "
+        "behaviour needs the fork hoisted into the distinguishing\n"
+        "caller, or real confidence hardware [8].\n");
+    return 0;
+}

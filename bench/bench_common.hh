@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: run-length defaults
+ * (overridable via SS_BENCH_INSTS / SS_BENCH_WARMUP for quick or long
+ * runs), standard run helpers, and speedup math.
+ *
+ * Each bench binary regenerates one table or figure of the paper; the
+ * absolute numbers depend on this simulator rather than the authors'
+ * testbed, but the shapes (who wins, roughly by how much, where the
+ * failures are) are the reproduction targets recorded in
+ * EXPERIMENTS.md.
+ */
+
+#ifndef SPECSLICE_BENCH_COMMON_HH
+#define SPECSLICE_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "profile/pde_profile.hh"
+#include "sim/experiments.hh"
+#include "sim/simulator.hh"
+#include "sim/table.hh"
+#include "workloads/workloads.hh"
+
+namespace specslice::bench
+{
+
+inline std::uint64_t
+envOr(const char *name, std::uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+/** Measured instructions per run (paper: 100 M; scaled down here). */
+inline std::uint64_t
+benchInsts()
+{
+    return envOr("SS_BENCH_INSTS", 300'000);
+}
+
+/** Cache/predictor warm-up instructions before measurement. */
+inline std::uint64_t
+benchWarmup()
+{
+    return envOr("SS_BENCH_WARMUP", 100'000);
+}
+
+inline sim::ExperimentConfig
+experimentConfig()
+{
+    sim::ExperimentConfig cfg;
+    cfg.measureInsts = benchInsts();
+    cfg.warmupInsts = benchWarmup();
+    cfg.seed = envOr("SS_BENCH_SEED", 1);
+    return cfg;
+}
+
+inline workloads::Params
+benchParams()
+{
+    workloads::Params p;
+    p.scale = (benchInsts() + benchWarmup()) * 2;
+    p.seed = envOr("SS_BENCH_SEED", 1);
+    return p;
+}
+
+inline sim::RunOptions
+benchOpts(bool profile = false)
+{
+    sim::RunOptions o;
+    o.maxMainInstructions = benchInsts();
+    o.warmupInstructions = benchWarmup();
+    o.profile = profile;
+    return o;
+}
+
+/** Limit-study options: perfect the PCs the workload's slices cover. */
+inline sim::RunOptions
+limitOpts(const sim::Workload &wl)
+{
+    sim::RunOptions o = benchOpts();
+    for (Addr pc : wl.coveredBranchPcs())
+        o.perfect.branchPcs.insert(pc);
+    for (Addr pc : wl.coveredLoadPcs())
+        o.perfect.loadPcs.insert(pc);
+    return o;
+}
+
+inline double
+speedupPct(const sim::RunResult &base, const sim::RunResult &other)
+{
+    if (other.cycles == 0)
+        return 0.0;
+    return 100.0 * (static_cast<double>(base.cycles) /
+                        static_cast<double>(other.cycles) -
+                    1.0);
+}
+
+} // namespace specslice::bench
+
+#endif // SPECSLICE_BENCH_COMMON_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): how many
+ * simulated instructions per second the timing model sustains on
+ * representative workloads, with and without helper threads. Useful
+ * for sizing experiment budgets; not a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+void
+runWorkload(benchmark::State &state, const std::string &name,
+            bool with_slices)
+{
+    workloads::Params p;
+    p.scale = 120'000;
+    auto wl = workloads::buildWorkload(name, p);
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+
+    sim::RunOptions opts;
+    opts.maxMainInstructions = 50'000;
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto res = simr.run(wl, opts, with_slices);
+        insts += res.mainRetired;
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_BaselineVpr(benchmark::State &state)
+{
+    runWorkload(state, "vpr", false);
+}
+
+void
+BM_SlicedVpr(benchmark::State &state)
+{
+    runWorkload(state, "vpr", true);
+}
+
+void
+BM_BaselineMcf(benchmark::State &state)
+{
+    runWorkload(state, "mcf", false);
+}
+
+void
+BM_BaselineVortex(benchmark::State &state)
+{
+    runWorkload(state, "vortex", false);
+}
+
+void
+BM_WorkloadBuildVpr(benchmark::State &state)
+{
+    workloads::Params p;
+    p.scale = 120'000;
+    for (auto _ : state) {
+        auto wl = workloads::buildWorkload("vpr", p);
+        arch::MemoryImage mem;
+        wl.initMemory(mem);
+        benchmark::DoNotOptimize(mem.pageCount());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BaselineVpr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SlicedVpr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BaselineMcf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BaselineVortex)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WorkloadBuildVpr)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

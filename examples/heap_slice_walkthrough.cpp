@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A guided tour of the paper's running example (Sections 2.4-3.2,
+ * Figures 2-5): disassembles the add_to_heap region and its Figure 5
+ * slice, profiles the baseline run to show the two problem
+ * instructions, and then dissects how the slice covers them —
+ * including the prediction correlator's kill points.
+ */
+
+#include <cstdio>
+
+#include "profile/pde_profile.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+void
+disassembleRange(const sim::Workload &wl, Addr from, Addr to,
+                 const char *title)
+{
+    std::printf("--- %s ---\n", title);
+    // Build a reverse symbol map for annotation.
+    for (Addr pc = from; pc < to; pc += isa::instBytes) {
+        const isa::Instruction *si = wl.program.fetch(pc);
+        if (!si)
+            break;
+        for (const auto &[name, addr] : wl.program.symbols()) {
+            if (addr == pc)
+                std::printf("%s:\n", name.c_str());
+        }
+        std::printf("  0x%llx:  %s\n",
+                    static_cast<unsigned long long>(pc),
+                    si->disassemble().c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    workloads::Params params;
+    params.scale = 400'000;
+    sim::Workload wl = workloads::buildVpr(params);
+
+    std::printf("============================================\n");
+    std::printf(" The vpr heap-insertion example (Figures 2-5)\n");
+    std::printf("============================================\n\n");
+
+    // Figure 4: the add_to_heap trickle loop as assembled.
+    Addr loop = wl.program.symbol("heap_loop");
+    Addr ret_blk = wl.program.symbol("nth_ret2");
+    disassembleRange(wl, loop, ret_blk + isa::instBytes,
+                     "add_to_heap trickle loop (cf. Figure 4)");
+
+    // Figure 5: the speculative slice.
+    const slice::SliceDescriptor &sd = wl.slices[0];
+    disassembleRange(wl, sd.slicePc,
+                     sd.slicePc + sd.staticSize * isa::instBytes,
+                     "speculative slice (cf. Figure 5)");
+
+    std::printf("--- slice annotations ---\n");
+    std::printf("fork PC:        0x%llx (node_to_heap entry)\n",
+                static_cast<unsigned long long>(sd.forkPc));
+    std::printf("live-ins:       ");
+    for (RegIndex r : sd.liveIns)
+        std::printf("r%u ", static_cast<unsigned>(r));
+    std::printf(" (cost, gp — cf. Figure 5's $f17 and gp)\n");
+    std::printf("max iterations: %u (profile-derived upper bound)\n",
+                sd.maxLoopIters);
+    for (const auto &pgi : sd.pgis) {
+        std::printf("PGI 0x%llx -> problem branch 0x%llx "
+                    "(loop kill 0x%llx%s, slice kill 0x%llx)\n",
+                    static_cast<unsigned long long>(pgi.sliceInstPc),
+                    static_cast<unsigned long long>(pgi.problemBranchPc),
+                    static_cast<unsigned long long>(pgi.loopKillPc),
+                    pgi.loopKillSkipFirst ? " [skip 1st]" : "",
+                    static_cast<unsigned long long>(pgi.sliceKillPc));
+    }
+    std::printf("\n");
+
+    // Section 2: find the problem instructions by profiling.
+    sim::Simulator machine(sim::MachineConfig::fourWide());
+    sim::RunOptions opts;
+    opts.maxMainInstructions = 200'000;
+    opts.warmupInstructions = 60'000;
+    opts.profile = true;
+
+    auto base = machine.runBaseline(wl, opts);
+    auto prob = profile::classifyProblemInstructions(base.profile);
+
+    std::printf("--- baseline profile (Section 2.2) ---\n");
+    std::printf("IPC %.2f; %zu problem loads and %zu problem branches "
+                "classified\n",
+                base.ipc(), prob.problemLoads.size(),
+                prob.problemBranches.size());
+    for (Addr pc : prob.problemLoads) {
+        const auto &c = base.profile.perPc.at(pc);
+        std::printf("  problem mem op 0x%llx: %llu/%llu executions "
+                    "miss (%s)\n",
+                    static_cast<unsigned long long>(pc),
+                    static_cast<unsigned long long>(c.loadMiss +
+                                                    c.storeMiss),
+                    static_cast<unsigned long long>(c.loadExec +
+                                                    c.storeExec),
+                    wl.program.fetch(pc)->disassemble().c_str());
+    }
+    for (Addr pc : prob.problemBranches) {
+        const auto &c = base.profile.perPc.at(pc);
+        std::printf("  problem branch 0x%llx: %llu/%llu executions "
+                    "mispredict (%s)\n",
+                    static_cast<unsigned long long>(pc),
+                    static_cast<unsigned long long>(c.branchMispred),
+                    static_cast<unsigned long long>(c.branchExec),
+                    wl.program.fetch(pc)->disassemble().c_str());
+    }
+
+    // Section 6: what the slice does about them.
+    auto sliced = machine.run(wl, opts, true);
+    std::printf("\n--- slice-assisted run (Section 6) ---\n");
+    std::printf("forks %llu (squashed %llu, ignored %llu)\n",
+                static_cast<unsigned long long>(sliced.forks),
+                static_cast<unsigned long long>(sliced.forksSquashed),
+                static_cast<unsigned long long>(sliced.forksIgnored));
+    std::printf("predictions generated %llu, used %llu, wrong %llu, "
+                "late-bound %llu, reversals %llu\n",
+                static_cast<unsigned long long>(
+                    sliced.predictionsGenerated),
+                static_cast<unsigned long long>(sliced.correlatorUsed),
+                static_cast<unsigned long long>(sliced.correlatorWrong),
+                static_cast<unsigned long long>(sliced.latePredictions),
+                static_cast<unsigned long long>(sliced.lateReversals));
+    std::printf("prefetches %llu, covered misses %llu\n",
+                static_cast<unsigned long long>(sliced.slicePrefetches),
+                static_cast<unsigned long long>(sliced.coveredMisses));
+    std::printf("mispredictions %llu -> %llu, L1 misses %llu -> %llu\n",
+                static_cast<unsigned long long>(base.mispredictions),
+                static_cast<unsigned long long>(sliced.mispredictions),
+                static_cast<unsigned long long>(base.l1dMissesMain),
+                static_cast<unsigned long long>(sliced.l1dMissesMain));
+    std::printf("cycles %llu -> %llu (%.1f%% speedup)\n",
+                static_cast<unsigned long long>(base.cycles),
+                static_cast<unsigned long long>(sliced.cycles),
+                100.0 * (static_cast<double>(base.cycles) /
+                             static_cast<double>(sliced.cycles) -
+                         1.0));
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: build a workload, run it on the Table 1 machine with and
+ * without its speculative slices, and print the speedup — the
+ * smallest end-to-end use of the public API.
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+int
+main()
+{
+    // 1. Build a workload: the paper's running example (vpr's binary
+    //    heap insertion, Sections 2.4 / 3.2), including its
+    //    hand-constructed Figure 5 slice.
+    workloads::Params params;
+    params.scale = 400'000;  // ~dynamic instruction budget
+    sim::Workload wl = workloads::buildVpr(params);
+
+    std::printf("workload: %s (%zu static instructions, %zu slices)\n",
+                wl.name.c_str(), wl.program.staticSize(),
+                wl.slices.size());
+
+    // 2. Configure the machine: Table 1's 4-wide SMT core.
+    sim::Simulator machine(sim::MachineConfig::fourWide());
+
+    sim::RunOptions opts;
+    opts.maxMainInstructions = 200'000;
+    opts.warmupInstructions = 60'000;  // warm caches and predictors
+
+    // 3. Baseline run (helper threads idle).
+    sim::RunResult base = machine.runBaseline(wl, opts);
+    std::printf("baseline:     %8llu cycles, IPC %.2f, "
+                "%llu mispredictions, %llu L1 misses\n",
+                static_cast<unsigned long long>(base.cycles),
+                base.ipc(),
+                static_cast<unsigned long long>(base.mispredictions),
+                static_cast<unsigned long long>(base.l1dMissesMain));
+
+    // 4. Slice-assisted run: the slice table forks the Figure 5 slice
+    //    at node_to_heap; it prefetches the ancestor chain and feeds
+    //    branch predictions through the prediction correlator.
+    sim::RunResult sliced = machine.run(wl, opts, true);
+    std::printf("with slices:  %8llu cycles, IPC %.2f, "
+                "%llu mispredictions, %llu L1 misses\n",
+                static_cast<unsigned long long>(sliced.cycles),
+                sliced.ipc(),
+                static_cast<unsigned long long>(sliced.mispredictions),
+                static_cast<unsigned long long>(sliced.l1dMissesMain));
+
+    double speedup = 100.0 * (static_cast<double>(base.cycles) /
+                                  static_cast<double>(sliced.cycles) -
+                              1.0);
+    std::printf("\nspeedup: %.1f%%  (forks: %llu, predictions used: "
+                "%llu, wrong: %llu)\n",
+                speedup,
+                static_cast<unsigned long long>(sliced.forks),
+                static_cast<unsigned long long>(sliced.correlatorUsed),
+                static_cast<unsigned long long>(sliced.correlatorWrong));
+    return 0;
+}

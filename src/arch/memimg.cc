@@ -1,0 +1,71 @@
+#include "arch/memimg.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace specslice::arch
+{
+
+const MemoryImage::Page *
+MemoryImage::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> pageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MemoryImage::Page &
+MemoryImage::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr >> pageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint64_t
+MemoryImage::read(Addr addr, unsigned n) const
+{
+    SS_ASSERT(n == 1 || n == 2 || n == 4 || n == 8, "bad access size");
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        Addr a = addr + i;
+        const Page *p = findPage(a);
+        std::uint8_t byte = p ? (*p)[a & (pageSize - 1)] : 0;
+        value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+MemoryImage::write(Addr addr, std::uint64_t value, unsigned n)
+{
+    SS_ASSERT(n == 1 || n == 2 || n == 4 || n == 8, "bad access size");
+    SS_ASSERT(!faults(addr), "functional write to the null page");
+    for (unsigned i = 0; i < n; ++i) {
+        Addr a = addr + i;
+        touchPage(a)[a & (pageSize - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+MemoryImage::writeF(Addr addr, double v)
+{
+    std::uint64_t bits_;
+    std::memcpy(&bits_, &v, sizeof(bits_));
+    writeQ(addr, bits_);
+}
+
+double
+MemoryImage::readF(Addr addr) const
+{
+    std::uint64_t bits_ = readQ(addr);
+    double v;
+    std::memcpy(&v, &bits_, sizeof(v));
+    return v;
+}
+
+} // namespace specslice::arch

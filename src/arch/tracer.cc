@@ -1,0 +1,36 @@
+#include "arch/tracer.hh"
+
+#include "common/logging.hh"
+
+namespace specslice::arch
+{
+
+std::uint64_t
+trace(const isa::Program &program, Addr entry_pc, MemoryImage &mem,
+      std::uint64_t max_insts,
+      const std::function<void(const TraceEvent &)> &on_event)
+{
+    RegFile regs;
+    Addr pc = entry_pc;
+    std::uint64_t count = 0;
+
+    while (count < max_insts) {
+        const isa::Instruction *inst = program.fetch(pc);
+        if (!inst)
+            break;
+
+        TraceEvent ev;
+        ev.pc = pc;
+        ev.inst = inst;
+        ev.result = execute(*inst, pc, regs, mem, true);
+        ++count;
+        on_event(ev);
+
+        if (ev.result.halted || ev.result.fault)
+            break;
+        pc = ev.result.nextPc;
+    }
+    return count;
+}
+
+} // namespace specslice::arch

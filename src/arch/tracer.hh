@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A functional (timing-free) tracer: executes a program architecturally
+ * and hands every retired instruction to a callback. This is the
+ * substrate for trace-driven analyses — most importantly the automatic
+ * slice-candidate analysis of Section 3.3 (which follows Roth & Sohi's
+ * approach of selecting slices from an execution trace).
+ */
+
+#ifndef SPECSLICE_ARCH_TRACER_HH
+#define SPECSLICE_ARCH_TRACER_HH
+
+#include <functional>
+
+#include "arch/exec.hh"
+#include "arch/memimg.hh"
+#include "arch/regfile.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace specslice::arch
+{
+
+/** One traced dynamic instruction. */
+struct TraceEvent
+{
+    Addr pc = invalidAddr;
+    const isa::Instruction *inst = nullptr;
+    ExecResult result;
+};
+
+/**
+ * Functionally execute program from entry_pc, invoking on_event per
+ * instruction, until Halt, a fault, an unmapped PC, or max_insts.
+ *
+ * @return the number of instructions executed.
+ */
+std::uint64_t trace(const isa::Program &program, Addr entry_pc,
+                    MemoryImage &mem, std::uint64_t max_insts,
+                    const std::function<void(const TraceEvent &)> &
+                        on_event);
+
+} // namespace specslice::arch
+
+#endif // SPECSLICE_ARCH_TRACER_HH

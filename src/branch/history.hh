@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Speculative global branch history with checkpoint/restore. The fetch
+ * stage shifts predictions in speculatively; a checkpoint taken per
+ * in-flight branch lets squashes restore the history ("much like branch
+ * history must be restored", Section 5.2).
+ */
+
+#ifndef SPECSLICE_BRANCH_HISTORY_HH
+#define SPECSLICE_BRANCH_HISTORY_HH
+
+#include <cstdint>
+
+namespace specslice::branch
+{
+
+class GlobalHistory
+{
+  public:
+    explicit GlobalHistory(unsigned bits = 16) : bits_(bits) {}
+
+    /** Current history value (low 'bits' bits are meaningful). */
+    std::uint64_t value() const { return hist_; }
+
+    /** Shift in a (speculative or resolved) outcome. */
+    void
+    shift(bool taken)
+    {
+        hist_ = ((hist_ << 1) | (taken ? 1 : 0)) &
+                ((std::uint64_t{1} << bits_) - 1);
+    }
+
+    /** Take a checkpoint (the whole register). */
+    std::uint64_t checkpoint() const { return hist_; }
+
+    /** Restore a checkpoint. */
+    void restore(std::uint64_t v) { hist_ = v; }
+
+    unsigned bits() const { return bits_; }
+
+  private:
+    unsigned bits_;
+    std::uint64_t hist_ = 0;
+};
+
+} // namespace specslice::branch
+
+#endif // SPECSLICE_BRANCH_HISTORY_HH

@@ -1,0 +1,68 @@
+#include "branch/indirect.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+
+namespace specslice::branch
+{
+
+CascadedIndirectPredictor::CascadedIndirectPredictor(const Config &cfg)
+    : cfg_(cfg)
+{
+    SS_ASSERT(isPowerOf2(cfg.stage1Entries), "stage1 entries not pow2");
+    SS_ASSERT(isPowerOf2(cfg.stage2Entries), "stage2 entries not pow2");
+    stage1_.assign(cfg.stage1Entries, {});
+    stage2_.assign(cfg.stage2Entries, {});
+}
+
+std::uint64_t
+CascadedIndirectPredictor::s1Index(Addr pc) const
+{
+    return (pc / isa::instBytes) & (cfg_.stage1Entries - 1);
+}
+
+std::uint64_t
+CascadedIndirectPredictor::s2Index(Addr pc, std::uint64_t path) const
+{
+    std::uint64_t p = path & mask(cfg_.pathBits);
+    return ((pc / isa::instBytes) ^ (p * 0x9e37ull)) &
+           (cfg_.stage2Entries - 1);
+}
+
+std::uint16_t
+CascadedIndirectPredictor::tagOf(Addr pc) const
+{
+    return static_cast<std::uint16_t>((pc / isa::instBytes) &
+                                      mask(cfg_.tagBits));
+}
+
+Addr
+CascadedIndirectPredictor::predict(Addr pc, std::uint64_t path_hist) const
+{
+    const Stage2Entry &e2 = stage2_[s2Index(pc, path_hist)];
+    if (e2.valid && e2.tag == tagOf(pc))
+        return e2.target;
+    return stage1_[s1Index(pc)].target;
+}
+
+void
+CascadedIndirectPredictor::update(Addr pc, std::uint64_t path_hist,
+                                  Addr target)
+{
+    Stage1Entry &e1 = stage1_[s1Index(pc)];
+    Stage2Entry &e2 = stage2_[s2Index(pc, path_hist)];
+    bool s2_hit = e2.valid && e2.tag == tagOf(pc);
+
+    if (s2_hit) {
+        e2.target = target;
+    } else if (e1.target != invalidAddr && e1.target != target) {
+        // Cascade: allocate in stage 2 only when stage 1 failed.
+        e2.valid = true;
+        e2.tag = tagOf(pc);
+        e2.target = target;
+    }
+    e1.target = target;
+}
+
+} // namespace specslice::branch

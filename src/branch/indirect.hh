@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cascaded indirect branch target predictor (Driesen & Hoelzle,
+ * MICRO-31), sized to Table 1's 32 Kb budget. Stage 1 is an untagged
+ * PC-indexed target table; stage 2 is a tagged table indexed by PC
+ * hashed with a path history of recent indirect targets. Entries
+ * cascade into stage 2 only when stage 1 mispredicts (the filter that
+ * makes the predictor "economical").
+ */
+
+#ifndef SPECSLICE_BRANCH_INDIRECT_HH
+#define SPECSLICE_BRANCH_INDIRECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specslice::branch
+{
+
+class CascadedIndirectPredictor
+{
+  public:
+    struct Config
+    {
+        unsigned stage1Entries = 256;
+        unsigned stage2Entries = 512;
+        unsigned tagBits = 8;
+        unsigned pathBits = 12;
+    };
+
+    CascadedIndirectPredictor() : CascadedIndirectPredictor(Config{}) {}
+    explicit CascadedIndirectPredictor(const Config &cfg);
+
+    /**
+     * Predict the target of the indirect branch at pc.
+     * @return predicted target, or invalidAddr if no information.
+     */
+    Addr predict(Addr pc, std::uint64_t path_hist) const;
+
+    /** Train with the resolved target. */
+    void update(Addr pc, std::uint64_t path_hist, Addr target);
+
+  private:
+    struct Stage1Entry
+    {
+        Addr target = invalidAddr;
+    };
+
+    struct Stage2Entry
+    {
+        std::uint16_t tag = 0;
+        Addr target = invalidAddr;
+        bool valid = false;
+    };
+
+    std::uint64_t s1Index(Addr pc) const;
+    std::uint64_t s2Index(Addr pc, std::uint64_t path) const;
+    std::uint16_t tagOf(Addr pc) const;
+
+    Config cfg_;
+    std::vector<Stage1Entry> stage1_;
+    std::vector<Stage2Entry> stage2_;
+};
+
+/**
+ * Path history of recent indirect-branch targets, with checkpointing
+ * (restored on squash like the direction history).
+ */
+class PathHistory
+{
+  public:
+    explicit PathHistory(unsigned bits = 12) : bits_(bits) {}
+
+    std::uint64_t value() const { return hist_; }
+
+    void
+    shift(Addr target)
+    {
+        std::uint64_t piece = (target >> 3) & 0x7;
+        hist_ = ((hist_ << 3) | piece) &
+                ((std::uint64_t{1} << bits_) - 1);
+    }
+
+    std::uint64_t checkpoint() const { return hist_; }
+    void restore(std::uint64_t v) { hist_ = v; }
+
+  private:
+    unsigned bits_;
+    std::uint64_t hist_ = 0;
+};
+
+} // namespace specslice::branch
+
+#endif // SPECSLICE_BRANCH_INDIRECT_HH

@@ -1,0 +1,89 @@
+#include "branch/predictor_unit.hh"
+
+namespace specslice::branch
+{
+
+BranchPredictorUnit::BranchPredictorUnit(const PredictorConfig &cfg)
+    : ghist_(cfg.historyBits),
+      phist_(cfg.pathBits),
+      yags_(cfg.yags),
+      indirect_(cfg.indirect),
+      ras_(cfg.rasEntries),
+      stats_("bp")
+{
+}
+
+SpecCheckpoint
+BranchPredictorUnit::checkpoint() const
+{
+    return {ghist_.checkpoint(), phist_.checkpoint(), ras_.checkpoint()};
+}
+
+void
+BranchPredictorUnit::restore(const SpecCheckpoint &cp)
+{
+    ghist_.restore(cp.ghist);
+    phist_.restore(cp.phist);
+    ras_.restore(cp.ras);
+}
+
+bool
+BranchPredictorUnit::predictCond(Addr pc, int override_dir,
+                                 PredictContext &ctx)
+{
+    ctx.ghist = ghist_.value();
+    ctx.phist = phist_.value();
+
+    bool taken;
+    if (override_dir >= 0) {
+        taken = override_dir != 0;
+        stats_.add("cond_overridden");
+    } else {
+        taken = yags_.predict(pc, ctx.ghist);
+    }
+    stats_.add("cond_predictions");
+    ghist_.shift(taken);
+    return taken;
+}
+
+Addr
+BranchPredictorUnit::predictIndirect(Addr pc, PredictContext &ctx)
+{
+    ctx.ghist = ghist_.value();
+    ctx.phist = phist_.value();
+    Addr target = indirect_.predict(pc, ctx.phist);
+    stats_.add("indirect_predictions");
+    if (target != invalidAddr)
+        phist_.shift(target);
+    return target;
+}
+
+void
+BranchPredictorUnit::pushCall(Addr return_addr)
+{
+    ras_.push(return_addr);
+}
+
+Addr
+BranchPredictorUnit::popReturn()
+{
+    return ras_.pop();
+}
+
+void
+BranchPredictorUnit::updateCond(Addr pc, const PredictContext &ctx,
+                                bool taken)
+{
+    yags_.update(pc, ctx.ghist, taken);
+    stats_.add("cond_updates");
+}
+
+void
+BranchPredictorUnit::updateIndirect(Addr pc, const PredictContext &ctx,
+                                    Addr target)
+{
+    indirect_.update(pc, ctx.phist, target);
+    stats_.add("indirect_updates");
+}
+
+} // namespace specslice::branch

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * 64-entry return address stack with (tos, top-value) checkpointing for
+ * squash recovery.
+ */
+
+#ifndef SPECSLICE_BRANCH_RAS_HH
+#define SPECSLICE_BRANCH_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specslice::branch
+{
+
+class ReturnAddressStack
+{
+  public:
+    /** Checkpoint: restoring tos and the top entry heals most damage. */
+    struct Checkpoint
+    {
+        unsigned tos = 0;
+        Addr topValue = invalidAddr;
+    };
+
+    explicit ReturnAddressStack(unsigned entries = 64)
+        : stack_(entries, invalidAddr)
+    {}
+
+    /** Push a return address (on fetching a call). */
+    void
+    push(Addr return_addr)
+    {
+        tos_ = (tos_ + 1) % stack_.size();
+        stack_[tos_] = return_addr;
+    }
+
+    /** Pop the predicted return target (on fetching a return). */
+    Addr
+    pop()
+    {
+        Addr t = stack_[tos_];
+        tos_ = (tos_ + stack_.size() - 1) % stack_.size();
+        return t;
+    }
+
+    /** Peek without popping. */
+    Addr top() const { return stack_[tos_]; }
+
+    Checkpoint
+    checkpoint() const
+    {
+        return {tos_, stack_[tos_]};
+    }
+
+    void
+    restore(const Checkpoint &cp)
+    {
+        tos_ = cp.tos;
+        stack_[tos_] = cp.topValue;
+    }
+
+    unsigned size() const { return static_cast<unsigned>(stack_.size()); }
+
+  private:
+    std::vector<Addr> stack_;
+    unsigned tos_ = 0;
+};
+
+} // namespace specslice::branch
+
+#endif // SPECSLICE_BRANCH_RAS_HH

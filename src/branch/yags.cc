@@ -1,0 +1,120 @@
+#include "branch/yags.hh"
+
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+
+namespace specslice::branch
+{
+
+namespace
+{
+
+bool
+counterTaken(std::uint8_t c)
+{
+    return c >= 2;
+}
+
+void
+counterUpdate(std::uint8_t &c, bool taken)
+{
+    if (taken) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+} // namespace
+
+YagsPredictor::YagsPredictor(const Config &cfg) : cfg_(cfg)
+{
+    SS_ASSERT(isPowerOf2(cfg.choiceEntries), "choice entries not pow2");
+    SS_ASSERT(isPowerOf2(cfg.cacheEntries), "cache entries not pow2");
+    choice_.assign(cfg.choiceEntries, 1);  // weakly not-taken
+    takenCache_.assign(cfg.cacheEntries, {});
+    ntCache_.assign(cfg.cacheEntries, {});
+}
+
+std::uint64_t
+YagsPredictor::choiceIndex(Addr pc) const
+{
+    return (pc / isa::instBytes) & (cfg_.choiceEntries - 1);
+}
+
+std::uint64_t
+YagsPredictor::cacheIndex(Addr pc, std::uint64_t hist) const
+{
+    // Fold the full history into the index so that two histories that
+    // agree in their low bits but differ above (e.g. a loop-exit
+    // history vs a saturated all-taken mid-loop history) land in
+    // different sets instead of ping-ponging one entry.
+    std::uint64_t h = hist & mask(cfg_.historyBits);
+    unsigned idx_bits = floorLog2(cfg_.cacheEntries);
+    std::uint64_t folded = h ^ (h >> idx_bits);
+    return ((pc / isa::instBytes) ^ folded) & (cfg_.cacheEntries - 1);
+}
+
+std::uint16_t
+YagsPredictor::tagOf(Addr pc, std::uint64_t hist) const
+{
+    // Classic YAGS: the tag carries branch-address bits only (the
+    // index already incorporates the folded history).
+    (void)hist;
+    return static_cast<std::uint16_t>((pc / isa::instBytes) &
+                                      mask(cfg_.tagBits));
+}
+
+bool
+YagsPredictor::predict(Addr pc, std::uint64_t hist) const
+{
+    bool choice_taken = counterTaken(choice_[choiceIndex(pc)]);
+    std::uint64_t idx = cacheIndex(pc, hist);
+    std::uint16_t tag = tagOf(pc, hist);
+
+    // Consult the cache that stores exceptions to the bias.
+    const CacheEntry &e = choice_taken ? ntCache_[idx] : takenCache_[idx];
+    if (e.valid && e.tag == tag)
+        return counterTaken(e.counter);
+    return choice_taken;
+}
+
+void
+YagsPredictor::update(Addr pc, std::uint64_t hist, bool taken)
+{
+    std::uint64_t cidx = choiceIndex(pc);
+    bool choice_taken = counterTaken(choice_[cidx]);
+    std::uint64_t idx = cacheIndex(pc, hist);
+    std::uint16_t tag = tagOf(pc, hist);
+
+    CacheEntry &e = choice_taken ? ntCache_[idx] : takenCache_[idx];
+    bool cache_hit = e.valid && e.tag == tag;
+
+    if (cache_hit) {
+        counterUpdate(e.counter, taken);
+    } else if (taken != choice_taken) {
+        // Allocate an exception entry.
+        e.valid = true;
+        e.tag = tag;
+        e.counter = taken ? 2 : 1;
+    }
+
+    // The choice PHT tracks bias. Standard YAGS rule: don't weaken the
+    // choice counter when it was wrong but the exception cache was
+    // right (the exception is doing its job).
+    bool cache_correct = cache_hit && counterTaken(e.counter) == taken;
+    if (!(choice_taken != taken && cache_correct))
+        counterUpdate(choice_[cidx], taken);
+}
+
+std::uint64_t
+YagsPredictor::storageBits() const
+{
+    std::uint64_t bits_ = static_cast<std::uint64_t>(cfg_.choiceEntries) * 2;
+    bits_ += 2ull * cfg_.cacheEntries * (2 + cfg_.tagBits + 1);
+    return bits_;
+}
+
+} // namespace specslice::branch

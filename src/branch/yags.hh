@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The YAGS conditional branch predictor (Eden & Mudge, MICRO-31), sized
+ * to Table 1's 64 Kb budget. A bimodal choice PHT captures each
+ * branch's bias; two small tagged direction caches store only the
+ * *exceptions* to that bias (the T-cache holds taken exceptions for
+ * biased-not-taken branches and vice versa).
+ */
+
+#ifndef SPECSLICE_BRANCH_YAGS_HH
+#define SPECSLICE_BRANCH_YAGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace specslice::branch
+{
+
+class YagsPredictor
+{
+  public:
+    struct Config
+    {
+        unsigned choiceEntries = 8192;  ///< bimodal 2-bit counters
+        unsigned cacheEntries = 2048;   ///< per direction cache
+        unsigned tagBits = 8;
+        unsigned historyBits = 16;      ///< folded into the index
+    };
+
+    YagsPredictor() : YagsPredictor(Config{}) {}
+    explicit YagsPredictor(const Config &cfg);
+
+    /**
+     * Predict the branch at pc under global history hist.
+     * @return predicted taken?
+     */
+    bool predict(Addr pc, std::uint64_t hist) const;
+
+    /** Train with the resolved outcome (same pc/hist as prediction). */
+    void update(Addr pc, std::uint64_t hist, bool taken);
+
+    /** Approximate storage budget in bits (for Table 1 checking). */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct CacheEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t counter = 1;  ///< 2-bit
+        bool valid = false;
+    };
+
+    std::uint64_t choiceIndex(Addr pc) const;
+    std::uint64_t cacheIndex(Addr pc, std::uint64_t hist) const;
+    /** Exception-cache tag (branch-address bits, classic YAGS). */
+    std::uint16_t tagOf(Addr pc, std::uint64_t hist) const;
+
+    Config cfg_;
+    std::vector<std::uint8_t> choice_;   ///< 2-bit counters
+    std::vector<CacheEntry> takenCache_; ///< exceptions when choice=NT
+    std::vector<CacheEntry> ntCache_;    ///< exceptions when choice=T
+};
+
+} // namespace specslice::branch
+
+#endif // SPECSLICE_BRANCH_YAGS_HH

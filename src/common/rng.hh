@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * construction. A fixed algorithm (xorshift*) keeps workloads and thus
+ * experiment results reproducible across platforms and standard-library
+ * versions.
+ */
+
+#ifndef SPECSLICE_COMMON_RNG_HH
+#define SPECSLICE_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace specslice
+{
+
+/** xorshift64* generator: small, fast, good-enough statistics. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** @return the next 64-bit pseudo-random value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** @return a value uniformly distributed in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SS_ASSERT(bound > 0, "bound must be positive");
+        return next() % bound;
+    }
+
+    /** @return a value uniformly distributed in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        SS_ASSERT(lo <= hi, "empty range");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return true with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace specslice
+
+#endif // SPECSLICE_COMMON_RNG_HH

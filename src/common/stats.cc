@@ -1,0 +1,57 @@
+#include "common/stats.hh"
+
+namespace specslice
+{
+
+void
+StatGroup::add(const std::string &stat, std::uint64_t delta)
+{
+    counters_[stat] += delta;
+}
+
+void
+StatGroup::set(const std::string &stat, std::uint64_t value)
+{
+    counters_[stat] = value;
+}
+
+std::uint64_t
+StatGroup::get(const std::string &stat) const
+{
+    auto it = counters_.find(stat);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatGroup::ratio(const std::string &num, const std::string &den) const
+{
+    std::uint64_t d = get(den);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(get(num)) / static_cast<double>(d);
+}
+
+void
+StatGroup::reset()
+{
+    counters_.clear();
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[k, v] : counters_) {
+        if (!name_.empty())
+            os << name_ << '.';
+        os << k << ' ' << v << '\n';
+    }
+}
+
+} // namespace specslice

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A small statistics package: named scalar counters grouped in a
+ * registry, with formatted dumping. Modeled (loosely) on gem5's stats.
+ */
+
+#ifndef SPECSLICE_COMMON_STATS_HH
+#define SPECSLICE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace specslice
+{
+
+/** A named group of scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Add delta to the named counter (creating it at zero if new). */
+    void add(const std::string &stat, std::uint64_t delta = 1);
+
+    /** Set the named counter to an absolute value. */
+    void set(const std::string &stat, std::uint64_t value);
+
+    /** @return the value of the named counter (0 if never touched). */
+    std::uint64_t get(const std::string &stat) const;
+
+    /** @return value of numerator / value of denominator, or 0. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** Reset all counters to zero. */
+    void reset();
+
+    /** Merge another group's counters into this one (summing). */
+    void merge(const StatGroup &other);
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Dump all counters, one per line, as "<group>.<stat> <value>". */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace specslice
+
+#endif // SPECSLICE_COMMON_STATS_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef SPECSLICE_COMMON_TYPES_HH
+#define SPECSLICE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace specslice
+{
+
+/** A (virtual) memory address. The simulated machine is 64-bit. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/**
+ * A Von Neumann number: a global, monotonically increasing sequence
+ * number assigned to every fetched dynamic instruction. The paper uses
+ * VN#s to order correlator kill/restore operations (Section 5.2).
+ */
+using SeqNum = std::uint64_t;
+
+/** An architectural or physical register index. */
+using RegIndex = std::uint8_t;
+
+/** A hardware thread (SMT context) identifier. */
+using ThreadId = std::uint8_t;
+
+/** Sentinel for "no thread". */
+constexpr ThreadId invalidThread = 0xff;
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+/** Sentinel sequence number, older than every real instruction. */
+constexpr SeqNum invalidSeqNum = 0;
+
+} // namespace specslice
+
+#endif // SPECSLICE_COMMON_TYPES_HH

@@ -1,0 +1,605 @@
+#include "core/smt_core.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace specslice::core
+{
+
+SmtCore::SmtCore(const CoreConfig &cfg, const isa::Program &program,
+                 arch::MemoryImage &mem)
+    : cfg_(cfg),
+      program_(program),
+      mem_(mem),
+      hierarchy_(cfg.memory),
+      bpu_(cfg.predictor),
+      sliceTable_(cfg.sliceTable),
+      correlator_(cfg.correlator),
+      stats_("core")
+{
+    SS_ASSERT(cfg.numThreads >= 1, "need at least the main thread");
+    threads_.resize(cfg.numThreads);
+}
+
+void
+SmtCore::loadSlice(const slice::SliceDescriptor &desc)
+{
+    sliceTable_.load(desc);
+}
+
+DynInst *
+SmtCore::inst(SeqNum seq)
+{
+    auto it = inFlight_.find(seq);
+    return it == inFlight_.end() ? nullptr : &it->second;
+}
+
+SeqNum
+SmtCore::oldestInFlight() const
+{
+    SeqNum oldest = nextSeq_;
+    for (const ThreadCtx &t : threads_) {
+        if (t.active && !t.rob.empty())
+            oldest = std::min(oldest, t.rob.front());
+    }
+    return oldest;
+}
+
+void
+SmtCore::resetStats()
+{
+    stats_.reset();
+    hierarchy_.stats().reset();
+    correlator_.stats().reset();
+    profile_.perPc.clear();
+}
+
+RunResult
+SmtCore::run(Addr entry_pc, const RunOptions &opts)
+{
+    perfect_ = opts.perfect;
+    profileEnabled_ = opts.profile;
+
+    ThreadCtx &main = threads_[0];
+    main.active = true;
+    main.isSlice = false;
+    main.fetchPc = entry_pc;
+    main.funcPc = entry_pc;
+
+    Cycle max_cycles = opts.maxCycles
+                           ? opts.maxCycles
+                           : 50 * (opts.maxMainInstructions +
+                                   opts.warmupInstructions) + 100'000;
+    std::uint64_t budget =
+        opts.maxMainInstructions + opts.warmupInstructions;
+
+    bool warm = opts.warmupInstructions == 0;
+    Cycle measure_start = 0;
+    std::uint64_t measured_base = 0;
+
+    while (cycle_ < max_cycles) {
+        ++cycle_;
+        hierarchy_.tick(cycle_);
+        completeStage();
+        issueStage();
+        fetchStage();
+        retireStage();
+
+        if (!warm && mainRetired_ >= opts.warmupInstructions) {
+            warm = true;
+            resetStats();
+            measure_start = cycle_;
+            measured_base = mainRetired_;
+        }
+        if (mainRetired_ >= budget)
+            break;
+        if (mainHalted_ && threads_[0].rob.empty())
+            break;
+    }
+
+    RunResult res;
+    res.cycles = cycle_ - measure_start;
+    res.mainRetired = mainRetired_ - measured_base;
+    res.mainFetched = stats_.get("main_fetched");
+    res.mainFetchedWrongPath = stats_.get("main_fetched_wrongpath");
+    res.sliceFetched = stats_.get("slice_fetched");
+    res.sliceRetired = stats_.get("slice_retired");
+    res.condBranches = stats_.get("cond_branches");
+    res.mispredictions = stats_.get("mispredictions");
+    res.loads = stats_.get("main_loads");
+    res.l1dMissesMain = stats_.get("main_load_misses");
+    res.coveredMisses = hierarchy_.stats().get("covered_misses");
+    res.slicePrefetches = stats_.get("slice_prefetches");
+    res.forks = stats_.get("forks");
+    res.forksSquashed = stats_.get("forks_squashed");
+    res.forksIgnored = stats_.get("forks_ignored");
+    res.predictionsGenerated =
+        correlator_.stats().get("predictions_generated");
+    res.correlatorUsed = stats_.get("correlator_used");
+    res.correlatorWrong = stats_.get("correlator_wrong");
+    res.latePredictions = correlator_.stats().get("matches_late");
+    res.lateReversals = stats_.get("late_reversals");
+    res.detail.merge(stats_);
+    res.detail.merge(hierarchy_.stats());
+    res.detail.merge(correlator_.stats());
+    res.detail.merge(bpu_.stats());
+    res.profile = profile_;
+    return res;
+}
+
+void
+SmtCore::setupDependencies(DynInst &di, ThreadCtx &t)
+{
+    const isa::OpTraits &tr = di.si->traits();
+    RegIndex srcs[3];
+    unsigned n = 0;
+    if (tr.readsRa)
+        srcs[n++] = di.si->ra;
+    if (tr.readsRb)
+        srcs[n++] = di.si->rb;
+    if (tr.readsRc)
+        srcs[n++] = di.si->rc;
+
+    for (unsigned i = 0; i < n; ++i) {
+        RegIndex r = srcs[i];
+        if (r == isa::regZero)
+            continue;
+        SeqNum w = t.lastWriter[r];
+        if (w == invalidSeqNum)
+            continue;
+        DynInst *p = inst(w);
+        if (p && !p->completed) {
+            ++di.pendingSrcs;
+            p->dependents.push_back(di.seq);
+        }
+    }
+
+    if (tr.writesRc && di.si->rc != isa::regZero) {
+        di.prevWriter = t.lastWriter[di.si->rc];
+        di.setsLastWriter = true;
+        t.lastWriter[di.si->rc] = di.seq;
+    }
+}
+
+void
+SmtCore::wakeupDependents(DynInst &di)
+{
+    for (SeqNum dep : di.dependents) {
+        DynInst *d = inst(dep);
+        if (!d || d->wrongPath)
+            continue;
+        SS_ASSERT(d->pendingSrcs > 0, "wakeup underflow");
+        if (--d->pendingSrcs == 0 && !d->issued)
+            ready_.insert(d->seq);
+    }
+    di.dependents.clear();
+}
+
+void
+SmtCore::issueStage()
+{
+    unsigned issued = 0;
+    unsigned int_alu = 0, mem_ports = 0, complex = 0, fp = 0;
+    std::vector<SeqNum> taken;
+
+    for (SeqNum seq : ready_) {
+        DynInst *di = inst(seq);
+        if (!di) {
+            taken.push_back(seq);
+            continue;
+        }
+        if (di->eligibleAt > cycle_)
+            continue;
+
+        const isa::OpTraits &tr = di->si->traits();
+        // With dedicated slice resources, helper-thread instructions
+        // use their own execution hardware; only the shared cache
+        // ports constrain them.
+        bool dedicated =
+            di->sliceThread && cfg_.dedicatedSliceResources;
+        if (!dedicated && issued >= cfg_.issueWidth)
+            continue;
+
+        bool fu_ok = true;
+        switch (tr.fu) {
+          case isa::FuClass::IntAlu:
+          case isa::FuClass::Branch:
+            fu_ok = dedicated || int_alu < cfg_.numIntAlu;
+            if (fu_ok && !dedicated)
+                ++int_alu;
+            break;
+          case isa::FuClass::MemPort:
+            fu_ok = mem_ports < cfg_.numMemPorts;
+            if (fu_ok)
+                ++mem_ports;
+            break;
+          case isa::FuClass::IntComplex:
+            fu_ok = dedicated || complex < cfg_.numComplex;
+            if (fu_ok && !dedicated)
+                ++complex;
+            break;
+          case isa::FuClass::FpAlu:
+            fu_ok = dedicated || fp < cfg_.numFp;
+            if (fu_ok && !dedicated)
+                ++fp;
+            break;
+          case isa::FuClass::None:
+            break;
+        }
+        if (!fu_ok)
+            continue;
+
+        di->issued = true;
+        if (!dedicated)
+            ++issued;
+        taken.push_back(seq);
+
+        Cycle lat = tr.latency;
+        if (tr.isLoad || tr.isStore)
+            lat = issueMemAccess(*di);
+
+        di->completeAt = cycle_ + lat;
+        completions_.push({di->completeAt, seq});
+    }
+
+    for (SeqNum s : taken)
+        ready_.erase(s);
+}
+
+Cycle
+SmtCore::issueMemAccess(DynInst &di)
+{
+    const isa::OpTraits &tr = di.si->traits();
+    Addr ea = di.fx.memAddr;
+
+    if (di.fx.fault) {
+        // Faulting slice access: no cache traffic, minimal latency.
+        return cfg_.memory.l1Latency;
+    }
+
+    if (tr.isStore) {
+        // Stores probe the L1 (dirty on hit); misses are handled at
+        // retirement via the write buffer. The pipeline never waits.
+        auto res = hierarchy_.accessStore(ea, cycle_);
+        if (profileEnabled_ && !di.sliceThread) {
+            auto &c = profile_.perPc[di.pc];
+            ++c.storeExec;
+            if (!res.l1Hit && !res.pvBufHit && !res.writeBufferHit)
+                ++c.storeMiss;
+        }
+        if (!di.sliceThread) {
+            stats_.add("main_stores");
+            if (!res.l1Hit && !res.pvBufHit && !res.writeBufferHit)
+                stats_.add("main_store_misses");
+        }
+        return 1;
+    }
+
+    // Loads (and prefetch ops).
+    auto res = hierarchy_.accessData(ea, false, di.sliceThread, cycle_);
+    bool l1_level_miss = !res.l1Hit && !res.pvBufHit &&
+                         !res.writeBufferHit;
+
+    if (di.sliceThread) {
+        stats_.add("slice_prefetches");
+    } else {
+        stats_.add("main_loads");
+        if (l1_level_miss)
+            stats_.add("main_load_misses");
+        if (res.coveredBySlice)
+            stats_.add("main_covered_misses");
+        if (profileEnabled_) {
+            auto &c = profile_.perPc[di.pc];
+            ++c.loadExec;
+            if (l1_level_miss)
+                ++c.loadMiss;
+        }
+    }
+
+    if (!di.sliceThread && perfect_.loadPerfect(di.pc))
+        return cfg_.memory.l1Latency;
+    return res.latency;
+}
+
+void
+SmtCore::completeStage()
+{
+    while (!completions_.empty() && completions_.top().first <= cycle_) {
+        SeqNum seq = completions_.top().second;
+        completions_.pop();
+        DynInst *di = inst(seq);
+        if (!di || !di->issued || di->completed)
+            continue;  // squashed or stale event
+        di->completed = true;
+        wakeupDependents(*di);
+
+        if (di->pgiToken != 0) {
+            bool dir = (di->fx.value != 0) != di->pgiInvert;
+            auto late = correlator_.onPgiExecute(di->pgiToken, dir);
+            handleLateResult(late);
+        }
+
+        if (di->isBranch && !di->wrongPath)
+            resolveBranch(*di);
+    }
+}
+
+void
+SmtCore::resolveBranch(DynInst &di)
+{
+    ThreadCtx &t = threads_[di.thread];
+    bool actual_taken = di.fx.taken;
+    Addr actual_next = di.fx.nextPc;
+    bool mispredicted;
+
+    if (di.si->isCondBranch())
+        mispredicted = di.predictedTaken != actual_taken;
+    else  // indirect (ret/jmp/callr): verify the followed target
+        mispredicted = di.predictedTarget != actual_next;
+
+    if (!di.sliceThread) {
+        if (di.si->isCondBranch()) {
+            stats_.add("cond_branches");
+            if (mispredicted)
+                stats_.add("mispredictions");
+            if (di.usedCorrelator) {
+                stats_.add("correlator_used");
+                if (mispredicted) {
+                    stats_.add("correlator_wrong");
+                    if (traceEnabled())
+                        std::fprintf(stderr,
+                            "[trace] corr-wrong pc=0x%llx seq=%llu "
+                            "pred=%d actual=%d tok=%llu cyc=%llu\n",
+                            (unsigned long long)di.pc,
+                            (unsigned long long)di.seq,
+                            (int)di.predictedTaken, (int)actual_taken,
+                            (unsigned long long)di.correlatorToken,
+                            (unsigned long long)cycle_);
+                }
+            }
+            if (profileEnabled_)
+                recordBranchProfile(di, mispredicted);
+            bpu_.updateCond(di.pc, di.bpCtx, actual_taken);
+        } else if (di.si->isIndirect() && !di.si->isReturn()) {
+            stats_.add("indirect_branches");
+            if (mispredicted)
+                stats_.add("indirect_mispredictions");
+            bpu_.updateIndirect(di.pc, di.bpCtx, actual_next);
+        } else if (di.si->isReturn()) {
+            stats_.add("returns");
+            if (mispredicted)
+                stats_.add("return_mispredictions");
+        }
+    }
+
+    if (!mispredicted)
+        return;
+
+    // Squash younger instructions and redirect fetch down the correct
+    // path. All younger instructions in this thread are wrong-path by
+    // construction, but the undo path is cheap and defensive.
+    squashThread(di.thread, di.seq, true);
+
+    if (!di.sliceThread) {
+        correlator_.squashMain(di.seq);
+        bpu_.restore(di.bpCheckpoint);
+        if (di.si->isCondBranch())
+            bpu_.shiftResolved(actual_taken);
+        else if (di.si->isIndirect() && !di.si->isReturn())
+            bpu_.shiftResolvedTarget(actual_next);
+    } else {
+        correlator_.squashSlice(t.forkSeq, di.seq);
+        stats_.add("slice_local_squashes");
+    }
+
+    di.predictedTaken = actual_taken;
+    di.predictedTarget = actual_next;
+    redirectFetch(di.thread, actual_next, cycle_ + 1);
+}
+
+void
+SmtCore::recordBranchProfile(const DynInst &di, bool mispredicted)
+{
+    auto &c = profile_.perPc[di.pc];
+    ++c.branchExec;
+    if (mispredicted)
+        ++c.branchMispred;
+}
+
+void
+SmtCore::squashThread(ThreadId tid, SeqNum younger_than,
+                      bool undo_functional)
+{
+    ThreadCtx &t = threads_[tid];
+    while (!t.rob.empty() && t.rob.back() > younger_than) {
+        SeqNum seq = t.rob.back();
+        t.rob.pop_back();
+        auto it = inFlight_.find(seq);
+        SS_ASSERT(it != inFlight_.end(), "rob entry missing");
+        DynInst &d = it->second;
+
+        if (d.setsLastWriter && t.lastWriter[d.si->rc] == d.seq)
+            t.lastWriter[d.si->rc] = d.prevWriter;
+
+        if (d.forkedThread != invalidThread) {
+            // The fork point is squashed: kill the forked slice.
+            ThreadCtx &st = threads_[d.forkedThread];
+            if (st.active && st.isSlice && st.forkSeq == d.seq) {
+                squashThread(d.forkedThread, invalidSeqNum, false);
+                st.active = false;
+                stats_.add("forks_squashed");
+            }
+        }
+
+        if (undo_functional && !d.wrongPath && !d.sliceThread &&
+            d.si->isStore()) {
+            // Undo this store's functional effect (reversal squash).
+            while (!storeUndoLog_.empty() &&
+                   storeUndoLog_.back().seq >= d.seq) {
+                const StoreUndo &u = storeUndoLog_.back();
+                if (u.seq == d.seq)
+                    mem_.write(u.addr, u.oldValue, u.size);
+                storeUndoLog_.pop_back();
+            }
+        }
+
+        ready_.erase(seq);
+        unsigned &occupancy = windowCounterFor(d.sliceThread);
+        SS_ASSERT(occupancy > 0 && t.icount > 0,
+                  "occupancy underflow");
+        --occupancy;
+        --t.icount;
+        stats_.add(d.sliceThread ? "slice_squashed_insts"
+                                 : "main_squashed_insts");
+        inFlight_.erase(it);
+    }
+}
+
+void
+SmtCore::redirectFetch(ThreadId tid, Addr pc, Cycle resume_at)
+{
+    ThreadCtx &t = threads_[tid];
+    t.fetchPc = pc;
+    t.fetchStallUntil = resume_at;
+    t.onWrongPath = (pc != t.funcPc);
+    t.fetchLine = invalidAddr;
+}
+
+void
+SmtCore::handleLateResult(
+    const slice::PredictionCorrelator::LateResult &late)
+{
+    if (!late.hasConsumer || !cfg_.lateReversalsEnabled)
+        return;
+    DynInst *br = inst(late.consumerSeq);
+    if (!br || br->completed || br->wrongPath)
+        return;  // consumer resolved, squashed or speculative-dead
+    if (late.computedDir == late.usedDir) {
+        stats_.add("late_agreements");
+        return;
+    }
+
+    // Early resolution (Section 5.3): the slice's computed outcome
+    // disagrees with the direction the branch was fetched with; reverse
+    // the prediction and redirect fetch before the branch resolves.
+    SS_ASSERT(br->si->isCondBranch(), "late binding on non-branch");
+    stats_.add("late_reversals");
+
+    ThreadCtx &t = threads_[br->thread];
+    if (br->regCheckpointAfter)
+        t.regs = *br->regCheckpointAfter;
+    squashThread(br->thread, br->seq, true);
+    correlator_.squashMain(br->seq);
+
+    bpu_.restore(br->bpCheckpoint);
+    bpu_.shiftResolved(late.computedDir);
+    br->predictedTaken = late.computedDir;
+    br->usedCorrelator = true;
+    t.funcPc = br->fx.nextPc;
+
+    Addr new_pc = late.computedDir ? br->si->target
+                                   : br->pc + isa::instBytes;
+    br->predictedTarget = new_pc;
+    redirectFetch(br->thread, new_pc, cycle_ + 1);
+}
+
+void
+SmtCore::retireStage()
+{
+    unsigned budget = cfg_.retireWidth;
+
+    for (ThreadId tid = 0; tid < threads_.size() && budget > 0; ++tid) {
+        ThreadCtx &t = threads_[tid];
+        if (!t.active)
+            continue;
+        while (budget > 0 && !t.rob.empty()) {
+            SeqNum seq = t.rob.front();
+            DynInst *d = inst(seq);
+            SS_ASSERT(d, "rob head missing");
+            if (!d->completed)
+                break;
+            SS_ASSERT(!d->wrongPath, "wrong-path inst at retire");
+
+            if (d->si->isStore() && !d->sliceThread && !d->fx.fault) {
+                if (!hierarchy_.retireStore(d->fx.memAddr, cycle_)) {
+                    stats_.add("retire_wb_stalls");
+                    break;  // write buffer full: retry next cycle
+                }
+            }
+
+            if (d->si->op == isa::Opcode::Halt && !d->sliceThread)
+                mainHalted_ = true;
+
+            if (d->setsLastWriter && t.lastWriter[d->si->rc] == d->seq)
+                t.lastWriter[d->si->rc] = invalidSeqNum;
+
+            t.rob.pop_front();
+            --windowCounterFor(d->sliceThread);
+            --t.icount;
+            --budget;
+            if (d->sliceThread) {
+                stats_.add("slice_retired");
+            } else {
+                ++mainRetired_;
+            }
+            inFlight_.erase(seq);
+        }
+
+        if (t.isSlice && t.fetchEnded && t.rob.empty() && t.active)
+            releaseSliceThread(tid);
+    }
+
+    // Stop slices whose every branch-queue entry has been killed by a
+    // retired (non-speculative) slice kill: none of their remaining
+    // work can be consumed, so squash them to free the shared window.
+    if (cfg_.terminateDeadSlices) {
+        SeqNum retired_bound = oldestInFlight() - 1;
+        for (ThreadId tid = 1; tid < threads_.size(); ++tid) {
+            ThreadCtx &t = threads_[tid];
+            if (!t.isSlice || !t.active || t.fetchEnded)
+                continue;
+            if (!correlator_.allEntriesDead(t.forkSeq, retired_bound))
+                continue;
+            squashThread(tid, invalidSeqNum, false);
+            correlator_.squashSlice(t.forkSeq, invalidSeqNum);
+            t.fetchEnded = true;
+            stats_.add("slices_terminated_dead");
+            releaseSliceThread(tid);
+        }
+    }
+
+    // Reclaim correlator slots whose kills have retired, and prune the
+    // store-undo log.
+    SeqNum bound = oldestInFlight();
+    correlator_.retireUpTo(bound > 0 ? bound - 1 : 0);
+    while (!storeUndoLog_.empty() && storeUndoLog_.front().seq < bound)
+        storeUndoLog_.pop_front();
+}
+
+void
+SmtCore::releaseSliceThread(ThreadId tid)
+{
+    ThreadCtx &t = threads_[tid];
+    SS_ASSERT(t.isSlice && t.rob.empty(), "slice thread still busy");
+    t.active = false;
+
+    if (cfg_.forkConfidenceGating && t.sliceIdx >= 0) {
+        // Train the fork gate: did the main thread consume anything
+        // this slice produced? Prefetch-only slices have no
+        // consumption signal and stay ungated.
+        const slice::SliceDescriptor &desc =
+            sliceTable_.slice(static_cast<unsigned>(t.sliceIdx));
+        if (!desc.pgis.empty()) {
+            bool useful = correlator_.consumedCount(t.forkSeq) > 0;
+            forkGate_[desc.forkPc].confidence.update(useful);
+        }
+    }
+
+    correlator_.onSliceDone(t.forkSeq);
+    stats_.add("slices_completed");
+}
+
+} // namespace specslice::core

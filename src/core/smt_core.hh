@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The simultaneous multithreading out-of-order core (Table 1) extended
+ * with the paper's slice-execution hardware (Section 4) and prediction
+ * correlator (Section 5).
+ *
+ * Timing model: execute-at-fetch. Correct-path instructions execute
+ * functionally in fetch order; the scheduler decides when results
+ * become visible (same-cycle scheduling with a perfect load hit/miss
+ * predictor, per Table 1). Wrong-path fetch walks the static code using
+ * the predictors, consuming fetch bandwidth and window entries, but
+ * never executes. Helper threads run slices: they own their registers
+ * (copied at fork), share the L1D (prefetch effect), perform no stores,
+ * and terminate on max-iteration count, faults, or SliceEnd.
+ */
+
+#ifndef SPECSLICE_CORE_SMT_CORE_HH
+#define SPECSLICE_CORE_SMT_CORE_HH
+
+#include <array>
+#include <deque>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/memimg.hh"
+#include "arch/regfile.hh"
+#include "common/bitutils.hh"
+#include "branch/predictor_unit.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/dyninst.hh"
+#include "core/perfect.hh"
+#include "isa/program.hh"
+#include "mem/hierarchy.hh"
+#include "slice/correlator.hh"
+#include "slice/slice_table.hh"
+
+namespace specslice::core
+{
+
+/** Per-static-instruction PDE profile hook (Section 2.2). */
+struct PcProfile
+{
+    struct Counts
+    {
+        std::uint64_t branchExec = 0;
+        std::uint64_t branchMispred = 0;
+        std::uint64_t loadExec = 0;
+        std::uint64_t loadMiss = 0;
+        std::uint64_t storeExec = 0;
+        std::uint64_t storeMiss = 0;
+    };
+    std::unordered_map<Addr, Counts> perPc;
+};
+
+/** Options for one simulation run. */
+struct RunOptions
+{
+    /** Stop after this many main-thread instructions retire. */
+    std::uint64_t maxMainInstructions = 1'000'000;
+    /** Hard cycle limit (deadlock guard). */
+    Cycle maxCycles = 0;  ///< 0 = 50x instruction budget
+    /** Run this many main-thread instructions before resetting stats
+     *  (cache/predictor warm-up, Section 6). */
+    std::uint64_t warmupInstructions = 0;
+    PerfectSpec perfect;
+    /** Collect the per-PC PDE profile (costs some time). */
+    bool profile = false;
+};
+
+/** Aggregated results of a run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t mainRetired = 0;
+    std::uint64_t mainFetched = 0;       ///< correct + wrong path
+    std::uint64_t mainFetchedWrongPath = 0;
+    std::uint64_t sliceFetched = 0;
+    std::uint64_t sliceRetired = 0;      ///< slice insts that executed
+    std::uint64_t condBranches = 0;      ///< main, resolved
+    std::uint64_t mispredictions = 0;    ///< main, resolved wrong
+    std::uint64_t loads = 0;             ///< main thread loads issued
+    std::uint64_t l1dMissesMain = 0;
+    std::uint64_t coveredMisses = 0;     ///< via slice prefetch
+    std::uint64_t slicePrefetches = 0;   ///< slice loads executed
+    std::uint64_t forks = 0;
+    std::uint64_t forksSquashed = 0;
+    std::uint64_t forksIgnored = 0;
+    std::uint64_t predictionsGenerated = 0;
+    std::uint64_t correlatorUsed = 0;    ///< overrides consumed
+    std::uint64_t correlatorWrong = 0;   ///< overrides that mispredicted
+    std::uint64_t latePredictions = 0;   ///< matched while Empty
+    std::uint64_t lateReversals = 0;     ///< early resolutions performed
+    StatGroup detail;                    ///< everything else
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(mainRetired) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    PcProfile profile;
+};
+
+class SmtCore
+{
+  public:
+    SmtCore(const CoreConfig &cfg, const isa::Program &program,
+            arch::MemoryImage &mem);
+
+    /** Load a slice into the slice/PGI tables. */
+    void loadSlice(const slice::SliceDescriptor &desc);
+
+    /** Run the main thread from entry_pc until halt or limits. */
+    RunResult run(Addr entry_pc, const RunOptions &opts);
+
+  private:
+    // ---- per-thread state ----
+    struct ThreadCtx
+    {
+        bool active = false;
+        bool isSlice = false;
+        Addr fetchPc = invalidAddr;
+        Addr funcPc = invalidAddr;      ///< next correct-path PC
+        Addr fetchLine = invalidAddr;   ///< last I-cache line touched
+        bool onWrongPath = false;
+        Cycle fetchStallUntil = 0;
+        bool fetchEnded = false;        ///< halt/terminate: drain only
+        arch::RegFile regs;
+        std::deque<SeqNum> rob;         ///< fetch order, oldest first
+        std::array<SeqNum, isa::numRegs> lastWriter{};
+        unsigned icount = 0;            ///< in-flight count (ICOUNT)
+        // Slice-thread fields.
+        int sliceIdx = -1;
+        SeqNum forkSeq = invalidSeqNum;
+        unsigned loopIters = 0;
+    };
+
+    struct StoreUndo
+    {
+        SeqNum seq;
+        Addr addr;
+        unsigned size;
+        std::uint64_t oldValue;
+    };
+
+    // ---- pipeline stages (one file per stage) ----
+    void fetchStage();
+    void fetchFrom(ThreadId tid);
+    bool fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched);
+    void issueStage();
+    void completeStage();
+    void retireStage();
+
+    // ---- helpers ----
+    ThreadId pickFetchThread(bool slices_only = false) const;
+    /** The window-occupancy counter an instruction charges against
+     *  (helper threads get their own window with dedicated
+     *  resources, Section 6.3). */
+    unsigned &windowCounterFor(bool slice_thread);
+    DynInst *inst(SeqNum seq);
+    void setupDependencies(DynInst &di, ThreadCtx &t);
+    void wakeupDependents(DynInst &di);
+    void resolveBranch(DynInst &di);
+    /** Timed D-cache access at issue. @return completion latency. */
+    Cycle issueMemAccess(DynInst &di);
+    /** Squash all instructions of thread tid younger than seq. */
+    void squashThread(ThreadId tid, SeqNum younger_than,
+                      bool undo_functional);
+    void redirectFetch(ThreadId tid, Addr pc, Cycle resume_at);
+    void forkSlice(DynInst &fork_inst, int slice_idx);
+    /** Rewind a slice load's value to memory as of the fork point. */
+    void adjustSliceLoad(ThreadCtx &t, DynInst &di);
+    /** Count a taken slice back-edge. @return true if limit reached. */
+    bool countSliceIteration(ThreadCtx &t, Addr pc);
+    void terminateSliceFetch(ThreadCtx &t, ThreadId tid);
+    void releaseSliceThread(ThreadId tid);
+    void handleLateResult(
+        const slice::PredictionCorrelator::LateResult &late);
+    SeqNum oldestInFlight() const;
+    void resetStats();
+    void recordBranchProfile(const DynInst &di, bool mispredicted);
+
+    // Correlation trace (SS_TRACE=1): PGI fetches, correlator-relevant
+    // branch fetches, and wrong overrides, for slice debugging.
+    static bool traceEnabled();
+    void tracePgiFetch(const DynInst &di, const ThreadCtx &t);
+    void traceBranchFetch(const DynInst &di);
+
+    // ---- configuration & structural state ----
+    CoreConfig cfg_;
+    const isa::Program &program_;
+    arch::MemoryImage &mem_;
+    mem::MemoryHierarchy hierarchy_;
+    branch::BranchPredictorUnit bpu_;
+    slice::SliceTable sliceTable_;
+    slice::PredictionCorrelator correlator_;
+    PerfectSpec perfect_;
+    bool profileEnabled_ = false;
+
+    // ---- dynamic state ----
+    Cycle cycle_ = 0;
+    SeqNum nextSeq_ = 1;
+    std::vector<ThreadCtx> threads_;
+    std::unordered_map<SeqNum, DynInst> inFlight_;
+    unsigned windowOccupancy_ = 0;
+    /** Separate helper-thread window (dedicated-resources mode). */
+    unsigned sliceWindowOccupancy_ = 0;
+    /** Per-fork-PC usefulness state (fork-confidence gating). */
+    struct ForkGate
+    {
+        SatCounter confidence{3, 7};  ///< start confident
+        std::uint8_t probe = 0;       ///< periodic re-probe counter
+    };
+    std::unordered_map<Addr, ForkGate> forkGate_;
+    std::set<SeqNum> ready_;
+    using Event = std::pair<Cycle, SeqNum>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        completions_;
+    std::deque<StoreUndo> storeUndoLog_;
+    std::uint64_t mainRetired_ = 0;
+    bool mainHalted_ = false;
+
+    // ---- statistics ----
+    StatGroup stats_;
+    PcProfile profile_;
+};
+
+} // namespace specslice::core
+
+#endif // SPECSLICE_CORE_SMT_CORE_HH

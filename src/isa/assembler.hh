@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A label-based assembler for the zsr ISA. Workloads and speculative
+ * slices are written against this API; it resolves forward references
+ * and produces a CodeSection plus a symbol table.
+ */
+
+#ifndef SPECSLICE_ISA_ASSEMBLER_HH
+#define SPECSLICE_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace specslice::isa
+{
+
+/**
+ * Builds one code section. Typical use:
+ * @code
+ *   Assembler as(0x1000);
+ *   as.label("loop");
+ *   as.ldq(3, 6, 0);
+ *   as.beq(3, "done");
+ *   as.br("loop");
+ *   as.label("done");
+ *   as.halt();
+ *   CodeSection sec = as.finish();
+ * @endcode
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr base) : base_(base) {}
+
+    /** Define a label at the current position. */
+    void label(const std::string &name);
+
+    /** @return the address of the next instruction to be emitted. */
+    Addr here() const { return base_ + code_.size() * instBytes; }
+
+    // Integer ALU, register form.
+    void add(RegIndex rc, RegIndex ra, RegIndex rb);
+    void sub(RegIndex rc, RegIndex ra, RegIndex rb);
+    void and_(RegIndex rc, RegIndex ra, RegIndex rb);
+    void or_(RegIndex rc, RegIndex ra, RegIndex rb);
+    void xor_(RegIndex rc, RegIndex ra, RegIndex rb);
+    void sll(RegIndex rc, RegIndex ra, RegIndex rb);
+    void srl(RegIndex rc, RegIndex ra, RegIndex rb);
+    void sra(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmpeq(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmplt(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmple(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmpult(RegIndex rc, RegIndex ra, RegIndex rb);
+    void s4add(RegIndex rc, RegIndex ra, RegIndex rb);
+    void s8add(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmoveq(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmovne(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmovlt(RegIndex rc, RegIndex ra, RegIndex rb);
+
+    // Integer ALU, immediate form.
+    void addi(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void subi(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void andi(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void ori(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void xori(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void slli(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void srli(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void srai(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void cmpeqi(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void cmplti(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void cmplei(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void cmpulti(RegIndex rc, RegIndex ra, std::int32_t imm);
+    void ldi(RegIndex rc, std::int32_t imm);
+    /** Load a full 64-bit constant (ldi + shifts as needed). */
+    void ldi64(RegIndex rc, std::uint64_t value);
+    /** Copy register (or_ with zero). */
+    void mov(RegIndex rc, RegIndex ra);
+
+    // Complex integer.
+    void mul(RegIndex rc, RegIndex ra, RegIndex rb);
+    void div(RegIndex rc, RegIndex ra, RegIndex rb);
+
+    // Floating point (double bit patterns in integer registers).
+    void fadd(RegIndex rc, RegIndex ra, RegIndex rb);
+    void fsub(RegIndex rc, RegIndex ra, RegIndex rb);
+    void fmul(RegIndex rc, RegIndex ra, RegIndex rb);
+    void fcmplt(RegIndex rc, RegIndex ra, RegIndex rb);
+    void fcmple(RegIndex rc, RegIndex ra, RegIndex rb);
+    void fcmpeq(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cvtif(RegIndex rc, RegIndex ra);
+    void cvtfi(RegIndex rc, RegIndex ra);
+
+    // Memory.
+    void ldq(RegIndex rc, RegIndex rb, std::int32_t off);
+    void ldl(RegIndex rc, RegIndex rb, std::int32_t off);
+    void ldbu(RegIndex rc, RegIndex rb, std::int32_t off);
+    void stq(RegIndex ra, RegIndex rb, std::int32_t off);
+    void stl(RegIndex ra, RegIndex rb, std::int32_t off);
+    void stb(RegIndex ra, RegIndex rb, std::int32_t off);
+    void prefetch(RegIndex rb, std::int32_t off);
+
+    // Control (targets are labels; forward references allowed).
+    void beq(RegIndex ra, const std::string &target);
+    void bne(RegIndex ra, const std::string &target);
+    void blt(RegIndex ra, const std::string &target);
+    void ble(RegIndex ra, const std::string &target);
+    void bgt(RegIndex ra, const std::string &target);
+    void bge(RegIndex ra, const std::string &target);
+    void br(const std::string &target);
+    void call(const std::string &target, RegIndex rc = regLink);
+    void jmp(RegIndex ra);
+    void callr(RegIndex rb, RegIndex rc = regLink);
+    void ret(RegIndex ra = regLink);
+
+    // Misc.
+    void nop();
+    void halt();
+    void sliceEnd();
+
+    /** Resolve fixups and return the finished section. */
+    CodeSection finish();
+
+    /** Label -> address map (valid after finish()). */
+    const std::map<std::string, Addr> &symbols() const { return symbols_; }
+
+  private:
+    void emit(Instruction inst);
+    void emitBranch(Opcode op, RegIndex ra, RegIndex rc,
+                    const std::string &target);
+
+    struct Fixup
+    {
+        std::size_t index;
+        std::string label;
+    };
+
+    Addr base_;
+    std::vector<Instruction> code_;
+    std::map<std::string, Addr> symbols_;
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace specslice::isa
+
+#endif // SPECSLICE_ISA_ASSEMBLER_HH

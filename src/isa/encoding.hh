@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Binary encoding of zsr instructions.
+ *
+ * Each instruction serializes to one 64-bit word:
+ *
+ *   bits [63:54]  opcode (10 bits)
+ *   bits [53:48]  ra
+ *   bits [47:42]  rb
+ *   bits [41:36]  rc
+ *   bits [35:32]  reserved (zero)
+ *   bits [31:0]   immediate, or signed word displacement for direct
+ *                 control transfers (target = pc + 8 + 8*disp)
+ *
+ * The simulator operates on decoded Instruction structs; the encoding
+ * exists so programs can be stored in the simulated memory image and
+ * round-tripped through it (and it defines the I-cache footprint:
+ * 8 bytes per instruction).
+ */
+
+#ifndef SPECSLICE_ISA_ENCODING_HH
+#define SPECSLICE_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace specslice::isa
+{
+
+/** Encode inst (located at pc) into a 64-bit word. */
+std::uint64_t encode(const Instruction &inst, Addr pc);
+
+/** Decode a 64-bit word fetched from pc back into an Instruction. */
+Instruction decode(std::uint64_t word, Addr pc);
+
+} // namespace specslice::isa
+
+#endif // SPECSLICE_ISA_ENCODING_HH

@@ -1,0 +1,89 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace specslice::isa
+{
+
+void
+Program::addSection(CodeSection section)
+{
+    SS_ASSERT(section.base % instBytes == 0, "misaligned section base");
+    for (const auto &s : sections_) {
+        bool disjoint = section.end() <= s.base || section.base >= s.end();
+        SS_ASSERT(disjoint, "overlapping code sections");
+    }
+    sections_.push_back(std::move(section));
+}
+
+void
+Program::addSymbols(const std::map<std::string, Addr> &symbols)
+{
+    for (const auto &[name, addr] : symbols) {
+        auto [it, inserted] = symbols_.emplace(name, addr);
+        if (!inserted && it->second != addr)
+            SS_FATAL("conflicting definitions of symbol '", name, "'");
+    }
+}
+
+const Instruction *
+Program::fetch(Addr pc) const
+{
+    for (const auto &s : sections_) {
+        if (s.contains(pc))
+            return &s.code[(pc - s.base) / instBytes];
+    }
+    return nullptr;
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        SS_FATAL("undefined symbol '", name, "'");
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols_.find(name) != symbols_.end();
+}
+
+std::size_t
+Program::staticSize() const
+{
+    std::size_t n = 0;
+    for (const auto &s : sections_)
+        n += s.code.size();
+    return n;
+}
+
+std::string
+Program::disassemble() const
+{
+    // Invert the symbol table so labels annotate their addresses.
+    std::map<Addr, std::string> labels;
+    for (const auto &[name, addr] : symbols_)
+        labels[addr] = name;
+
+    std::ostringstream os;
+    for (const auto &s : sections_) {
+        os << "section @ 0x" << std::hex << s.base << std::dec << ":\n";
+        Addr pc = s.base;
+        for (const auto &inst : s.code) {
+            auto it = labels.find(pc);
+            if (it != labels.end())
+                os << it->second << ":\n";
+            os << "  0x" << std::hex << pc << std::dec << ":  "
+               << inst.disassemble() << '\n';
+            pc += instBytes;
+        }
+    }
+    return os.str();
+}
+
+} // namespace specslice::isa

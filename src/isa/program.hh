@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A Program is the static code image of a workload: one or more code
+ * sections (e.g. the main program and its speculative slices, which the
+ * paper stores "as normal instructions in the instruction cache") plus
+ * a symbol table.
+ */
+
+#ifndef SPECSLICE_ISA_PROGRAM_HH
+#define SPECSLICE_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace specslice::isa
+{
+
+/** A contiguous run of instructions at a base address. */
+struct CodeSection
+{
+    Addr base = 0;
+    std::vector<Instruction> code;
+
+    Addr end() const { return base + code.size() * instBytes; }
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= base && pc < end() && (pc - base) % instBytes == 0;
+    }
+};
+
+/** The complete static code image of a workload. */
+class Program
+{
+  public:
+    /** Add a section; sections must not overlap. */
+    void addSection(CodeSection section);
+
+    /** Merge symbols (label -> address). */
+    void addSymbols(const std::map<std::string, Addr> &symbols);
+
+    /** @return the instruction at pc, or nullptr if unmapped. */
+    const Instruction *fetch(Addr pc) const;
+
+    /** @return true if pc holds an instruction. */
+    bool contains(Addr pc) const { return fetch(pc) != nullptr; }
+
+    /** @return the address of a label; fatal if undefined. */
+    Addr symbol(const std::string &name) const;
+
+    /** @return true if the label is defined. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** @return total static instruction count across sections. */
+    std::size_t staticSize() const;
+
+    const std::vector<CodeSection> &sections() const { return sections_; }
+    const std::map<std::string, Addr> &symbols() const { return symbols_; }
+
+    /** Disassemble every section (for debugging / examples). */
+    std::string disassemble() const;
+
+  private:
+    std::vector<CodeSection> sections_;
+    std::map<std::string, Addr> symbols_;
+};
+
+} // namespace specslice::isa
+
+#endif // SPECSLICE_ISA_PROGRAM_HH

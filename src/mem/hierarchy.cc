@@ -1,0 +1,282 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+namespace specslice::mem
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg)
+    : cfg_(cfg),
+      l1i_(cfg.l1iSize, cfg.l1iAssoc, cfg.l1iLineSize),
+      l1d_(cfg.l1dSize, cfg.l1dAssoc, cfg.l1dLineSize),
+      l2_(cfg.l2Size, cfg.l2Assoc, cfg.l2LineSize),
+      pvBuf_(cfg.pvBufEntries, cfg.l1dLineSize),
+      writeBuf_(cfg.writeBufEntries),
+      prefetcher_(cfg.prefetchStreams, cfg.l1dLineSize, cfg.prefetchDegree,
+                  cfg.sequentialPrefetch),
+      stats_("mem")
+{
+}
+
+Cycle
+MemoryHierarchy::missToMemory(Cycle now)
+{
+    // Request bandwidth model: each memory request occupies the channel
+    // for memBusOccupancy cycles; requests queue behind each other.
+    Cycle start = std::max(now, memBusFreeAt_);
+    memBusFreeAt_ = start + cfg_.memBusOccupancy;
+    stats_.add("mem_requests");
+    return (start - now) + cfg_.memLatency;
+}
+
+void
+MemoryHierarchy::launchPrefetches(Addr miss_addr, Cycle now)
+{
+    if (!cfg_.prefetcherEnabled)
+        return;
+    for (Addr line : prefetcher_.onMiss(miss_addr)) {
+        // Skip lines already close to the core.
+        if (l1d_.peek(line) || pvBuf_.peek(line))
+            continue;
+        Cycle lat = l2_.peek(line) ? cfg_.l2Latency : missToMemory(now);
+        pvBuf_.insert(line, true, now + lat);
+        stats_.add("hw_prefetches");
+    }
+}
+
+AccessResult
+MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
+                            Cycle now)
+{
+    AccessResult res;
+    bool is_main = !is_slice_thread;
+    stats_.add(is_store ? "stores" : "loads");
+    if (is_slice_thread)
+        stats_.add("slice_accesses");
+
+    // L1D probe (prefetch/victim buffer checked in parallel).
+    if (CacheLine *line = l1d_.access(addr, is_main)) {
+        res.l1Hit = true;
+        res.latency = cfg_.l1Latency;
+
+        // MSHR merge: if this line's fill is still in flight, the
+        // access waits for the remaining latency, not a fresh miss.
+        auto pit = pendingFills_.find(l1d_.lineAddr(addr));
+        if (pit != pendingFills_.end()) {
+            if (now < pit->second.readyAt) {
+                res.latency = pit->second.readyAt - now;
+                stats_.add("delayed_hits");
+            } else {
+                pendingFills_.erase(pit);
+            }
+        }
+
+        if (is_main && line->sliceFilled) {
+            // First main-thread touch of a slice-prefetched line: this
+            // would have been a (full) miss without the slice
+            // ("covered"). sliceFilled acts as the one-shot marker.
+            res.coveredBySlice = true;
+            line->sliceFilled = false;
+            stats_.add("covered_misses");
+        }
+        if (is_store)
+            line->dirty = true;
+        stats_.add("l1d_hits");
+        return res;
+    }
+
+    // Parallel prefetch/victim buffer probe.
+    if (auto *entry = pvBuf_.lookup(addr, now)) {
+        Cycle ready = std::max(entry->readyAt, now);
+        res.pvBufHit = true;
+        res.latency = cfg_.l1Latency + (ready - now);
+        stats_.add("pvbuf_hits");
+        if (entry->fromPrefetch)
+            stats_.add("pvbuf_prefetch_hits");
+        // Promote into the L1.
+        Addr promoted = entry->lineAddr;
+        bool was_prefetch = entry->fromPrefetch;
+        pvBuf_.remove(promoted);
+        Eviction ev = l1d_.fill(promoted, is_store, is_slice_thread);
+        if (ev.valid)
+            pvBuf_.insert(ev.lineAddr, false, now);
+        if (is_main)
+            l1d_.access(addr, true);
+        // A hit on a prefetched line confirms the stream: keep the
+        // prefetcher trained (and running ahead) rather than letting
+        // covered accesses starve it of miss events.
+        if (was_prefetch)
+            launchPrefetches(addr, now);
+        return res;
+    }
+
+    // Write buffer holds the line of a retired store miss.
+    if (writeBuf_.contains(l1d_.lineAddr(addr))) {
+        res.writeBufferHit = true;
+        res.latency = cfg_.l1Latency + 1;
+        stats_.add("writebuf_hits");
+        Eviction ev = l1d_.fill(addr, true, is_slice_thread);
+        if (ev.valid && ev.dirty)
+            pvBuf_.insert(ev.lineAddr, false, now);
+        return res;
+    }
+
+    // L1 miss.
+    stats_.add("l1d_misses");
+    if (is_main)
+        stats_.add("l1d_misses_main");
+    else
+        stats_.add("l1d_misses_slice");
+    launchPrefetches(addr, now);
+
+    Cycle lat;
+    if (l2_.access(addr, is_main)) {
+        res.l2Hit = true;
+        lat = cfg_.l1Latency + cfg_.l2Latency;
+        stats_.add("l2_hits");
+    } else {
+        res.memAccess = true;
+        stats_.add("l2_misses");
+        lat = cfg_.l1Latency + cfg_.l2Latency + missToMemory(now);
+        l2_.fill(addr, false, is_slice_thread);
+    }
+
+    // Fill the L1; victims go to the victim buffer. The tag is
+    // installed now; the in-flight window is tracked in pendingFills_
+    // so later accesses merge with this fill.
+    Eviction ev = l1d_.fill(addr, is_store, is_slice_thread);
+    if (ev.valid)
+        pvBuf_.insert(ev.lineAddr, false, now);
+    pendingFills_[l1d_.lineAddr(addr)] = {now + lat, is_slice_thread};
+
+    res.latency = lat;
+    return res;
+}
+
+Cycle
+MemoryHierarchy::accessInst(Addr pc, Cycle now)
+{
+    stats_.add("ifetches");
+    if (l1i_.access(pc, true))
+        return cfg_.l1Latency;
+
+    // The unified prefetch/victim buffer is checked on all accesses.
+    if (auto *entry = pvBuf_.lookup(pc, now)) {
+        Cycle ready = std::max(entry->readyAt, now);
+        Cycle lat = cfg_.l1Latency + (ready - now);
+        pvBuf_.remove(entry->lineAddr);
+        l1i_.fill(pc, false, false);
+        stats_.add("pvbuf_inst_hits");
+        return lat;
+    }
+
+    stats_.add("l1i_misses");
+    Cycle lat;
+    if (l2_.access(pc, true)) {
+        lat = cfg_.l1Latency + cfg_.l2Latency;
+    } else {
+        stats_.add("l2_misses");
+        lat = cfg_.l1Latency + cfg_.l2Latency + missToMemory(now);
+        l2_.fill(pc, false, false);
+    }
+    l1i_.fill(pc, false, false);
+
+    // Sequential next-line prefetch on the instruction side: run a few
+    // lines ahead so straight-line cold code streams instead of
+    // serializing one miss per line.
+    if (cfg_.prefetcherEnabled) {
+        Addr line = l1i_.lineAddr(pc);
+        for (unsigned d = 1; d <= 2 + cfg_.prefetchDegree; ++d) {
+            Addr next = line + d * cfg_.l1iLineSize;
+            if (l1i_.peek(next) || pvBuf_.peek(next))
+                continue;
+            Cycle plat = l2_.peek(next)
+                             ? cfg_.l2Latency
+                             : missToMemory(now);
+            pvBuf_.insert(next, true, now + plat);
+            stats_.add("hw_prefetches");
+        }
+    }
+    return lat;
+}
+
+AccessResult
+MemoryHierarchy::accessStore(Addr addr, Cycle now)
+{
+    AccessResult res;
+    stats_.add("stores");
+    res.latency = 1;
+
+    if (CacheLine *line = l1d_.access(addr, true)) {
+        res.l1Hit = true;
+        line->dirty = true;
+        line->sliceFilled = false;
+        stats_.add("l1d_hits");
+        return res;
+    }
+    if (auto *entry = pvBuf_.lookup(addr, now)) {
+        res.pvBufHit = true;
+        Addr promoted = entry->lineAddr;
+        pvBuf_.remove(promoted);
+        Eviction ev = l1d_.fill(promoted, true, false);
+        if (ev.valid)
+            pvBuf_.insert(ev.lineAddr, false, now);
+        stats_.add("pvbuf_hits");
+        return res;
+    }
+    if (writeBuf_.contains(l1d_.lineAddr(addr))) {
+        res.writeBufferHit = true;
+        stats_.add("writebuf_hits");
+        return res;
+    }
+    // Store miss: write-allocate. The line is installed immediately
+    // (dirty); the store itself never stalls the pipeline, and a
+    // dependent load to the just-written data behaves like store
+    // forwarding (hits). The write buffer at retirement covers the
+    // rare line-evicted-before-retire case.
+    stats_.add("store_misses");
+    launchPrefetches(addr, now);
+    if (!l2_.access(addr, true)) {
+        stats_.add("l2_misses");
+        missToMemory(now);
+        l2_.fill(addr, false, false);
+    }
+    Eviction ev = l1d_.fill(addr, true, false);
+    if (ev.valid)
+        pvBuf_.insert(ev.lineAddr, false, now);
+    return res;
+}
+
+bool
+MemoryHierarchy::retireStore(Addr addr, Cycle now)
+{
+    // Store hits were already handled at execute; misses retire into
+    // the write buffer so they never stall the pipeline.
+    if (l1d_.peek(addr))
+        return true;
+    return writeBuf_.insert(l1d_.lineAddr(addr), now);
+}
+
+void
+MemoryHierarchy::tick(Cycle now)
+{
+    writeBuf_.drain(now);
+    // Keep the pending-fill map from accumulating expired entries.
+    if (pendingFills_.size() > 256) {
+        for (auto it = pendingFills_.begin();
+             it != pendingFills_.end();) {
+            if (it->second.readyAt <= now)
+                it = pendingFills_.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+bool
+MemoryHierarchy::wouldHitL1(Addr addr) const
+{
+    return l1d_.peek(addr) != nullptr || pvBuf_.peek(addr) != nullptr;
+}
+
+} // namespace specslice::mem

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hardware stream prefetcher (Table 1): detects cache misses with unit
+ * stride (positive and negative) and launches prefetches; additionally
+ * prefetches sequential blocks (before a stride is confirmed) to
+ * exploit spatial locality beyond one line.
+ */
+
+#ifndef SPECSLICE_MEM_STREAM_PREFETCHER_HH
+#define SPECSLICE_MEM_STREAM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specslice::mem
+{
+
+class StreamPrefetcher
+{
+  public:
+    /**
+     * @param streams number of concurrently tracked miss streams
+     * @param line_size cache line size the stride is measured in
+     * @param degree lines prefetched ahead once a stream is confirmed
+     * @param sequential also issue a next-line prefetch on first miss
+     */
+    StreamPrefetcher(unsigned streams, unsigned line_size, unsigned degree,
+                     bool sequential);
+
+    /**
+     * Observe a demand miss and decide what to prefetch.
+     * @return line addresses to prefetch (possibly empty).
+     */
+    std::vector<Addr> onMiss(Addr addr);
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr lastLine = 0;
+        std::int64_t stride = 0;   ///< in lines; 0 = not yet confirmed
+        unsigned confidence = 0;
+        std::uint64_t lru = 0;
+    };
+
+    Addr lineOf(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(lineSize_ - 1);
+    }
+
+    unsigned lineSize_;
+    unsigned degree_;
+    bool sequential_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Stream> streams_;
+};
+
+} // namespace specslice::mem
+
+#endif // SPECSLICE_MEM_STREAM_PREFETCHER_HH

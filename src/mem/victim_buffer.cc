@@ -1,0 +1,91 @@
+#include "mem/victim_buffer.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace specslice::mem
+{
+
+PrefetchVictimBuffer::PrefetchVictimBuffer(unsigned entries,
+                                           unsigned line_size)
+    : lineSize_(line_size)
+{
+    SS_ASSERT(isPowerOf2(line_size), "line size must be a power of two");
+    entries_.resize(entries);
+}
+
+PrefetchVictimBuffer::Entry *
+PrefetchVictimBuffer::lookup(Addr addr, Cycle now)
+{
+    Addr la = lineAddr(addr);
+    for (Entry &e : entries_) {
+        if (e.valid && e.lineAddr == la) {
+            (void)now;
+            e.lru = ++lruClock_;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const PrefetchVictimBuffer::Entry *
+PrefetchVictimBuffer::peek(Addr addr) const
+{
+    Addr la = lineAddr(addr);
+    for (const Entry &e : entries_) {
+        if (e.valid && e.lineAddr == la)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+PrefetchVictimBuffer::insert(Addr line_addr, bool from_prefetch,
+                             Cycle ready_at)
+{
+    SS_ASSERT((line_addr & (lineSize_ - 1)) == 0, "misaligned line");
+
+    // Refresh if already resident.
+    for (Entry &e : entries_) {
+        if (e.valid && e.lineAddr == line_addr) {
+            e.lru = ++lruClock_;
+            return;
+        }
+    }
+
+    Entry *victim = nullptr;
+    for (Entry &e : entries_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->lineAddr = line_addr;
+    victim->fromPrefetch = from_prefetch;
+    victim->readyAt = ready_at;
+    victim->lru = ++lruClock_;
+}
+
+void
+PrefetchVictimBuffer::remove(Addr line_addr)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.lineAddr == line_addr)
+            e.valid = false;
+    }
+}
+
+unsigned
+PrefetchVictimBuffer::population() const
+{
+    unsigned n = 0;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace specslice::mem

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The 64-entry unified prefetch/victim buffer of Table 1: a small fully
+ * associative buffer checked in parallel with the caches. It holds both
+ * lines evicted from the L1 (victims) and lines brought in by the
+ * hardware stream prefetcher before their first demand use.
+ */
+
+#ifndef SPECSLICE_MEM_VICTIM_BUFFER_HH
+#define SPECSLICE_MEM_VICTIM_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specslice::mem
+{
+
+class PrefetchVictimBuffer
+{
+  public:
+    struct Entry
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool fromPrefetch = false;
+        Cycle readyAt = 0;      ///< prefetched data arrives at this cycle
+        std::uint64_t lru = 0;
+    };
+
+    PrefetchVictimBuffer(unsigned entries, unsigned line_size);
+
+    /**
+     * Probe for the line containing addr.
+     * @return the entry, or nullptr on miss. The entry stays resident
+     * (data also gets promoted into the L1 by the hierarchy).
+     */
+    Entry *lookup(Addr addr, Cycle now);
+
+    /** Probe without state changes. */
+    const Entry *peek(Addr addr) const;
+
+    /** Insert a victim or prefetched line (evicts LRU if full). */
+    void insert(Addr line_addr, bool from_prefetch, Cycle ready_at);
+
+    /** Remove the line if present (promoted to L1). */
+    void remove(Addr line_addr);
+
+    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+
+    /** @return number of currently valid entries. */
+    unsigned population() const;
+
+  private:
+    Addr lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(lineSize_ - 1);
+    }
+
+    unsigned lineSize_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace specslice::mem
+
+#endif // SPECSLICE_MEM_VICTIM_BUFFER_HH

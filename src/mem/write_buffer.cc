@@ -1,0 +1,39 @@
+#include "mem/write_buffer.hh"
+
+namespace specslice::mem
+{
+
+bool
+WriteBuffer::insert(Addr line_addr, Cycle now)
+{
+    // Coalesce with an existing entry for the same line.
+    for (Entry &e : entries_) {
+        if (e.lineAddr == line_addr)
+            return true;
+    }
+    if (full())
+        return false;
+    entries_.push_back({line_addr, now});
+    return true;
+}
+
+void
+WriteBuffer::drain(Cycle now)
+{
+    while (!entries_.empty() &&
+           now >= entries_.front().insertedAt + drainInterval_) {
+        entries_.pop_front();
+    }
+}
+
+bool
+WriteBuffer::contains(Addr line_addr) const
+{
+    for (const Entry &e : entries_) {
+        if (e.lineAddr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+} // namespace specslice::mem

@@ -1,0 +1,39 @@
+#include "profile/pde_profile.hh"
+
+namespace specslice::profile
+{
+
+ProblemInstructions
+classifyProblemInstructions(const core::PcProfile &profile,
+                            const ClassifyThresholds &th)
+{
+    ProblemInstructions out;
+
+    for (const auto &[pc, c] : profile.perPc) {
+        std::uint64_t mem_exec = c.loadExec + c.storeExec;
+        std::uint64_t mem_miss = c.loadMiss + c.storeMiss;
+        out.memOps += mem_exec;
+        out.l1Misses += mem_miss;
+        out.branches += c.branchExec;
+        out.mispredictions += c.branchMispred;
+
+        if (mem_exec > 0 && mem_miss >= th.minPdeCount &&
+            static_cast<double>(mem_miss) >=
+                th.minPdeRate * static_cast<double>(mem_exec)) {
+            out.problemLoads.insert(pc);
+            out.memOpsAtProblem += mem_exec;
+            out.l1MissesAtProblem += mem_miss;
+        }
+
+        if (c.branchExec > 0 && c.branchMispred >= th.minPdeCount &&
+            static_cast<double>(c.branchMispred) >=
+                th.minPdeRate * static_cast<double>(c.branchExec)) {
+            out.problemBranches.insert(pc);
+            out.branchesAtProblem += c.branchExec;
+            out.mispredictionsAtProblem += c.branchMispred;
+        }
+    }
+    return out;
+}
+
+} // namespace specslice::profile

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Problem-instruction classification (Section 2.2): attribute
+ * performance degrading events (cache misses, branch mispredictions)
+ * to static instructions and mark those responsible for a non-trivial
+ * number of PDEs with a PDE rate of at least 10 % of their executions.
+ */
+
+#ifndef SPECSLICE_PROFILE_PDE_PROFILE_HH
+#define SPECSLICE_PROFILE_PDE_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/smt_core.hh"
+
+namespace specslice::profile
+{
+
+/** Classification thresholds (the paper calls them "somewhat
+ *  arbitrary"; they only demonstrate the uneven PDE distribution). */
+struct ClassifyThresholds
+{
+    double minPdeRate = 0.10;        ///< >=10 % of executions are PDEs
+    std::uint64_t minPdeCount = 50;  ///< non-trivial absolute count
+};
+
+/** Table 2's per-benchmark summary. */
+struct ProblemInstructions
+{
+    std::unordered_set<Addr> problemLoads;    ///< loads and stores
+    std::unordered_set<Addr> problemBranches;
+
+    // Memory-side coverage.
+    std::uint64_t memOps = 0;
+    std::uint64_t memOpsAtProblem = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l1MissesAtProblem = 0;
+
+    // Control-side coverage.
+    std::uint64_t branches = 0;
+    std::uint64_t branchesAtProblem = 0;
+    std::uint64_t mispredictions = 0;
+    std::uint64_t mispredictionsAtProblem = 0;
+
+    double
+    memOpFraction() const
+    {
+        return memOps ? static_cast<double>(memOpsAtProblem) / memOps
+                      : 0.0;
+    }
+    double
+    missCoverage() const
+    {
+        return l1Misses
+                   ? static_cast<double>(l1MissesAtProblem) / l1Misses
+                   : 0.0;
+    }
+    double
+    branchFraction() const
+    {
+        return branches
+                   ? static_cast<double>(branchesAtProblem) / branches
+                   : 0.0;
+    }
+    double
+    mispredCoverage() const
+    {
+        return mispredictions
+                   ? static_cast<double>(mispredictionsAtProblem) /
+                         mispredictions
+                   : 0.0;
+    }
+};
+
+/** Classify problem instructions in a per-PC profile. */
+ProblemInstructions
+classifyProblemInstructions(const core::PcProfile &profile,
+                            const ClassifyThresholds &thresholds = {});
+
+} // namespace specslice::profile
+
+#endif // SPECSLICE_PROFILE_PDE_PROFILE_HH

@@ -1,0 +1,35 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "slice/validator.hh"
+
+namespace specslice::sim
+{
+
+RunResult
+Simulator::run(const Workload &wl, const RunOptions &opts,
+               bool with_slices)
+{
+    SS_ASSERT(wl.entry != invalidAddr, "workload has no entry point");
+
+    arch::MemoryImage mem;
+    if (wl.initMemory)
+        wl.initMemory(mem);
+
+    MachineConfig cfg = cfg_;
+    cfg.slicesEnabled = with_slices;
+
+    core::SmtCore machine(cfg, wl.program, mem);
+    if (with_slices) {
+        for (const auto &s : wl.slices) {
+            auto validation = slice::validateSlice(s, wl.program);
+            if (!validation.ok())
+                SS_FATAL("invalid slice '", s.name, "' in workload '",
+                         wl.name, "':\n", validation.summary());
+            machine.loadSlice(s);
+        }
+    }
+    return machine.run(wl.entry, opts);
+}
+
+} // namespace specslice::sim

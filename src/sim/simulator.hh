@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The public simulation facade: build a machine from a MachineConfig,
+ * run a Workload, get a RunResult. Each run() uses fresh machine and
+ * memory state so runs are independent and reproducible.
+ */
+
+#ifndef SPECSLICE_SIM_SIMULATOR_HH
+#define SPECSLICE_SIM_SIMULATOR_HH
+
+#include "core/smt_core.hh"
+#include "sim/workload.hh"
+
+namespace specslice::sim
+{
+
+using MachineConfig = core::CoreConfig;
+using RunOptions = core::RunOptions;
+using RunResult = core::RunResult;
+
+class Simulator
+{
+  public:
+    explicit Simulator(const MachineConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Simulate a workload.
+     * @param with_slices load and execute the workload's speculative
+     *        slices (overrides cfg.slicesEnabled for this run)
+     */
+    RunResult run(const Workload &wl, const RunOptions &opts,
+                  bool with_slices);
+
+    /** Convenience: baseline run (no slices). */
+    RunResult
+    runBaseline(const Workload &wl, const RunOptions &opts)
+    {
+        return run(wl, opts, false);
+    }
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    MachineConfig cfg_;
+};
+
+} // namespace specslice::sim
+
+#endif // SPECSLICE_SIM_SIMULATOR_HH

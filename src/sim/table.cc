@@ -1,0 +1,102 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace specslice::sim
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SS_ASSERT(cells.size() == headers_.size(),
+              "row has ", cells.size(), " cells, expected ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column, right-align the rest.
+            if (c == 0) {
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double ratio, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+std::string
+Table::count(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::kilo(std::uint64_t v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f",
+                  precision, static_cast<double>(v) / 1e3);
+    return buf;
+}
+
+std::string
+Table::mega(std::uint64_t v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f",
+                  precision, static_cast<double>(v) / 1e6);
+    return buf;
+}
+
+} // namespace specslice::sim

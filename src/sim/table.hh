@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table formatter used by the benchmark
+ * harnesses to print paper-style tables.
+ */
+
+#ifndef SPECSLICE_SIM_TABLE_HH
+#define SPECSLICE_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace specslice::sim
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add a row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header rule. */
+    std::string render() const;
+
+    /** Helpers for formatting cells. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string pct(double ratio, int precision = 0);
+    static std::string count(std::uint64_t v);
+    /** Thousands (e.g. Table 4's "(K)" and "(M)" columns). */
+    static std::string kilo(std::uint64_t v, int precision = 1);
+    static std::string mega(std::uint64_t v, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace specslice::sim
+
+#endif // SPECSLICE_SIM_TABLE_HH

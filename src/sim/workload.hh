@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A Workload packages everything needed to simulate one benchmark: the
+ * static program (including slice code sections), an entry point, a
+ * memory initializer (run before every simulation so runs are
+ * independent), the hand-constructed speculative slices, and metadata
+ * used by the experiment harnesses.
+ */
+
+#ifndef SPECSLICE_SIM_WORKLOAD_HH
+#define SPECSLICE_SIM_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/memimg.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "slice/descriptor.hh"
+
+namespace specslice::sim
+{
+
+struct Workload
+{
+    std::string name;
+    isa::Program program;
+    Addr entry = invalidAddr;
+
+    /** Builds the initial data image (heaps, lists, tables...). */
+    std::function<void(arch::MemoryImage &)> initMemory;
+
+    /** Hand-constructed speculative slices (may be empty). */
+    std::vector<slice::SliceDescriptor> slices;
+
+    /**
+     * A scale knob the builders use to size data structures and
+     * iteration counts (roughly: dynamic instructions ~ scale).
+     */
+    std::uint64_t scale = 0;
+
+    /** Union of problem PCs covered by the slices (limit study). */
+    std::vector<Addr>
+    coveredBranchPcs() const
+    {
+        std::vector<Addr> out;
+        for (const auto &s : slices)
+            out.insert(out.end(), s.coveredBranchPcs.begin(),
+                       s.coveredBranchPcs.end());
+        return out;
+    }
+
+    std::vector<Addr>
+    coveredLoadPcs() const
+    {
+        std::vector<Addr> out;
+        for (const auto &s : slices)
+            out.insert(out.end(), s.coveredLoadPcs.begin(),
+                       s.coveredLoadPcs.end());
+        return out;
+    }
+};
+
+} // namespace specslice::sim
+
+#endif // SPECSLICE_SIM_WORKLOAD_HH

@@ -1,0 +1,400 @@
+#include "slice/correlator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace specslice::slice
+{
+
+PredictionCorrelator::PredictionCorrelator(const Config &cfg)
+    : cfg_(cfg), stats_("correlator")
+{
+}
+
+void
+PredictionCorrelator::indexEntry(const Entry &e)
+{
+    for (Addr pc : {e.branchPc, e.loopKillPc, e.sliceKillPc}) {
+        if (pc == invalidAddr)
+            continue;
+        auto &ids = pcIndex_[pc];
+        if (std::find(ids.begin(), ids.end(), e.id) == ids.end())
+            ids.push_back(e.id);
+    }
+}
+
+void
+PredictionCorrelator::unindexEntry(const Entry &e)
+{
+    for (Addr pc : {e.branchPc, e.loopKillPc, e.sliceKillPc}) {
+        if (pc == invalidAddr)
+            continue;
+        auto it = pcIndex_.find(pc);
+        if (it == pcIndex_.end())
+            continue;
+        auto &ids = it->second;
+        ids.erase(std::remove(ids.begin(), ids.end(), e.id), ids.end());
+        if (ids.empty())
+            pcIndex_.erase(it);
+    }
+}
+
+void
+PredictionCorrelator::freeEntry(std::uint64_t id)
+{
+    auto it = entries_.find(id);
+    if (it == entries_.end())
+        return;
+    for (const Slot &s : it->second.slots)
+        tokenIndex_.erase(s.token);
+    unindexEntry(it->second);
+    entries_.erase(it);
+}
+
+void
+PredictionCorrelator::maybeEvictForCapacity()
+{
+    if (entries_.size() < cfg_.entries)
+        return;
+    // Prefer the oldest fully-drained entry; otherwise evict the oldest
+    // entry outright (a real machine would simply lose correlation).
+    for (auto &[id, e] : entries_) {
+        bool drained = e.sliceDone && e.slots.empty();
+        if (drained) {
+            freeEntry(id);
+            return;
+        }
+    }
+    stats_.add("entries_evicted_live");
+    freeEntry(entries_.begin()->first);
+}
+
+void
+PredictionCorrelator::onFork(const SliceDescriptor &desc, ThreadId thread,
+                             SeqNum fork_seq)
+{
+    // One branch-queue entry per distinct problem branch.
+    for (const PgiSpec &p : desc.pgis) {
+        if (findEntry(fork_seq, p.problemBranchPc))
+            continue;  // a second PGI feeding the same branch
+        maybeEvictForCapacity();
+        Entry e;
+        e.id = nextEntryId_++;
+        e.branchPc = p.problemBranchPc;
+        e.loopKillPc = p.loopKillPc;
+        e.sliceKillPc = p.sliceKillPc;
+        e.skipFirstLoopKill = p.loopKillSkipFirst;
+        e.forkSeq = fork_seq;
+        e.thread = thread;
+        auto [it, inserted] = entries_.emplace(e.id, e);
+        SS_ASSERT(inserted, "duplicate entry id");
+        indexEntry(it->second);
+        stats_.add("entries_allocated");
+    }
+}
+
+PredictionCorrelator::Entry *
+PredictionCorrelator::findEntry(SeqNum fork_seq, Addr branch_pc)
+{
+    auto it = pcIndex_.find(branch_pc);
+    if (it == pcIndex_.end())
+        return nullptr;
+    for (std::uint64_t id : it->second) {
+        Entry &e = entries_.at(id);
+        if (e.forkSeq == fork_seq && e.branchPc == branch_pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+PredictionCorrelator::onPgiFetch(const PgiSpec &spec, SeqNum fork_seq,
+                                 SeqNum pgi_seq)
+{
+    Entry *e = findEntry(fork_seq, spec.problemBranchPc);
+    if (!e) {
+        stats_.add("pgi_fetch_no_entry");
+        return 0;
+    }
+    if (e->deadSeq != invalidSeqNum) {
+        // The main thread already left this slice's valid region.
+        stats_.add("predictions_dropped_dead");
+        return 0;
+    }
+    if (e->overflowed || e->slots.size() >= cfg_.predsPerBranch) {
+        e->overflowed = true;
+        stats_.add("predictions_dropped_full");
+        return 0;
+    }
+    Slot s;
+    s.token = nextToken_++;
+    s.pgiSeq = pgi_seq;
+    if (!e->pendingKills.empty()) {
+        // A kill for this slot's branch instance already passed by:
+        // the slice is behind. Apply it now so alignment holds.
+        s.killed = true;
+        s.killerSeq = e->pendingKills.front();
+        e->pendingKills.pop_front();
+        stats_.add("kills_applied_from_debt");
+    }
+    e->slots.push_back(s);
+    tokenIndex_.emplace(s.token, e->id);
+    stats_.add("predictions_allocated");
+    return s.token;
+}
+
+PredictionCorrelator::Slot *
+PredictionCorrelator::findSlot(std::uint64_t token, Entry **entry_out)
+{
+    auto it = tokenIndex_.find(token);
+    if (it == tokenIndex_.end())
+        return nullptr;
+    auto eit = entries_.find(it->second);
+    if (eit == entries_.end())
+        return nullptr;
+    for (Slot &s : eit->second.slots) {
+        if (s.token == token) {
+            if (entry_out)
+                *entry_out = &eit->second;
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+PredictionCorrelator::LateResult
+PredictionCorrelator::onPgiExecute(std::uint64_t token, bool dir)
+{
+    LateResult res;
+    Slot *s = findSlot(token, nullptr);
+    if (!s)
+        return res;  // slot evicted/squashed in the meantime
+    s->computed = true;
+    s->dir = dir;
+    stats_.add("predictions_generated");
+    if (s->consumerSeq != invalidSeqNum) {
+        res.hasConsumer = true;
+        res.consumerSeq = s->consumerSeq;
+        res.usedDir = s->consumerUsedDir;
+        res.computedDir = dir;
+    }
+    return res;
+}
+
+PredictionCorrelator::MatchResult
+PredictionCorrelator::onBranchFetch(Addr pc, SeqNum branch_seq,
+                                    bool default_dir)
+{
+    MatchResult res;
+    auto it = pcIndex_.find(pc);
+    if (it == pcIndex_.end())
+        return res;
+
+    // Entries are scanned in allocation (fork) order: the oldest
+    // in-flight instance of the slice owns the branch first.
+    for (auto &[id, e] : entries_) {
+        if (e.branchPc != pc)
+            continue;
+        if (std::find(it->second.begin(), it->second.end(), id) ==
+            it->second.end())
+            continue;
+        // Head = oldest prediction not yet killed.
+        for (Slot &s : e.slots) {
+            if (s.killed)
+                continue;
+            res.matched = true;
+            res.token = s.token;
+            if (s.computed) {
+                res.overrideDir = s.dir ? 1 : 0;
+                s.everMatched = true;
+                stats_.add("matches_full");
+            } else if (s.consumerSeq == invalidSeqNum) {
+                // Late prediction: bind this branch instance; the
+                // traditional predictor supplies the direction.
+                s.consumerSeq = branch_seq;
+                s.consumerUsedDir = default_dir;
+                s.everMatched = true;
+                stats_.add("matches_late");
+            } else {
+                // Head already has a consumer bound and hasn't been
+                // killed yet: no help for this instance.
+                res.matched = false;
+                res.token = 0;
+                stats_.add("matches_conflict");
+            }
+            return res;
+        }
+        // All predictions of the matching entry are killed; fall
+        // through to a younger entry for the same branch, if any.
+    }
+    return res;
+}
+
+void
+PredictionCorrelator::onKillFetch(Addr pc, SeqNum kill_seq)
+{
+    auto it = pcIndex_.find(pc);
+    if (it == pcIndex_.end())
+        return;
+    // Copy: kills never add/remove entries.
+    std::vector<std::uint64_t> ids = it->second;
+    for (std::uint64_t id : ids) {
+        auto eit = entries_.find(id);
+        if (eit == entries_.end())
+            continue;
+        Entry &e = eit->second;
+        if (e.loopKillPc == pc) {
+            if (e.skipFirstLoopKill &&
+                e.firstLoopKillSeq == invalidSeqNum) {
+                e.firstLoopKillSeq = kill_seq;
+            } else {
+                bool applied = false;
+                for (Slot &s : e.slots) {
+                    if (!s.killed) {
+                        s.killed = true;
+                        s.killerSeq = kill_seq;
+                        stats_.add("kills_loop");
+                        applied = true;
+                        break;
+                    }
+                }
+                if (!applied) {
+                    // No slot yet: remember the kill as debt so the
+                    // next allocation stays aligned.
+                    e.pendingKills.push_back(kill_seq);
+                    stats_.add("kills_pending");
+                }
+            }
+        }
+        if (e.sliceKillPc == pc) {
+            for (Slot &s : e.slots) {
+                if (!s.killed) {
+                    s.killed = true;
+                    s.killerSeq = kill_seq;
+                    stats_.add("kills_slice");
+                }
+            }
+            if (e.deadSeq == invalidSeqNum)
+                e.deadSeq = kill_seq;
+        }
+    }
+}
+
+void
+PredictionCorrelator::squashMain(SeqNum squash_seq)
+{
+    std::vector<std::uint64_t> to_free;
+    for (auto &[id, e] : entries_) {
+        if (e.forkSeq > squash_seq) {
+            // The fork point itself was squashed.
+            to_free.push_back(id);
+            stats_.add("entries_squashed");
+            continue;
+        }
+        if (e.firstLoopKillSeq != invalidSeqNum &&
+            e.firstLoopKillSeq > squash_seq)
+            e.firstLoopKillSeq = invalidSeqNum;
+        if (e.deadSeq != invalidSeqNum && e.deadSeq > squash_seq)
+            e.deadSeq = invalidSeqNum;
+        while (!e.pendingKills.empty() &&
+               e.pendingKills.back() > squash_seq)
+            e.pendingKills.pop_back();
+        for (Slot &s : e.slots) {
+            if (s.killed && s.killerSeq > squash_seq) {
+                s.killed = false;
+                s.killerSeq = invalidSeqNum;
+                stats_.add("kills_restored");
+            }
+            if (s.consumerSeq != invalidSeqNum &&
+                s.consumerSeq > squash_seq) {
+                s.consumerSeq = invalidSeqNum;
+                stats_.add("consumers_squashed");
+            }
+        }
+    }
+    for (std::uint64_t id : to_free)
+        freeEntry(id);
+}
+
+void
+PredictionCorrelator::squashSlice(SeqNum fork_seq, SeqNum younger_than)
+{
+    for (auto &[id, e] : entries_) {
+        if (e.forkSeq != fork_seq)
+            continue;
+        while (!e.slots.empty() && e.slots.back().pgiSeq > younger_than &&
+               !e.slots.back().computed &&
+               e.slots.back().consumerSeq == invalidSeqNum &&
+               !e.slots.back().killed) {
+            tokenIndex_.erase(e.slots.back().token);
+            e.slots.pop_back();
+            stats_.add("slots_slice_squashed");
+        }
+    }
+}
+
+bool
+PredictionCorrelator::allEntriesDead(SeqNum fork_seq,
+                                     SeqNum retired_bound) const
+{
+    bool any = false;
+    for (const auto &[id, e] : entries_) {
+        if (e.forkSeq != fork_seq)
+            continue;
+        any = true;
+        if (e.deadSeq == invalidSeqNum || e.deadSeq > retired_bound)
+            return false;
+    }
+    return any;
+}
+
+unsigned
+PredictionCorrelator::consumedCount(SeqNum fork_seq) const
+{
+    unsigned n = 0;
+    for (const auto &[id, e] : entries_) {
+        if (e.forkSeq != fork_seq)
+            continue;
+        for (const Slot &s : e.slots)
+            n += s.everMatched ||
+                 s.consumerSeq != invalidSeqNum;
+    }
+    return n;
+}
+
+void
+PredictionCorrelator::onSliceDone(SeqNum fork_seq)
+{
+    for (auto &[id, e] : entries_) {
+        if (e.forkSeq == fork_seq)
+            e.sliceDone = true;
+    }
+}
+
+void
+PredictionCorrelator::retireUpTo(SeqNum bound)
+{
+    std::vector<std::uint64_t> to_free;
+    for (auto &[id, e] : entries_) {
+        while (!e.slots.empty()) {
+            Slot &s = e.slots.front();
+            if (s.killed && s.killerSeq <= bound) {
+                tokenIndex_.erase(s.token);
+                e.slots.pop_front();
+                stats_.add("slots_retired");
+            } else {
+                break;
+            }
+        }
+        bool dead_retired =
+            e.deadSeq != invalidSeqNum && e.deadSeq <= bound;
+        if ((e.sliceDone || dead_retired) && e.slots.empty() &&
+            e.forkSeq <= bound)
+            to_free.push_back(id);
+    }
+    for (std::uint64_t id : to_free)
+        freeEntry(id);
+}
+
+} // namespace specslice::slice

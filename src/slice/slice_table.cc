@@ -1,0 +1,40 @@
+#include "slice/slice_table.hh"
+
+#include "common/logging.hh"
+
+namespace specslice::slice
+{
+
+unsigned
+SliceTable::load(const SliceDescriptor &desc)
+{
+    SS_ASSERT(desc.forkPc != invalidAddr, "slice needs a fork PC");
+    SS_ASSERT(desc.slicePc != invalidAddr, "slice needs an entry PC");
+    if (slices_.size() >= limits_.sliceEntries)
+        SS_FATAL("slice table capacity (", limits_.sliceEntries,
+                 ") exceeded");
+    if (pgiIndex_.size() + desc.pgis.size() > limits_.pgiEntries)
+        SS_FATAL("PGI table capacity (", limits_.pgiEntries, ") exceeded");
+    if (forkIndex_.count(desc.forkPc))
+        SS_FATAL("two slices share fork PC 0x", std::hex, desc.forkPc);
+
+    auto idx = static_cast<unsigned>(slices_.size());
+    slices_.push_back(desc);
+    forkIndex_.emplace(desc.forkPc, idx);
+
+    for (const PgiSpec &p : slices_.back().pgis) {
+        auto [it, inserted] = pgiIndex_.emplace(p.sliceInstPc, &p);
+        if (!inserted)
+            SS_FATAL("two PGIs at slice pc 0x", std::hex, p.sliceInstPc);
+    }
+    return idx;
+}
+
+const SliceDescriptor &
+SliceTable::slice(unsigned idx) const
+{
+    SS_ASSERT(idx < slices_.size(), "bad slice index");
+    return slices_[idx];
+}
+
+} // namespace specslice::slice

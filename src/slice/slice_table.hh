@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The slice table and PGI table of Figure 6. Both live at the front end
+ * of the pipeline. The slice table's fork-PC field is a CAM compared
+ * against the PCs fetched each cycle; the PGI table identifies which
+ * slice instructions generate predictions and which problem branch each
+ * prediction is for. Together they hold less than 512B of state
+ * (16 slice entries, 64 PGI entries).
+ */
+
+#ifndef SPECSLICE_SLICE_SLICE_TABLE_HH
+#define SPECSLICE_SLICE_SLICE_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "slice/descriptor.hh"
+
+namespace specslice::slice
+{
+
+class SliceTable
+{
+  public:
+    struct Limits
+    {
+        unsigned sliceEntries = 16;
+        unsigned pgiEntries = 64;
+    };
+
+    SliceTable() : SliceTable(Limits{}) {}
+    explicit SliceTable(const Limits &limits) : limits_(limits) {}
+
+    /**
+     * Load a slice's entries (slice table + PGI table). Fatal if the
+     * hardware capacity would be exceeded.
+     * @return the slice's index.
+     */
+    unsigned load(const SliceDescriptor &desc);
+
+    /** @return slice index forked by fetching pc, or -1. */
+    int
+    forkAt(Addr pc) const
+    {
+        auto it = forkIndex_.find(pc);
+        return it == forkIndex_.end() ? -1 : static_cast<int>(it->second);
+    }
+
+    /** @return PGI spec for a slice-code pc, or nullptr. */
+    const PgiSpec *
+    pgiAt(Addr pc) const
+    {
+        auto it = pgiIndex_.find(pc);
+        return it == pgiIndex_.end() ? nullptr : it->second;
+    }
+
+    const SliceDescriptor &slice(unsigned idx) const;
+    std::size_t numSlices() const { return slices_.size(); }
+
+    /** Total PGI entries loaded (hardware budget check). */
+    std::size_t numPgis() const { return pgiIndex_.size(); }
+
+  private:
+    Limits limits_;
+    /// deque: PGI-spec pointers handed out must stay valid across loads
+    std::deque<SliceDescriptor> slices_;
+    std::unordered_map<Addr, unsigned> forkIndex_;
+    std::unordered_map<Addr, const PgiSpec *> pgiIndex_;
+};
+
+} // namespace specslice::slice
+
+#endif // SPECSLICE_SLICE_SLICE_TABLE_HH

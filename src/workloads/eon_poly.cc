@@ -1,0 +1,250 @@
+/**
+ * @file
+ * eon: a probabilistic ray-tracer dominated by polymorphic calls and
+ * value-dependent control. Each shading step dispatches through a
+ * virtual-method table (an indirect call the cascaded predictor must
+ * cope with) and then evaluates a chain of six data-dependent
+ * branches on the object's fields. eon has "insufficient misses" in
+ * Table 2's memory columns — the scene data is cache-resident — so the
+ * slice is prediction-only and loop-free: one fork per shading call
+ * computes all six branch outcomes (Table 3's eon row: 8 static
+ * instructions, 1 live-in, 6 predictions, no loop).
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/layout.hh"
+
+namespace specslice::workloads
+{
+
+namespace
+{
+
+constexpr std::int32_t gRemaining = 0;
+constexpr std::int32_t gRngState = 8;
+constexpr std::int32_t gObjBase = 16;
+constexpr std::int32_t gVtblBase = 24;
+constexpr std::int32_t gSink = 32;
+
+// Object: { type, a, b, c } (32 bytes).
+constexpr std::int32_t oType = 0;
+constexpr std::int32_t oA = 8;
+constexpr std::int32_t oB = 16;
+constexpr std::int32_t oC = 24;
+constexpr unsigned objSize = 32;
+
+constexpr std::uint64_t numObjs = 1024;  ///< 32 KB: cache resident
+
+} // namespace
+
+sim::Workload
+buildEon(const Params &p)
+{
+    sim::Workload wl;
+    wl.name = "eon";
+    wl.scale = p.scale;
+
+    // ~75 dynamic instructions per shading step.
+    std::uint64_t steps = std::max<std::uint64_t>(1, p.scale / 75);
+
+    isa::Assembler as(mainCodeBase);
+    as.label("start");
+    as.ldi64(regGp, globalsBase);
+
+    as.label("step_loop");
+    as.ldq(5, regGp, gRngState);
+    as.srli(6, 5, 12);
+    as.xor_(5, 5, 6);
+    as.slli(6, 5, 25);
+    as.xor_(5, 5, 6);
+    as.srli(6, 5, 27);
+    as.xor_(5, 5, 6);
+    as.stq(5, regGp, gRngState);
+    as.andi(6, 5, numObjs - 1);
+    as.slli(6, 6, 5);             // * objSize
+    as.ldq(7, regGp, gObjBase);
+    as.add(21, 6, 7);             // r21 = &obj (slice live-in)
+
+    // Polymorphic dispatch: an indirect call through the vtable. The
+    // slice forks here, hoisted past the dispatch and method body
+    // (~25 dynamic instructions before the first problem branch).
+    as.label("pre_dispatch");     // << fork PC
+    as.ldq(8, 21, oType);
+    as.ldq(9, regGp, gVtblBase);
+    as.s8add(10, 8, 9);
+    as.ldq(11, 10, 0);            // method pointer
+    as.callr(11);                 // indirect call (not slice-covered)
+
+    as.call("shade");
+
+    // Ray bookkeeping: a predictable block that dilutes the problem
+    // branches to a paper-like density (eon's base IPC is high).
+    for (int i = 0; i < 20; ++i) {
+        as.addi(26, 26, 5 + i);
+        as.slli(27, 26, 2);
+        as.xor_(26, 26, 27);
+        as.srli(27, 26, 7);
+        as.add(26, 26, 27);
+    }
+    as.stq(26, regGp, gSink);
+
+    as.ldq(2, regGp, gRemaining);
+    as.subi(2, 2, 1);
+    as.stq(2, regGp, gRemaining);
+    as.bgt(2, "step_loop");
+    as.halt();
+
+    // Four small "virtual methods" with different mixes of work. Each
+    // contains its own data-dependent branch that no slice covers, so
+    // the slice removes only about half of eon's mispredictions
+    // (Table 4: 52 %).
+    for (int m = 0; m < 4; ++m) {
+        as.label("method" + std::to_string(m));
+        for (int i = 0; i <= m; ++i) {
+            as.addi(26, 26, 3 + i);
+            as.slli(27, 26, 1);
+            as.xor_(26, 26, 27);
+        }
+        as.ldq(28, 21, (m % 3) * 8 + oA);
+        as.srli(28, 28, 3 + m);
+        as.andi(28, 28, 1);
+        as.beq(28, "method" + std::to_string(m) + "_skip");
+        as.addi(26, 26, 17);
+        as.xor_(26, 26, 28);
+        as.label("method" + std::to_string(m) + "_skip");
+        as.ret();
+    }
+
+    // Six value-dependent branches on the object's fields.
+    as.label("shade");
+    as.ldq(12, 21, oA);
+    as.ldq(13, 21, oB);
+    as.ldq(14, 21, oC);
+    as.ldi(25, 0);
+
+    const char *merge[6] = {"m1", "m2", "m3", "m4", "m5", "m6"};
+    // branch 1: a & 1
+    as.andi(15, 12, 1);
+    as.label("problem_branch1");
+    as.beq(15, merge[0]);
+    as.addi(25, 25, 1);
+    as.label(merge[0]);
+    // branch 2: b & 1
+    as.andi(16, 13, 1);
+    as.label("problem_branch2");
+    as.beq(16, merge[1]);
+    as.addi(25, 25, 2);
+    as.label(merge[1]);
+    // branch 3: a < b
+    as.cmplt(17, 12, 13);
+    as.label("problem_branch3");
+    as.beq(17, merge[2]);
+    as.addi(25, 25, 4);
+    as.label(merge[2]);
+    // branch 4: b < c
+    as.cmplt(18, 13, 14);
+    as.label("problem_branch4");
+    as.beq(18, merge[3]);
+    as.addi(25, 25, 8);
+    as.label(merge[3]);
+    // branch 5: c & 2
+    as.andi(19, 14, 2);
+    as.label("problem_branch5");
+    as.beq(19, merge[4]);
+    as.addi(25, 25, 16);
+    as.label(merge[4]);
+    // branch 6: (a ^ c) & 1
+    as.xor_(20, 12, 14);
+    as.andi(20, 20, 1);
+    as.label("problem_branch6");
+    as.beq(20, merge[5]);
+    as.addi(25, 25, 32);
+    as.label(merge[5]);
+    as.label("shade_done");       // << slice kill PC
+    as.stq(25, regGp, gSink);
+    as.ret();
+
+    isa::CodeSection main_sec = as.finish();
+    auto sym = as.symbols();
+
+    // Slice: straight-line, six PGIs, then SliceEnd.
+    isa::Assembler sl(sliceCodeBase);
+    sl.label("slice");
+    sl.ldq(12, 21, oA);
+    sl.ldq(13, 21, oB);
+    sl.ldq(14, 21, oC);
+    sl.label("slice_pgi1");
+    sl.andi(regZero, 12, 1);
+    sl.label("slice_pgi2");
+    sl.andi(regZero, 13, 1);
+    sl.label("slice_pgi3");
+    sl.cmplt(regZero, 12, 13);
+    sl.label("slice_pgi4");
+    sl.cmplt(regZero, 13, 14);
+    sl.label("slice_pgi5");
+    sl.andi(regZero, 14, 2);
+    sl.xor_(20, 12, 14);
+    sl.label("slice_pgi6");
+    sl.andi(regZero, 20, 1);
+    sl.sliceEnd();
+    isa::CodeSection slice_sec = sl.finish();
+    auto ssym = sl.symbols();
+
+    wl.program.addSection(main_sec);
+    wl.program.addSection(slice_sec);
+    wl.program.addSymbols(sym);
+    wl.program.addSymbols(ssym);
+    wl.entry = sym.at("start");
+
+    slice::SliceDescriptor sd;
+    sd.name = "eon_shade";
+    sd.forkPc = sym.at("pre_dispatch");
+    sd.slicePc = ssym.at("slice");
+    sd.liveIns = {21};
+    sd.maxLoopIters = 0;  // no loop
+    sd.staticSize = static_cast<unsigned>(slice_sec.code.size());
+
+    sd.pgis.reserve(6);
+    for (int b = 1; b <= 6; ++b) {
+        slice::PgiSpec pgi;
+        pgi.sliceInstPc = ssym.at("slice_pgi" + std::to_string(b));
+        pgi.problemBranchPc =
+            sym.at("problem_branch" + std::to_string(b));
+        pgi.invert = true;  // every beq takes when the test is 0
+        pgi.sliceKillPc = sym.at("shade_done");
+        sd.pgis.push_back(pgi);
+        sd.coveredBranchPcs.push_back(pgi.problemBranchPc);
+    }
+    wl.slices = {sd};
+
+    std::uint64_t seed = p.seed;
+    wl.initMemory = [steps, seed, sym](arch::MemoryImage &mem) {
+        Rng rng(seed * 0xe7037ed1a0b428dbull + 0x8ebc6af09c88c6e3ull);
+
+        const Addr objs = dataBase;
+        const Addr vtbl = dataBase + numObjs * objSize + 256;
+
+        for (std::uint64_t i = 0; i < numObjs; ++i) {
+            Addr o = objs + i * objSize;
+            mem.writeQ(o + oType, rng.below(4));
+            mem.writeQ(o + oA, rng.below(4096));
+            mem.writeQ(o + oB, rng.below(4096));
+            mem.writeQ(o + oC, rng.below(4096));
+        }
+        for (int m = 0; m < 4; ++m)
+            mem.writeQ(vtbl + 8 * m,
+                       sym.at("method" + std::to_string(m)));
+
+        mem.writeQ(globalsBase + gRemaining, steps);
+        mem.writeQ(globalsBase + gRngState, seed | 0x4000001);
+        mem.writeQ(globalsBase + gObjBase, objs);
+        mem.writeQ(globalsBase + gVtblBase, vtbl);
+    };
+
+    return wl;
+}
+
+} // namespace specslice::workloads

@@ -1,0 +1,48 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace specslice::workloads
+{
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "crafty", "eon",    "gap",   "gcc",    "gzip",
+        "mcf",   "parser", "perl",   "twolf", "vortex", "vpr",
+    };
+    return names;
+}
+
+sim::Workload
+buildWorkload(const std::string &name, const Params &p)
+{
+    if (name == "bzip2")
+        return buildBzip2(p);
+    if (name == "crafty")
+        return buildCrafty(p);
+    if (name == "eon")
+        return buildEon(p);
+    if (name == "gap")
+        return buildGap(p);
+    if (name == "gcc")
+        return buildGcc(p);
+    if (name == "gzip")
+        return buildGzip(p);
+    if (name == "mcf")
+        return buildMcf(p);
+    if (name == "parser")
+        return buildParser(p);
+    if (name == "perl")
+        return buildPerl(p);
+    if (name == "twolf")
+        return buildTwolf(p);
+    if (name == "vortex")
+        return buildVortex(p);
+    if (name == "vpr")
+        return buildVpr(p);
+    SS_FATAL("unknown workload '", name, "'");
+}
+
+} // namespace specslice::workloads

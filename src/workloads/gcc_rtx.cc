@@ -1,0 +1,213 @@
+/**
+ * @file
+ * gcc: recursive walks over rtx expression trees. Every node dispatches
+ * through a switch on the node type — an indirect jump the cascaded
+ * predictor struggles with because the traversal order is data-
+ * dependent — and recursion descends into a type-dependent subset of
+ * the children. Section 6.2 explains why slices are hard here:
+ * "computing the traversal order is a substantial fraction of these
+ * functions". We keep a token one-prediction slice (the child-descent
+ * test of the current node); the uncovered switch dominates, so the
+ * speedup stays near zero, matching Figure 11.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/layout.hh"
+
+namespace specslice::workloads
+{
+
+namespace
+{
+
+constexpr std::int32_t gRemaining = 0;
+constexpr std::int32_t gRngState = 8;
+constexpr std::int32_t gNodeBase = 16;
+constexpr std::int32_t gJumpTable = 24;
+constexpr std::int32_t gSink = 32;
+
+// rtx node: { type, kid0, kid1, val } (32 bytes).
+constexpr std::int32_t nType = 0;
+constexpr std::int32_t nKid0 = 8;
+constexpr std::int32_t nKid1 = 16;
+constexpr std::int32_t nVal = 24;
+constexpr unsigned nodeSize = 32;
+
+constexpr std::uint64_t numNodes = 100'000;  ///< ~3 MB of rtx nodes
+constexpr unsigned numTypes = 8;
+
+} // namespace
+
+sim::Workload
+buildGcc(const Params &p)
+{
+    sim::Workload wl;
+    wl.name = "gcc";
+    wl.scale = p.scale;
+
+    // Walks are small on average (half the cases are leaves), so be
+    // generous: the instruction budget, not this counter, ends runs.
+    std::uint64_t walks = std::max<std::uint64_t>(1, p.scale / 40);
+
+    isa::Assembler as(mainCodeBase);
+    as.label("start");
+    as.ldi64(regGp, globalsBase);
+    as.ldi64(29, dataBase2 + 0x10000);  // r29 = stack pointer
+
+    as.label("walk_loop");
+    as.ldq(5, regGp, gRngState);
+    as.srli(6, 5, 12);
+    as.xor_(5, 5, 6);
+    as.slli(6, 5, 25);
+    as.xor_(5, 5, 6);
+    as.srli(6, 5, 27);
+    as.xor_(5, 5, 6);
+    as.stq(5, regGp, gRngState);
+    as.andi(6, 5, 0xffff);          // random root in the top slab
+    as.slli(6, 6, 5);               // * nodeSize
+    as.ldq(7, regGp, gNodeBase);
+    as.add(21, 6, 7);               // r21 = root node
+
+    as.call("walk_rtx");
+
+    as.ldq(2, regGp, gRemaining);
+    as.subi(2, 2, 1);
+    as.stq(2, regGp, gRemaining);
+    as.bgt(2, "walk_loop");
+    as.halt();
+
+    // Recursive walk. Argument: r21 = node. Clobbers r5-r17.
+    as.label("walk_rtx");           // << fork PC
+    // push {ra, r21}
+    as.subi(29, 29, 16);
+    as.stq(regLink, 29, 0);
+    as.stq(21, 29, 8);
+    // dispatch on the node type through the jump table
+    as.ldq(8, 21, nType);           // << problem load (3 MB of nodes)
+    as.ldq(9, regGp, gJumpTable);
+    as.s8add(10, 8, 9);
+    as.ldq(11, 10, 0);
+    as.label("switch_jmp");
+    as.jmp(11);                     // << problem indirect branch
+
+    // Leaf-ish cases (0-3): accumulate the value.
+    for (int c = 0; c < 4; ++c) {
+        as.label("case" + std::to_string(c));
+        as.ldq(12, 21, nVal);
+        as.addi(12, 12, c);
+        as.stq(12, regGp, gSink);
+        as.br("walk_done");
+    }
+    // Unary cases (4-5): recurse into kid0.
+    for (int c = 4; c < 6; ++c) {
+        as.label("case" + std::to_string(c));
+        as.ldq(21, 21, nKid0);
+        as.bne(21, "recurse_one");
+        as.br("walk_done");
+    }
+    as.label("recurse_one");
+    as.call("walk_rtx");
+    as.br("walk_done");
+
+    // Binary cases (6-7): always kid0; kid1 if the value test says so.
+    for (int c = 6; c < 8; ++c) {
+        as.label("case" + std::to_string(c));
+        as.br("binary_case");
+    }
+    as.label("binary_case");
+    as.ldq(13, 21, nKid0);
+    as.beq(13, "walk_done");        // childless interior node
+    as.mov(21, 13);
+    as.call("walk_rtx");
+    as.ldq(14, 29, 8);              // reload our node
+    as.ldq(15, 14, nVal);
+    as.andi(16, 15, 1);
+    as.label("problem_branch");
+    as.beq(16, "walk_done");        // << descend-into-kid1 test
+    as.ldq(21, 14, nKid1);
+    as.beq(21, "walk_done");
+    as.call("walk_rtx");
+    as.label("walk_done");          // << slice kill PC
+    as.ldq(regLink, 29, 0);
+    as.addi(29, 29, 16);
+    as.ret();
+
+    isa::CodeSection main_sec = as.finish();
+    auto sym = as.symbols();
+
+    // Token slice (Section 6.2: profitable gcc slices are hard — the
+    // traversal order computation IS the function). Predicts only the
+    // current node's kid1-descent test.
+    isa::Assembler sl(sliceCodeBase);
+    sl.label("slice");
+    sl.ldq(15, 21, nVal);
+    sl.label("slice_pgi");
+    sl.andi(regZero, 15, 1);
+    sl.nop();
+    sl.sliceEnd();
+    isa::CodeSection slice_sec = sl.finish();
+    auto ssym = sl.symbols();
+
+    wl.program.addSection(main_sec);
+    wl.program.addSection(slice_sec);
+    wl.program.addSymbols(sym);
+    wl.program.addSymbols(ssym);
+    wl.entry = sym.at("start");
+
+    slice::SliceDescriptor sd;
+    sd.name = "gcc_kid1_test";
+    sd.forkPc = sym.at("walk_rtx");
+    sd.slicePc = ssym.at("slice");
+    sd.liveIns = {21};
+    sd.maxLoopIters = 0;
+    sd.staticSize = static_cast<unsigned>(slice_sec.code.size());
+
+    slice::PgiSpec pgi;
+    pgi.sliceInstPc = ssym.at("slice_pgi");
+    pgi.problemBranchPc = sym.at("problem_branch");
+    pgi.invert = true;  // beq taken iff (val & 1) == 0
+    pgi.sliceKillPc = sym.at("walk_done");
+    sd.pgis = {pgi};
+    sd.coveredBranchPcs = {sym.at("problem_branch")};
+    wl.slices = {sd};
+
+    std::uint64_t seed = p.seed;
+    wl.initMemory = [walks, seed, sym](arch::MemoryImage &mem) {
+        Rng rng(seed * 0xaaaaaaaaaaaaaaabull + 0x2545f4914f6cdd1dull);
+
+        const Addr nodes = dataBase3;
+        const Addr jt = dataBase;
+
+        // Random DAG that only points "downward" in index order, so
+        // every walk terminates; kids are scattered for poor locality.
+        for (std::uint64_t i = 0; i < numNodes; ++i) {
+            Addr n = nodes + i * nodeSize;
+            std::uint64_t ty = rng.below(numTypes);
+            mem.writeQ(n + nType, ty);
+            Addr k0 = 0, k1 = 0;
+            if (i > 16) {
+                k0 = nodes + rng.below(i) * nodeSize;
+                k1 = nodes + rng.below(i) * nodeSize;
+            }
+            mem.writeQ(n + nKid0, k0);
+            mem.writeQ(n + nKid1, k1);
+            mem.writeQ(n + nVal, rng.next() & 0xffff);
+        }
+        for (unsigned c = 0; c < numTypes; ++c)
+            mem.writeQ(jt + 8 * c, sym.at("case" + std::to_string(c)));
+
+        mem.writeQ(globalsBase + gRemaining, walks);
+        mem.writeQ(globalsBase + gRngState, seed | 0x20000001);
+        // Roots come from the last 64K nodes (deep subtrees).
+        mem.writeQ(globalsBase + gNodeBase,
+                   nodes + (numNodes - 65'536) * nodeSize);
+        mem.writeQ(globalsBase + gJumpTable, jt);
+    };
+
+    return wl;
+}
+
+} // namespace specslice::workloads

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared address-space layout and register conventions for the
+ * workload builders.
+ */
+
+#ifndef SPECSLICE_WORKLOADS_LAYOUT_HH
+#define SPECSLICE_WORKLOADS_LAYOUT_HH
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace specslice::workloads
+{
+
+// Address-space layout (shared across workloads; each simulation has
+// its own memory image).
+constexpr Addr sliceCodeBase = 0x8000;   ///< slice code section
+constexpr Addr mainCodeBase = 0x10000;   ///< main program section
+constexpr Addr globalsBase = 0x100000;   ///< small-globals page ("gp")
+constexpr Addr dataBase = 0x200000;      ///< bulk data structures
+constexpr Addr dataBase2 = 0x2000000;    ///< second bulk region
+constexpr Addr dataBase3 = 0x8000000;    ///< third bulk region
+
+// Register conventions.
+constexpr RegIndex regGp = 30;    ///< global pointer (live-in to slices)
+constexpr RegIndex regLink = specslice::isa::regLink;
+constexpr RegIndex regZero = specslice::isa::regZero;
+
+} // namespace specslice::workloads
+
+#endif // SPECSLICE_WORKLOADS_LAYOUT_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * parser: the paper's clearest slice-construction failure (Section
+ * 6.2). Two problem localities:
+ *
+ *  1. Hash-table probes whose key generation is computationally
+ *     intensive (50+ serial instructions) and sits *immediately*
+ *     before the problem instructions — a slice would have to
+ *     replicate all of it, so the overhead cancels the benefit.
+ *  2. A stack-organized memory allocator whose deferred deallocation
+ *     causes long pointer-chasing cascades when the top-of-stack
+ *     chunk is finally freed; the triggering call is unpredictable, so
+ *     the fork cannot be hoisted without spawning many useless slices.
+ *
+ * Accordingly, this workload ships no slices; it appears in the
+ * benches as the ~0 % bar of Figure 11.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/layout.hh"
+
+namespace specslice::workloads
+{
+
+namespace
+{
+
+constexpr std::int32_t gRemaining = 0;
+constexpr std::int32_t gRngState = 8;
+constexpr std::int32_t gTableBase = 16;
+constexpr std::int32_t gStackTop = 24;
+constexpr std::int32_t gSink = 32;
+
+// Hash entry: { next, key, val } (32 bytes).
+constexpr std::int32_t eNext = 0;
+constexpr std::int32_t eKey = 8;
+constexpr unsigned entrySize = 32;
+
+// Allocator chunk: { below, flags } (64 bytes, one line).
+constexpr std::int32_t cBelow = 0;
+constexpr std::int32_t cFlags = 8;
+constexpr unsigned chunkSize = 64;
+
+constexpr std::uint64_t numBuckets = 1u << 17;
+constexpr std::uint64_t numEntries = 1u << 16;
+constexpr std::uint64_t numChunks = 1u << 16;  ///< 4 MB of chunks
+
+} // namespace
+
+sim::Workload
+buildParser(const Params &p)
+{
+    sim::Workload wl;
+    wl.name = "parser";
+    wl.scale = p.scale;
+
+    // ~110 dynamic instructions per parse step.
+    std::uint64_t steps = std::max<std::uint64_t>(1, p.scale / 110);
+
+    isa::Assembler as(mainCodeBase);
+    as.label("start");
+    as.ldi64(regGp, globalsBase);
+
+    as.label("parse_loop");
+    as.ldq(5, regGp, gRngState);
+    as.srli(6, 5, 12);
+    as.xor_(5, 5, 6);
+    as.slli(6, 5, 25);
+    as.xor_(5, 5, 6);
+    as.srli(6, 5, 27);
+    as.xor_(5, 5, 6);
+    as.stq(5, regGp, gRngState);
+
+    // --- expensive key generation: a 50-instruction serial mix that
+    // ends right at the problem load (the reason slices fail here) ---
+    as.mov(7, 5);
+    for (int i = 0; i < 16; ++i) {
+        as.slli(8, 7, 13);
+        as.xor_(7, 7, 8);
+        as.srli(8, 7, 7);
+        // every few rounds, fold with a multiply on the complex unit
+        if (i % 4 == 3)
+            as.mul(7, 7, 8);
+        else
+            as.xor_(7, 7, 8);
+    }
+    as.andi(9, 7, (1 << 19) - 1);   // key
+
+    // --- probe ---
+    as.andi(10, 7, numBuckets - 1);
+    as.ldq(11, regGp, gTableBase);
+    as.s8add(12, 10, 11);
+    as.ldq(14, 12, 0);              // bucket head   << problem load
+    as.beq(14, "probe_done");
+    as.label("chain_loop");
+    as.ldq(15, 14, eKey);           // << problem load
+    as.cmpeq(16, 15, 9);
+    as.label("problem_branch");
+    as.bne(16, "probe_done");       // << problem branch (unbiased)
+    as.ldq(14, 14, eNext);
+    as.bne(14, "chain_loop");
+    as.label("probe_done");
+
+    // --- occasional deallocation cascade (1 in 4 steps) ---
+    as.srli(17, 5, 40);
+    as.andi(17, 17, 3);
+    as.bne(17, "no_dealloc");
+    as.ldq(18, regGp, gStackTop);
+    as.beq(18, "no_dealloc");       // stack exhausted
+    as.label("cascade_loop");
+    as.ldq(19, 18, cFlags);         // chunk freed?   << problem load
+    as.beq(19, "cascade_done");
+    as.ldq(18, 18, cBelow);         // pop            << problem load
+    as.bne(18, "cascade_loop");
+    as.label("cascade_done");
+    as.stq(18, regGp, gStackTop);
+    as.label("no_dealloc");
+
+    as.ldq(2, regGp, gRemaining);
+    as.subi(2, 2, 1);
+    as.stq(2, regGp, gRemaining);
+    as.bgt(2, "parse_loop");
+    as.halt();
+
+    isa::CodeSection main_sec = as.finish();
+    auto sym = as.symbols();
+
+    wl.program.addSection(main_sec);
+    wl.program.addSymbols(sym);
+    wl.entry = sym.at("start");
+    // No slices: Section 6.2.
+
+    std::uint64_t seed = p.seed;
+    wl.initMemory = [steps, seed](arch::MemoryImage &mem) {
+        Rng rng(seed * 0xff51afd7ed558ccdull + 0xc4ceb9fe1a85ec53ull);
+
+        const Addr table = dataBase;
+        const Addr pool = dataBase3;
+        const Addr chunks = dataBase2;
+
+        for (std::uint64_t i = 0; i < numEntries; ++i) {
+            // Keys produced by the same mixer the program uses, so
+            // roughly half the probes hit.
+            std::uint64_t key = rng.next() & ((1 << 19) - 1);
+            std::uint64_t h = rng.next() & (numBuckets - 1);
+            Addr e = pool + i * entrySize;
+            Addr head = mem.readQ(table + h * 8);
+            mem.writeQ(e + eNext, head);
+            mem.writeQ(e + eKey, key);
+            mem.writeQ(table + h * 8, e);
+        }
+
+        // Allocator stack: chunks chained top-down in scattered order;
+        // ~70% marked freed so cascades run several links.
+        std::uint64_t prev = 0;
+        for (std::uint64_t i = 0; i < numChunks; ++i) {
+            Addr c = chunks +
+                     ((i * 2654435761u) % numChunks) * chunkSize;
+            mem.writeQ(c + cBelow, prev);
+            mem.writeQ(c + cFlags, rng.chance(7, 10) ? 1 : 0);
+            prev = c;
+        }
+        mem.writeQ(globalsBase + gStackTop, prev);
+
+        mem.writeQ(globalsBase + gRemaining, steps);
+        mem.writeQ(globalsBase + gRngState, seed | 0x40000001);
+        mem.writeQ(globalsBase + gTableBase, table);
+    };
+
+    return wl;
+}
+
+} // namespace specslice::workloads

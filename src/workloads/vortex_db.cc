@@ -1,0 +1,162 @@
+/**
+ * @file
+ * vortex: an object-oriented database workload with high baseline ILP.
+ * Records are walked sequentially (stream-prefetcher friendly), the
+ * per-record branches are predictable, and only an occasional
+ * cross-reference dereference misses. Section 6.2: vortex's base IPC
+ * is "within 13% of peak throughput", which makes the opportunity cost
+ * of slice execution high; combined with low miss rates the tiny
+ * prefetch slice (Table 3's vortex row: 4 instructions, 1 live-in,
+ * 1 prefetch, no predictions) buys essentially nothing.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/layout.hh"
+
+namespace specslice::workloads
+{
+
+namespace
+{
+
+constexpr std::int32_t gRemaining = 0;
+constexpr std::int32_t gRecBase = 8;
+constexpr std::int32_t gCursor = 16;
+constexpr std::int32_t gSink = 24;
+
+// Record: { f0, f1, f2, xref } (32 bytes).
+constexpr std::int32_t rF0 = 0;
+constexpr std::int32_t rF1 = 8;
+constexpr std::int32_t rF2 = 16;
+constexpr std::int32_t rXref = 24;
+constexpr unsigned recSize = 32;
+
+constexpr std::uint64_t numRecs = 2048;      ///< 64 KB, cache resident
+constexpr std::uint64_t xrefRegion = 1u << 19;  ///< 512 KB xref region
+constexpr unsigned batchRecs = 16;
+
+} // namespace
+
+sim::Workload
+buildVortex(const Params &p)
+{
+    sim::Workload wl;
+    wl.name = "vortex";
+    wl.scale = p.scale;
+
+    // ~19 instructions per record.
+    std::uint64_t batches =
+        std::max<std::uint64_t>(1, p.scale / (batchRecs * 19));
+
+    isa::Assembler as(mainCodeBase);
+    as.label("start");
+    as.ldi64(regGp, globalsBase);
+
+    as.label("batch_loop");
+    as.ldq(21, regGp, gCursor);   // r21 = cursor (slice live-in)
+    as.call("process_batch");
+    // Advance the cursor, wrapping at the end of the table.
+    as.ldq(21, regGp, gCursor);
+    as.ldi64(4, batchRecs * recSize);
+    as.add(21, 21, 4);
+    as.ldq(5, regGp, gRecBase);
+    as.ldi64(6, numRecs * recSize);
+    as.add(6, 5, 6);
+    as.cmplt(7, 21, 6);
+    as.cmoveq(21, 7, 5);          // wrap to base when past the end
+    as.stq(21, regGp, gCursor);
+    as.ldq(2, regGp, gRemaining);
+    as.subi(2, 2, 1);
+    as.stq(2, regGp, gRemaining);
+    as.bgt(2, "batch_loop");
+    as.halt();
+
+    // Process batchRecs sequential records with plenty of ILP. The
+    // first record's xref is the only common miss: it points into a
+    // 4 MB region.
+    as.label("process_batch");    // << fork PC
+    as.ldq(8, 21, rXref);         // xref pointer
+    as.ldq(9, 8, 0);              // << problem load (occasional miss)
+    as.stq(9, regGp, gSink);
+    as.ldi(10, batchRecs);
+    as.ldi(25, 0);
+    as.ldi(26, 0);
+    as.label("rec_loop");
+    as.ldq(11, 21, rF0);
+    as.ldq(12, 21, rF1);
+    as.ldq(13, 21, rF2);
+    as.add(25, 25, 11);
+    as.add(26, 26, 12);
+    as.xor_(25, 25, 13);
+    as.slli(14, 12, 2);
+    as.add(26, 26, 14);
+    as.cmplt(15, 25, 26);
+    as.cmovne(25, 15, 26);        // predictable select, no branch
+    as.addi(21, 21, recSize);
+    as.subi(10, 10, 1);
+    as.bgt(10, "rec_loop");       // highly predictable
+    as.label("batch_done");       // << slice kill PC
+    as.stq(25, regGp, gSink);
+    as.ret();
+
+    isa::CodeSection main_sec = as.finish();
+    auto sym = as.symbols();
+
+    // Slice: prefetch the xref target (4 static instructions).
+    isa::Assembler sl(sliceCodeBase);
+    sl.label("slice");
+    sl.ldq(8, 21, rXref);
+    sl.label("slice_pref");
+    sl.ldq(9, 8, 0);
+    sl.nop();
+    sl.sliceEnd();
+    isa::CodeSection slice_sec = sl.finish();
+    auto ssym = sl.symbols();
+
+    wl.program.addSection(main_sec);
+    wl.program.addSection(slice_sec);
+    wl.program.addSymbols(sym);
+    wl.program.addSymbols(ssym);
+    wl.entry = sym.at("start");
+
+    slice::SliceDescriptor sd;
+    sd.name = "vortex_xref";
+    sd.forkPc = sym.at("process_batch");
+    sd.slicePc = ssym.at("slice");
+    sd.liveIns = {21};
+    sd.maxLoopIters = 0;
+    sd.staticSize = static_cast<unsigned>(slice_sec.code.size());
+    sd.coveredLoadPcs = {sym.at("process_batch") + isa::instBytes};
+    sd.prefetchLoadPcs = {ssym.at("slice_pref")};
+    // No PGIs: a pure prefetch slice.
+    wl.slices = {sd};
+
+    std::uint64_t seed = p.seed;
+    wl.initMemory = [batches, seed](arch::MemoryImage &mem) {
+        Rng rng(seed * 0x369dea0f31a53f85ull + 0x9e6c63d0876a9a62ull);
+
+        const Addr recs = dataBase;
+        const Addr xrefs = dataBase3;
+
+        for (std::uint64_t i = 0; i < numRecs; ++i) {
+            Addr r = recs + i * recSize;
+            mem.writeQ(r + rF0, rng.below(1000));
+            mem.writeQ(r + rF1, rng.below(1000));
+            mem.writeQ(r + rF2, rng.below(1000));
+            mem.writeQ(r + rXref, xrefs + (rng.next() % xrefRegion &
+                                           ~std::uint64_t{7}));
+        }
+        // xref region left zero-initialized (reads return 0).
+
+        mem.writeQ(globalsBase + gRemaining, batches);
+        mem.writeQ(globalsBase + gRecBase, recs);
+        mem.writeQ(globalsBase + gCursor, recs);
+    };
+
+    return wl;
+}
+
+} // namespace specslice::workloads

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The 12 SPEC2000-like synthetic workloads. Each reproduces the
+ * problem-instruction structure the paper describes for the
+ * corresponding benchmark (Sections 2.4, 3.2, 6.1, 6.2), including the
+ * hand-constructed speculative slices — or, for the slice-construction
+ * failures (parser), their absence.
+ */
+
+#ifndef SPECSLICE_WORKLOADS_WORKLOADS_HH
+#define SPECSLICE_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/workload.hh"
+
+namespace specslice::workloads
+{
+
+/** Build parameters: scale ~ target dynamic instruction count. */
+struct Params
+{
+    std::uint64_t scale = 1'000'000;
+    std::uint64_t seed = 1;
+};
+
+// One builder per SPEC2000 integer benchmark studied in the paper.
+sim::Workload buildBzip2(const Params &p = {});   // sorting compares
+sim::Workload buildCrafty(const Params &p = {});  // bit scans (note 3)
+sim::Workload buildEon(const Params &p = {});     // polymorphic calls
+sim::Workload buildGap(const Params &p = {});     // bag/list scan
+sim::Workload buildGcc(const Params &p = {});     // rtx switch walk
+sim::Workload buildGzip(const Params &p = {});    // LZ match chains
+sim::Workload buildMcf(const Params &p = {});     // pointer-chasing
+sim::Workload buildParser(const Params &p = {});  // hash + dealloc
+sim::Workload buildPerl(const Params &p = {});    // hash + strings
+sim::Workload buildTwolf(const Params &p = {});   // net list walks
+sim::Workload buildVortex(const Params &p = {});  // high-IPC db walk
+sim::Workload buildVpr(const Params &p = {});     // heap insertion
+
+/** Names in the paper's (alphabetical) order. */
+const std::vector<std::string> &allWorkloadNames();
+
+/** Build by name; fatal on unknown names. */
+sim::Workload buildWorkload(const std::string &name,
+                            const Params &p = {});
+
+} // namespace specslice::workloads
+
+#endif // SPECSLICE_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, saturating
+ * counters, the deterministic RNG, and the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace specslice;
+
+TEST(BitUtils, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(12));
+}
+
+TEST(BitUtils, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(BitUtils, MaskAndBits)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0xffffffffu, 32), -1);
+    EXPECT_EQ(signExtend(0x100, 8), 0);  // upper bits ignored
+}
+
+TEST(SatCounterTest, SaturatesBothWays)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.taken());
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.taken());
+    for (int i = 0; i < 10; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounterTest, HysteresisAtMidpoint)
+{
+    SatCounter c(2, 1);   // weakly not-taken
+    EXPECT_FALSE(c.taken());
+    c.update(true);       // 2: weakly taken
+    EXPECT_TRUE(c.taken());
+    c.update(false);      // back to 1
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BelowIsInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(RngTest, UniformRoughlyBalanced)
+{
+    Rng r(99);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += r.chance(1, 2);
+    EXPECT_GT(heads, 4600);
+    EXPECT_LT(heads, 5400);
+}
+
+TEST(StatsTest, AddSetGet)
+{
+    StatGroup g("test");
+    EXPECT_EQ(g.get("x"), 0u);
+    g.add("x");
+    g.add("x", 4);
+    EXPECT_EQ(g.get("x"), 5u);
+    g.set("x", 2);
+    EXPECT_EQ(g.get("x"), 2u);
+}
+
+TEST(StatsTest, RatioHandlesZeroDenominator)
+{
+    StatGroup g;
+    g.set("num", 10);
+    EXPECT_EQ(g.ratio("num", "den"), 0.0);
+    g.set("den", 4);
+    EXPECT_DOUBLE_EQ(g.ratio("num", "den"), 2.5);
+}
+
+TEST(StatsTest, MergeSums)
+{
+    StatGroup a, b;
+    a.add("x", 3);
+    b.add("x", 4);
+    b.add("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 7u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(StatsTest, ResetClears)
+{
+    StatGroup g;
+    g.add("x", 3);
+    g.reset();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_TRUE(g.counters().empty());
+}

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Functional-executor tests: the architectural semantics of every
+ * opcode class, fault behaviour, control flow, and the slice
+ * no-stores rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/exec.hh"
+
+using namespace specslice;
+using namespace specslice::isa;
+using arch::ExecResult;
+
+namespace
+{
+
+constexpr Addr pc0 = 0x10000;
+
+struct ExecFixture : ::testing::Test
+{
+    arch::RegFile regs;
+    arch::MemoryImage mem;
+
+    ExecResult
+    run(Instruction i, bool allow_stores = true)
+    {
+        return arch::execute(i, pc0, regs, mem, allow_stores);
+    }
+
+    static Instruction
+    rform(Opcode op, RegIndex rc, RegIndex ra, RegIndex rb)
+    {
+        Instruction i;
+        i.op = op;
+        i.rc = rc;
+        i.ra = ra;
+        i.rb = rb;
+        return i;
+    }
+
+    static Instruction
+    iform(Opcode op, RegIndex rc, RegIndex ra, std::int32_t imm)
+    {
+        Instruction i;
+        i.op = op;
+        i.rc = rc;
+        i.ra = ra;
+        i.imm = imm;
+        return i;
+    }
+};
+
+} // namespace
+
+TEST_F(ExecFixture, IntegerAlu)
+{
+    regs.write(1, 7);
+    regs.write(2, 3);
+    run(rform(Opcode::Add, 3, 1, 2));
+    EXPECT_EQ(regs.read(3), 10u);
+    run(rform(Opcode::Sub, 3, 1, 2));
+    EXPECT_EQ(regs.read(3), 4u);
+    run(rform(Opcode::Mul, 3, 1, 2));
+    EXPECT_EQ(regs.read(3), 21u);
+    run(rform(Opcode::Div, 3, 1, 2));
+    EXPECT_EQ(regs.read(3), 2u);
+    run(rform(Opcode::Xor, 3, 1, 2));
+    EXPECT_EQ(regs.read(3), 4u);
+}
+
+TEST_F(ExecFixture, DivByZeroYieldsZeroNotFault)
+{
+    regs.write(1, 7);
+    regs.write(2, 0);
+    auto r = run(rform(Opcode::Div, 3, 1, 2));
+    EXPECT_FALSE(r.fault);
+    EXPECT_EQ(regs.read(3), 0u);
+}
+
+TEST_F(ExecFixture, SignedArithmeticAndShifts)
+{
+    regs.write(1, static_cast<std::uint64_t>(-8));
+    run(iform(Opcode::SraI, 3, 1, 1));
+    EXPECT_EQ(static_cast<std::int64_t>(regs.read(3)), -4);
+    run(iform(Opcode::SrlI, 3, 1, 60));
+    EXPECT_EQ(regs.read(3), 0xfu);
+    regs.write(2, 2);
+    run(rform(Opcode::CmpLt, 3, 1, 2));  // -8 < 2 signed
+    EXPECT_EQ(regs.read(3), 1u);
+    run(rform(Opcode::CmpUlt, 3, 1, 2));  // huge unsigned, not <
+    EXPECT_EQ(regs.read(3), 0u);
+}
+
+TEST_F(ExecFixture, ScaledAdds)
+{
+    regs.write(1, 5);
+    regs.write(2, 100);
+    run(rform(Opcode::S4Add, 3, 1, 2));
+    EXPECT_EQ(regs.read(3), 120u);
+    run(rform(Opcode::S8Add, 3, 1, 2));
+    EXPECT_EQ(regs.read(3), 140u);
+}
+
+TEST_F(ExecFixture, ConditionalMoves)
+{
+    regs.write(1, 0);
+    regs.write(2, 42);
+    regs.write(3, 7);
+    run(rform(Opcode::CmovEq, 3, 1, 2));  // ra == 0: move
+    EXPECT_EQ(regs.read(3), 42u);
+    regs.write(3, 7);
+    run(rform(Opcode::CmovNe, 3, 1, 2));  // ra == 0: keep
+    EXPECT_EQ(regs.read(3), 7u);
+    regs.write(1, static_cast<std::uint64_t>(-1));
+    run(rform(Opcode::CmovLt, 3, 1, 2));  // ra < 0: move
+    EXPECT_EQ(regs.read(3), 42u);
+}
+
+TEST_F(ExecFixture, ZeroRegisterIsImmutable)
+{
+    regs.write(1, 5);
+    run(iform(Opcode::AddI, regZero, 1, 10));
+    EXPECT_EQ(regs.read(regZero), 0u);
+    // But the result value is still reported (PGIs rely on this).
+    auto r = run(iform(Opcode::AddI, regZero, 1, 10));
+    EXPECT_TRUE(r.wroteReg);
+    EXPECT_EQ(r.value, 15u);
+}
+
+TEST_F(ExecFixture, FloatingPoint)
+{
+    regs.writeF(1, 2.5);
+    regs.writeF(2, 1.25);
+    run(rform(Opcode::FAdd, 3, 1, 2));
+    EXPECT_DOUBLE_EQ(regs.readF(3), 3.75);
+    run(rform(Opcode::FMul, 3, 1, 2));
+    EXPECT_DOUBLE_EQ(regs.readF(3), 3.125);
+    run(rform(Opcode::FCmpLt, 3, 2, 1));
+    EXPECT_EQ(regs.read(3), 1u);
+    run(rform(Opcode::FCmpLe, 3, 1, 1));
+    EXPECT_EQ(regs.read(3), 1u);
+    regs.write(4, static_cast<std::uint64_t>(-3));
+    run(rform(Opcode::CvtIF, 5, 4, regZero));
+    EXPECT_DOUBLE_EQ(regs.readF(5), -3.0);
+    run(rform(Opcode::CvtFI, 6, 5, regZero));
+    EXPECT_EQ(static_cast<std::int64_t>(regs.read(6)), -3);
+}
+
+TEST_F(ExecFixture, LoadsAndStores)
+{
+    mem.writeQ(0x20000, 0x1122334455667788ull);
+    regs.write(1, 0x20000);
+
+    Instruction ld;
+    ld.op = Opcode::Ldq;
+    ld.rc = 2;
+    ld.rb = 1;
+    ld.imm = 0;
+    auto r = run(ld);
+    EXPECT_EQ(regs.read(2), 0x1122334455667788ull);
+    EXPECT_EQ(r.memAddr, 0x20000u);
+
+    ld.op = Opcode::Ldl;  // sign-extended 32-bit
+    mem.writeL(0x20008, 0x80000001u);
+    ld.imm = 8;
+    run(ld);
+    EXPECT_EQ(static_cast<std::int64_t>(regs.read(2)),
+              static_cast<std::int32_t>(0x80000001u));
+
+    ld.op = Opcode::Ldbu;
+    run(ld);
+    EXPECT_EQ(regs.read(2), 0x01u);
+
+    Instruction st;
+    st.op = Opcode::Stq;
+    st.ra = 2;
+    st.rb = 1;
+    st.imm = 16;
+    regs.write(2, 99);
+    run(st);
+    EXPECT_EQ(mem.readQ(0x20010), 99u);
+}
+
+TEST_F(ExecFixture, NullPageFaults)
+{
+    regs.write(1, 8);  // inside the null page
+    Instruction ld;
+    ld.op = Opcode::Ldq;
+    ld.rc = 2;
+    ld.rb = 1;
+    regs.write(2, 123);
+    auto r = run(ld);
+    EXPECT_TRUE(r.fault);
+    EXPECT_EQ(regs.read(2), 123u);  // destination untouched
+}
+
+TEST_F(ExecFixture, SliceStoresFault)
+{
+    regs.write(1, 0x20000);
+    Instruction st;
+    st.op = Opcode::Stq;
+    st.ra = 2;
+    st.rb = 1;
+    auto r = run(st, /*allow_stores=*/false);
+    EXPECT_TRUE(r.fault);
+    EXPECT_EQ(mem.readQ(0x20000), 0u);
+}
+
+TEST_F(ExecFixture, ConditionalBranchDirections)
+{
+    Instruction b;
+    b.op = Opcode::Bgt;
+    b.ra = 1;
+    b.target = 0x12000;
+
+    regs.write(1, 5);
+    auto r = run(b);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.nextPc, 0x12000u);
+
+    regs.write(1, 0);
+    r = run(b);
+    EXPECT_FALSE(r.taken);
+    EXPECT_EQ(r.nextPc, pc0 + instBytes);
+
+    b.op = Opcode::Ble;
+    r = run(b);
+    EXPECT_TRUE(r.taken);
+
+    b.op = Opcode::Blt;
+    regs.write(1, static_cast<std::uint64_t>(-1));
+    r = run(b);
+    EXPECT_TRUE(r.taken);
+}
+
+TEST_F(ExecFixture, CallsAndReturns)
+{
+    Instruction call;
+    call.op = Opcode::Call;
+    call.rc = regLink;
+    call.target = 0x14000;
+    auto r = run(call);
+    EXPECT_EQ(r.nextPc, 0x14000u);
+    EXPECT_EQ(regs.read(regLink), pc0 + instBytes);
+
+    Instruction ret;
+    ret.op = Opcode::Ret;
+    ret.ra = regLink;
+    r = run(ret);
+    EXPECT_EQ(r.nextPc, pc0 + instBytes);
+
+    Instruction callr;
+    callr.op = Opcode::CallR;
+    callr.rb = 5;
+    callr.rc = regLink;
+    regs.write(5, 0x18000);
+    r = run(callr);
+    EXPECT_EQ(r.nextPc, 0x18000u);
+    EXPECT_EQ(regs.read(regLink), pc0 + instBytes);
+
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.ra = 5;
+    r = run(jmp);
+    EXPECT_EQ(r.nextPc, 0x18000u);
+}
+
+TEST_F(ExecFixture, HaltAndSliceEnd)
+{
+    Instruction h;
+    h.op = Opcode::Halt;
+    EXPECT_TRUE(run(h).halted);
+    Instruction s;
+    s.op = Opcode::SliceEnd;
+    EXPECT_TRUE(run(s).sliceEnded);
+}
+
+TEST(MemImgTest, LittleEndianAndSparse)
+{
+    arch::MemoryImage mem;
+    mem.writeQ(0x5000, 0x0807060504030201ull);
+    EXPECT_EQ(mem.readB(0x5000), 0x01u);
+    EXPECT_EQ(mem.readB(0x5007), 0x08u);
+    EXPECT_EQ(mem.readL(0x5000), 0x04030201u);
+    // Unwritten memory reads zero.
+    EXPECT_EQ(mem.readQ(0x999000), 0u);
+    // Cross-page access works.
+    mem.writeQ(0x5ffc, 0xaabbccddeeff1122ull);
+    EXPECT_EQ(mem.readQ(0x5ffc), 0xaabbccddeeff1122ull);
+}
+
+TEST(MemImgTest, FaultPredicate)
+{
+    EXPECT_TRUE(arch::MemoryImage::faults(0));
+    EXPECT_TRUE(arch::MemoryImage::faults(4095));
+    EXPECT_FALSE(arch::MemoryImage::faults(4096));
+}
+
+TEST(MemImgTest, DoubleRoundTrip)
+{
+    arch::MemoryImage mem;
+    mem.writeF(0x6000, 3.14159);
+    EXPECT_DOUBLE_EQ(mem.readF(0x6000), 3.14159);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * End-to-end reproduction assertions: the paper's headline qualitative
+ * claims hold on this simulator (Sections 2, 6). These run the bigger
+ * workloads and are the closest thing to a CI gate on "the shape of
+ * the results".
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/pde_profile.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+workloads::Params
+params()
+{
+    workloads::Params p;
+    p.scale = 300'000;
+    return p;
+}
+
+core::RunOptions
+opts(bool profile = false)
+{
+    core::RunOptions o;
+    o.maxMainInstructions = 120'000;
+    o.warmupInstructions = 40'000;
+    o.profile = profile;
+    return o;
+}
+
+double
+speedup(const sim::RunResult &base, const sim::RunResult &other)
+{
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(other.cycles);
+}
+
+} // namespace
+
+TEST(Reproduction, VprGetsTheLargestSpeedup)
+{
+    // Figure 11: vpr peaks at 43%; here it must at least be large and
+    // exceed the known near-zero benchmarks by a wide margin.
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+    auto vpr = workloads::buildVpr(params());
+    auto b = simr.runBaseline(vpr, opts());
+    auto s = simr.run(vpr, opts(), true);
+    EXPECT_GT(speedup(b, s), 1.12);
+}
+
+TEST(Reproduction, FailureBenchmarksStayNearZero)
+{
+    // Section 6.2 + footnote 3: gcc, parser, vortex, crafty see no
+    // significant speedup.
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+    for (const char *name : {"parser", "vortex", "crafty"}) {
+        auto wl = workloads::buildWorkload(name, params());
+        auto b = simr.runBaseline(wl, opts());
+        auto s = simr.run(wl, opts(), true);
+        double sp = speedup(b, s);
+        EXPECT_GT(sp, 0.90) << name;
+        EXPECT_LT(sp, 1.08) << name;
+    }
+}
+
+TEST(Reproduction, PredictionHeavyBenchmarksRemoveMispredictions)
+{
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+    for (const char *name : {"eon", "twolf", "gzip"}) {
+        auto wl = workloads::buildWorkload(name, params());
+        auto b = simr.runBaseline(wl, opts());
+        auto s = simr.run(wl, opts(), true);
+        // Table 4: 33-72% of mispredictions removed.
+        EXPECT_LT(s.mispredictions * 100, b.mispredictions * 80)
+            << name;
+        EXPECT_GT(speedup(b, s), 1.05) << name;
+    }
+}
+
+TEST(Reproduction, McfBenefitIsLoadDominated)
+{
+    // Table 4: ~80% of mcf's speedup comes from loads; its miss
+    // traffic is largely covered while mispredictions barely move.
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+    auto wl = workloads::buildMcf(params());
+    auto b = simr.runBaseline(wl, opts());
+    auto s = simr.run(wl, opts(), true);
+    EXPECT_GT(speedup(b, s), 1.04);
+    // Most misses covered/merged away...
+    EXPECT_LT(s.l1dMissesMain * 4, b.l1dMissesMain);
+    // ...while mispredictions change far less (relatively).
+    EXPECT_GT(s.mispredictions * 100, b.mispredictions * 70);
+}
+
+TEST(Reproduction, ProblemInstructionsPerfectRecoverMostOfAllPerfect)
+{
+    // Figure 1's key shape on a branch-bound benchmark.
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+    auto wl = workloads::buildTwolf(params());
+
+    auto prof = simr.runBaseline(wl, opts(true));
+    auto prob = profile::classifyProblemInstructions(prof.profile);
+
+    core::RunOptions pp = opts();
+    pp.perfect.branchPcs = prob.problemBranches;
+    pp.perfect.loadPcs = prob.problemLoads;
+    auto rp = simr.runBaseline(wl, pp);
+
+    core::RunOptions ap = opts();
+    ap.perfect.allBranchesPerfect = true;
+    ap.perfect.allLoadsPerfect = true;
+    auto ra = simr.runBaseline(wl, ap);
+
+    double gain_prob = speedup(prof, rp) - 1.0;
+    double gain_all = speedup(prof, ra) - 1.0;
+    ASSERT_GT(gain_all, 0.10);
+    // On this simulator the all-perfect bar removes the *entire*
+    // memory latency of the walks, so the fraction recovered is lower
+    // than the paper's ~0.6; the shape (a large chunk of the gap) is
+    // what we assert.
+    EXPECT_GT(gain_prob, gain_all * 0.25)
+        << "problem-instructions-perfect should recover much of the "
+        << "all-perfect gain";
+}
+
+TEST(Reproduction, EightWideGainsMoreFromSlices)
+{
+    // Section 2.3: the PDE impact is larger on the wider machine.
+    auto wl = workloads::buildTwolf(params());
+    sim::Simulator four(sim::MachineConfig::fourWide());
+    sim::Simulator eight(sim::MachineConfig::eightWide());
+
+    auto b4 = four.runBaseline(wl, opts());
+    auto s4 = four.run(wl, opts(), true);
+    auto b8 = eight.runBaseline(wl, opts());
+    auto s8 = eight.run(wl, opts(), true);
+
+    // Both widths speed up; the 8-wide machine by at least ~80% as
+    // much (it usually gains more, but allow scheduling noise).
+    double g4 = speedup(b4, s4) - 1.0;
+    double g8 = speedup(b8, s8) - 1.0;
+    EXPECT_GT(g4, 0.05);
+    EXPECT_GT(g8, g4 * 0.8);
+}
+
+TEST(Reproduction, SliceOverheadIsBounded)
+{
+    // Table 4: slice fetches are a bounded fraction of the total, and
+    // total fetches *drop* (fewer wrong-path fetches).
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+    for (const char *name : {"vpr", "twolf", "gzip"}) {
+        auto wl = workloads::buildWorkload(name, params());
+        auto b = simr.runBaseline(wl, opts());
+        auto s = simr.run(wl, opts(), true);
+        EXPECT_LT(s.sliceFetched,
+                  (s.mainFetched + s.sliceFetched) / 2)
+            << name;
+        EXPECT_LT(s.mainFetched + s.sliceFetched,
+                  b.mainFetched * 115 / 100)
+            << name << ": slices must not blow up total fetch work";
+    }
+}
+
+TEST(Reproduction, LimitStudyBoundsStructure)
+{
+    // The constrained limit (perfecting exactly the covered PCs) is
+    // at least as good as the slice run, for every sliced benchmark.
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+    for (const char *name : {"vpr", "twolf", "eon", "gap"}) {
+        auto wl = workloads::buildWorkload(name, params());
+        auto s = simr.run(wl, opts(), true);
+
+        core::RunOptions lo = opts();
+        for (Addr pc : wl.coveredBranchPcs())
+            lo.perfect.branchPcs.insert(pc);
+        for (Addr pc : wl.coveredLoadPcs())
+            lo.perfect.loadPcs.insert(pc);
+        auto l = simr.runBaseline(wl, lo);
+        EXPECT_LE(l.cycles, s.cycles * 103 / 100) << name;
+    }
+}

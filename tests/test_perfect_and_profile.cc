@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the per-static-instruction perfect modes (Figure 1 / limit
+ * study machinery) and the problem-instruction classifier (Section
+ * 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/memimg.hh"
+#include "core/smt_core.hh"
+#include "isa/assembler.hh"
+#include "profile/pde_profile.hh"
+
+using namespace specslice;
+using namespace specslice::isa;
+
+namespace
+{
+
+constexpr Addr codeBase = 0x10000;
+constexpr Addr dataBase = 0x100000;
+
+struct Built
+{
+    Program prog;
+    Addr entry;
+    Addr branchPc;
+    Addr loadPc;
+};
+
+/** Unpredictable branch + missing load in a loop. */
+Built
+makeNoisy(unsigned iters)
+{
+    Assembler as(codeBase);
+    as.label("start");
+    as.ldi64(30, dataBase);
+    as.ldi(2, static_cast<std::int32_t>(iters));
+    as.ldq(20, 30, 0);   // pointer into a large region
+    as.label("loop");
+    Built b;
+    b.loadPc = as.here();
+    as.ldq(15, 20, 8);   // problem load (chase)
+    as.ldq(20, 20, 0);
+    as.andi(16, 15, 1);
+    b.branchPc = as.here();
+    as.beq(16, "skip");  // problem branch
+    as.addi(9, 9, 1);
+    as.label("skip");
+    as.subi(2, 2, 1);
+    as.bgt(2, "loop");
+    as.halt();
+    b.prog.addSection(as.finish());
+    b.prog.addSymbols(as.symbols());
+    b.entry = b.prog.symbol("start");
+    return b;
+}
+
+void
+initChain(arch::MemoryImage &mem, unsigned nodes)
+{
+    // A bijective slot permutation (odd multiplier mod 2^k) keeps all
+    // node addresses distinct, so the chain is one long cycle rather
+    // than collapsing into a small cached ring.
+    const std::uint64_t slots = (4u << 20) / 64;
+    auto slot_of = [&](unsigned i) {
+        return (static_cast<std::uint64_t>(i) * 2654435761u) % slots;
+    };
+    Addr base = dataBase + 0x10000;
+    Addr first = base + slot_of(0) * 64;
+    mem.writeQ(dataBase, first);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    Addr prev = first;
+    for (unsigned i = 1; i <= nodes; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        Addr node = (i == nodes) ? first : base + slot_of(i) * 64;
+        mem.writeQ(prev + 8, x >> 32);
+        mem.writeQ(prev + 0, node);
+        prev = node;
+    }
+}
+
+core::RunOptions
+opts(bool profile = false)
+{
+    core::RunOptions o;
+    o.maxMainInstructions = 60'000;
+    o.profile = profile;
+    return o;
+}
+
+} // namespace
+
+TEST(PerfectModes, PerfectBranchRemovesItsMispredictions)
+{
+    Built b = makeNoisy(8000);
+    arch::MemoryImage m1, m2;
+    initChain(m1, 8192);
+    initChain(m2, 8192);
+
+    core::SmtCore base(core::CoreConfig::fourWide(), b.prog, m1);
+    auto rb = base.run(b.entry, opts(true));
+    ASSERT_GT(rb.mispredictions, 500u);
+
+    core::RunOptions o = opts(true);
+    o.perfect.branchPcs.insert(b.branchPc);
+    core::SmtCore perf(core::CoreConfig::fourWide(), b.prog, m2);
+    auto rp = perf.run(b.entry, o);
+
+    // The problem branch no longer mispredicts at all.
+    EXPECT_EQ(rp.profile.perPc[b.branchPc].branchMispred, 0u);
+    EXPECT_LT(rp.cycles, rb.cycles);
+}
+
+TEST(PerfectModes, PerfectLoadRemovesItsLatency)
+{
+    Built b = makeNoisy(8000);
+    arch::MemoryImage m1, m2;
+    initChain(m1, 32768);
+    initChain(m2, 32768);
+
+    core::SmtCore base(core::CoreConfig::fourWide(), b.prog, m1);
+    auto rb = base.run(b.entry, opts());
+    ASSERT_GT(rb.l1dMissesMain, 1000u);
+
+    core::RunOptions o = opts();
+    o.perfect.loadPcs.insert(b.loadPc);
+    // Perfect the chase pointer too (it serializes everything).
+    o.perfect.loadPcs.insert(b.loadPc + instBytes);
+    core::SmtCore perf(core::CoreConfig::fourWide(), b.prog, m2);
+    auto rp = perf.run(b.entry, o);
+
+    EXPECT_LT(rp.cycles * 2, rb.cycles);  // at least 2x on a chase
+}
+
+TEST(PerfectModes, AllPerfectDominatesEverything)
+{
+    Built b = makeNoisy(8000);
+    arch::MemoryImage m1, m2, m3;
+    initChain(m1, 16384);
+    initChain(m2, 16384);
+    initChain(m3, 16384);
+
+    core::SmtCore base(core::CoreConfig::fourWide(), b.prog, m1);
+    auto rb = base.run(b.entry, opts());
+
+    core::RunOptions po = opts();
+    po.perfect.branchPcs.insert(b.branchPc);
+    po.perfect.loadPcs.insert(b.loadPc);
+    core::SmtCore prob(core::CoreConfig::fourWide(), b.prog, m2);
+    auto rp = prob.run(b.entry, po);
+
+    core::RunOptions ao = opts();
+    ao.perfect.allBranchesPerfect = true;
+    ao.perfect.allLoadsPerfect = true;
+    core::SmtCore allp(core::CoreConfig::fourWide(), b.prog, m3);
+    auto ra = allp.run(b.entry, ao);
+
+    EXPECT_LE(ra.cycles, rp.cycles);
+    EXPECT_LT(rp.cycles, rb.cycles);
+    EXPECT_EQ(ra.mispredictions, 0u);
+}
+
+TEST(Classifier, ThresholdsSeparateProblemInstructions)
+{
+    core::PcProfile prof;
+    // A hot, badly-behaved branch.
+    prof.perPc[0x100] = {10'000, 3'000, 0, 0, 0, 0};
+    // A hot but well-predicted branch (rate below 10%).
+    prof.perPc[0x108] = {50'000, 300, 0, 0, 0, 0};
+    // A badly-behaved but rarely executed branch (count too small).
+    prof.perPc[0x110] = {40, 20, 0, 0, 0, 0};
+    // A missing load.
+    prof.perPc[0x200] = {0, 0, 5'000, 2'000, 0, 0};
+    // A hitting load.
+    prof.perPc[0x208] = {0, 0, 90'000, 10, 0, 0};
+
+    auto p = profile::classifyProblemInstructions(prof);
+    EXPECT_TRUE(p.problemBranches.count(0x100));
+    EXPECT_FALSE(p.problemBranches.count(0x108));
+    EXPECT_FALSE(p.problemBranches.count(0x110));
+    EXPECT_TRUE(p.problemLoads.count(0x200));
+    EXPECT_FALSE(p.problemLoads.count(0x208));
+
+    // Coverage math: 3000 of 3320 mispredictions covered.
+    EXPECT_NEAR(p.mispredCoverage(), 3000.0 / 3320.0, 1e-9);
+    EXPECT_NEAR(p.missCoverage(), 2000.0 / 2010.0, 1e-9);
+    // Problem branches are a small fraction of dynamic branches.
+    EXPECT_NEAR(p.branchFraction(), 10'000.0 / 60'040.0, 1e-9);
+}
+
+TEST(Classifier, StoresCountAsMemoryOps)
+{
+    core::PcProfile prof;
+    prof.perPc[0x300] = {0, 0, 0, 0, 8'000, 4'000};
+    auto p = profile::classifyProblemInstructions(prof);
+    EXPECT_TRUE(p.problemLoads.count(0x300));
+    EXPECT_EQ(p.memOps, 8'000u);
+}

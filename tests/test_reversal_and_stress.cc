@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Two deeper checks of the trickiest machinery:
+ *
+ * 1. Late-prediction reversals (Section 5.3) squash *correct-path*
+ *    instructions, which requires undoing their functional effects
+ *    (register checkpoint + store-undo log). If that undo were broken,
+ *    architectural state would diverge between runs with reversals on
+ *    and off. We run vpr both ways and compare the final memory image.
+ *
+ * 2. A randomized correlator stress test against an oracle: a
+ *    synthetic "main thread" fetch stream with random region shapes,
+ *    wrong-path excursions and squashes; every Full override the
+ *    correlator hands out must equal the oracle's direction for that
+ *    dynamic branch instance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/simulator.hh"
+#include "slice/correlator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+/** Digest the vpr heap region of a memory image. */
+std::uint64_t
+digestVprState(const arch::MemoryImage &mem)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(mem.readQ(0x100000 + 0));   // heap_tail
+    mix(mem.readQ(0x100000 + 24));  // rng state
+    mix(mem.readQ(0x100000 + 40));  // remaining
+    // Sample the heap array (pointers moved by trickle swaps).
+    Addr heap_arr = mem.readQ(0x100000 + 8);
+    for (unsigned k = 1; k < 4096; k += 37)
+        mix(mem.readQ(heap_arr + k * 8));
+    return h;
+}
+
+} // namespace
+
+TEST(ReversalUndo, ArchitecturalStateUnaffectedByReversals)
+{
+    workloads::Params p;
+    p.scale = 250'000;
+    sim::RunOptions o;
+    o.maxMainInstructions = 90'000;
+
+    // Run with reversals enabled...
+    auto wl1 = workloads::buildVpr(p);
+    arch::MemoryImage m1;
+    wl1.initMemory(m1);
+    sim::MachineConfig on = sim::MachineConfig::fourWide();
+    core::SmtCore c1(on, wl1.program, m1);
+    for (const auto &s : wl1.slices)
+        c1.loadSlice(s);
+    auto r1 = c1.run(wl1.entry, o);
+
+    // ...and disabled.
+    auto wl2 = workloads::buildVpr(p);
+    arch::MemoryImage m2;
+    wl2.initMemory(m2);
+    sim::MachineConfig off = sim::MachineConfig::fourWide();
+    off.lateReversalsEnabled = false;
+    core::SmtCore c2(off, wl2.program, m2);
+    for (const auto &s : wl2.slices)
+        c2.loadSlice(s);
+    auto r2 = c2.run(wl2.entry, o);
+
+    // The machinery must actually have been exercised...
+    EXPECT_GT(r1.lateReversals, 10u);
+    EXPECT_EQ(r2.lateReversals, 0u);
+    // ...same architectural work...
+    EXPECT_EQ(r1.mainRetired, r2.mainRetired);
+    // ...and identical final memory: reversal squash+undo is exact.
+    EXPECT_EQ(digestVprState(m1), digestVprState(m2));
+}
+
+TEST(ReversalUndo, BaselineMatchesSlicedArchitecturally)
+{
+    // The strongest statement: helper threads and all their squashes
+    // are purely microarchitectural ("in no way affecting the
+    // architectural state", Section 8). Both runs execute to their
+    // natural halt: comparing mid-run would reflect different
+    // in-flight windows, not different architectural behaviour.
+    workloads::Params p;
+    p.scale = 60'000;
+    sim::RunOptions o;
+    o.maxMainInstructions = 400'000;  // beyond the program's length
+
+    auto wl1 = workloads::buildVpr(p);
+    arch::MemoryImage m1;
+    wl1.initMemory(m1);
+    core::SmtCore base(sim::MachineConfig::fourWide(), wl1.program, m1);
+    auto rb = base.run(wl1.entry, o);
+
+    auto wl2 = workloads::buildVpr(p);
+    arch::MemoryImage m2;
+    wl2.initMemory(m2);
+    core::SmtCore sliced(sim::MachineConfig::fourWide(), wl2.program,
+                         m2);
+    for (const auto &s : wl2.slices)
+        sliced.loadSlice(s);
+    auto rs = sliced.run(wl2.entry, o);
+
+    ASSERT_EQ(rb.mainRetired, rs.mainRetired);
+    // Both halted naturally (well under the budget).
+    ASSERT_LT(rb.mainRetired, 350'000u);
+    EXPECT_EQ(digestVprState(m1), digestVprState(m2));
+}
+
+/**
+ * Correlator stress: an oracle main thread over random region shapes.
+ * Each region: fork, the slice posts D predictions with known
+ * directions, the main thread runs I iterations of
+ * {maybe-branch, loop-kill}; instance k must see prediction k.
+ * Randomly, a prefix of the region is first executed as a wrong path
+ * and squashed, then replayed; correctness must be unaffected.
+ */
+TEST(CorrelatorStress, OracleAgreementUnderSquashes)
+{
+    constexpr Addr branchPc = 0x10100;
+    constexpr Addr loopPc = 0x10200;
+    constexpr Addr killPc = 0x10300;
+
+    slice::SliceDescriptor sd;
+    sd.name = "stress";
+    sd.forkPc = 0x10000;
+    sd.slicePc = 0x8000;
+    slice::PgiSpec pgi;
+    pgi.sliceInstPc = 0x8000;
+    pgi.problemBranchPc = branchPc;
+    pgi.loopKillPc = loopPc;
+    pgi.sliceKillPc = killPc;
+    sd.pgis = {pgi};
+
+    slice::PredictionCorrelator corr;
+    Rng rng(20260706);
+    SeqNum seq = 100;
+    std::uint64_t checked = 0;
+
+    for (int region = 0; region < 2000; ++region) {
+        SeqNum fork_seq = ++seq;
+        corr.onFork(sd, 1, fork_seq);
+
+        // Slice posts D <= 8 predictions up front (timely slice).
+        unsigned d = 1 + static_cast<unsigned>(rng.below(8));
+        std::vector<bool> dirs;
+        for (unsigned i = 0; i < d; ++i) {
+            bool dir = rng.chance(1, 2);
+            dirs.push_back(dir);
+            auto tok = corr.onPgiFetch(pgi, fork_seq, 90 + i);
+            ASSERT_NE(tok, 0u);
+            corr.onPgiExecute(tok, dir);
+        }
+
+        unsigned iters = 1 + static_cast<unsigned>(rng.below(10));
+
+        // Optionally run a wrong-path prefix first, then squash it.
+        if (rng.chance(1, 3)) {
+            SeqNum squash_point = seq;
+            unsigned wrong_len =
+                1 + static_cast<unsigned>(rng.below(iters));
+            for (unsigned k = 0; k < wrong_len; ++k) {
+                if (rng.chance(3, 4))
+                    corr.onBranchFetch(branchPc, ++seq, false);
+                corr.onKillFetch(loopPc, ++seq);
+            }
+            corr.squashMain(squash_point);
+        }
+
+        // The real path: instance k (1-based, conditionally executed)
+        // must see prediction k.
+        for (unsigned k = 0; k < iters; ++k) {
+            bool branch_executes = rng.chance(4, 5);
+            if (branch_executes && k < dirs.size()) {
+                auto m = corr.onBranchFetch(branchPc, ++seq, false);
+                if (m.matched && m.overrideDir >= 0) {
+                    EXPECT_EQ(m.overrideDir, dirs[k] ? 1 : 0)
+                        << "region " << region << " iter " << k;
+                    ++checked;
+                }
+            } else if (branch_executes) {
+                corr.onBranchFetch(branchPc, ++seq, false);
+            }
+            corr.onKillFetch(loopPc, ++seq);
+        }
+
+        // Leave the region; everything retires.
+        corr.onKillFetch(killPc, ++seq);
+        corr.onSliceDone(fork_seq);
+        corr.retireUpTo(seq);
+    }
+
+    // The property must have had teeth.
+    EXPECT_GT(checked, 3000u);
+    // And the correlator fully drains.
+    EXPECT_EQ(corr.liveEntries(), 0u);
+}
+
+/**
+ * Same stress but with a slice that lags the main thread: predictions
+ * are posted one iteration behind the consuming branch. The kill-debt
+ * mechanism must keep alignment.
+ */
+TEST(CorrelatorStress, OracleAgreementWithLaggingSlice)
+{
+    constexpr Addr branchPc = 0x10100;
+    constexpr Addr loopPc = 0x10200;
+    constexpr Addr killPc = 0x10300;
+
+    slice::SliceDescriptor sd;
+    sd.name = "lagging";
+    sd.forkPc = 0x10000;
+    sd.slicePc = 0x8000;
+    slice::PgiSpec pgi;
+    pgi.sliceInstPc = 0x8000;
+    pgi.problemBranchPc = branchPc;
+    pgi.loopKillPc = loopPc;
+    pgi.sliceKillPc = killPc;
+    sd.pgis = {pgi};
+
+    slice::PredictionCorrelator corr;
+    Rng rng(777);
+    SeqNum seq = 100;
+    std::uint64_t full_matches = 0, late_matches = 0;
+
+    for (int region = 0; region < 1000; ++region) {
+        SeqNum fork_seq = ++seq;
+        corr.onFork(sd, 1, fork_seq);
+
+        unsigned iters = 2 + static_cast<unsigned>(rng.below(6));
+        std::vector<bool> dirs;
+        for (unsigned i = 0; i < iters; ++i)
+            dirs.push_back(rng.chance(1, 2));
+
+        for (unsigned k = 0; k < iters; ++k) {
+            // The slice's PGI for instance k is *fetched* in time but
+            // *executes* late (after the branch): the branch matches
+            // an Empty slot and binds as a late consumer.
+            auto tok = corr.onPgiFetch(pgi, fork_seq, 80 + k);
+            SeqNum branch_seq = ++seq;
+            auto m = corr.onBranchFetch(branchPc, branch_seq, false);
+            if (m.matched && m.overrideDir >= 0) {
+                EXPECT_EQ(m.overrideDir, dirs[k] ? 1 : 0);
+                ++full_matches;
+            } else if (m.matched) {
+                ++late_matches;
+            }
+            if (tok) {
+                auto late = corr.onPgiExecute(tok, dirs[k]);
+                if (late.hasConsumer) {
+                    // Bound to exactly this instance's branch.
+                    EXPECT_EQ(late.consumerSeq, branch_seq);
+                    EXPECT_EQ(late.computedDir, dirs[k]);
+                }
+            }
+            corr.onKillFetch(loopPc, ++seq);
+        }
+        corr.onKillFetch(killPc, ++seq);
+        corr.onSliceDone(fork_seq);
+        corr.retireUpTo(seq);
+    }
+
+    // A lagging slice never produces a *wrong* Full override
+    // (checked above); the matches are overwhelmingly late bindings.
+    EXPECT_GT(late_matches, 1000u);
+    EXPECT_LT(full_matches, late_matches / 10);
+    EXPECT_EQ(corr.liveEntries(), 0u);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * End-to-end tests of the vpr heap-insertion workload: the paper's
+ * running example. Checks functional sanity, the problem-instruction
+ * profile (Section 2.4), and that the Figure 5 slice delivers accurate
+ * predictions, prefetch coverage, and a speedup (Section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/pde_profile.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+workloads::Params
+smallParams()
+{
+    workloads::Params p;
+    p.scale = 300'000;
+    return p;
+}
+
+core::RunOptions
+runOpts(std::uint64_t n = 200'000)
+{
+    core::RunOptions o;
+    o.maxMainInstructions = n;
+    o.warmupInstructions = 60'000;
+    return o;
+}
+
+} // namespace
+
+TEST(VprWorkload, BaselineRunsAndHasProblemInstructions)
+{
+    auto wl = workloads::buildVpr(smallParams());
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+
+    auto opts = runOpts();
+    opts.profile = true;
+    auto res = simr.runBaseline(wl, opts);
+
+    EXPECT_GT(res.mainRetired, 100'000u);
+    EXPECT_GT(res.ipc(), 0.3);
+    EXPECT_LT(res.ipc(), 4.0);
+
+    // The trickle-loop branch must be a real problem branch and the
+    // cost load a real problem load.
+    auto prob = profile::classifyProblemInstructions(res.profile);
+    Addr branch_pc = wl.program.symbol("problem_branch");
+    EXPECT_TRUE(prob.problemBranches.count(branch_pc))
+        << "trickle branch not classified as problem branch";
+    EXPECT_FALSE(prob.problemLoads.empty());
+
+    // PDEs are concentrated: problem instructions are few but cover
+    // most misses/mispredictions (Table 2's shape).
+    EXPECT_GT(prob.mispredCoverage(), 0.4);
+    EXPECT_GT(prob.missCoverage(), 0.5);
+}
+
+TEST(VprWorkload, SliceGivesSpeedupAndAccuratePredictions)
+{
+    auto wl = workloads::buildVpr(smallParams());
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+
+    auto base = simr.runBaseline(wl, runOpts());
+    auto sliced = simr.run(wl, runOpts(), true);
+
+    // Same architectural work (the final cycle may retire up to a
+    // retire-width of extra instructions past the budget).
+    EXPECT_NEAR(static_cast<double>(base.mainRetired),
+                static_cast<double>(sliced.mainRetired), 8.0);
+
+    // Slices fork and run.
+    EXPECT_GT(sliced.forks, 100u);
+    EXPECT_GT(sliced.predictionsGenerated, sliced.forks);
+    EXPECT_GT(sliced.slicePrefetches, 0u);
+
+    // Overridden predictions are nearly always right (paper: >99%).
+    ASSERT_GT(sliced.correlatorUsed, 0u);
+    double wrong_rate = static_cast<double>(sliced.correlatorWrong) /
+                        static_cast<double>(sliced.correlatorUsed);
+    EXPECT_LT(wrong_rate, 0.05);
+
+    // Mispredictions drop and the program speeds up.
+    EXPECT_LT(sliced.mispredictions, base.mispredictions);
+    double speedup = static_cast<double>(base.cycles) /
+                     static_cast<double>(sliced.cycles);
+    EXPECT_GT(speedup, 1.02) << "base " << base.cycles << " sliced "
+                             << sliced.cycles;
+}
+
+TEST(VprWorkload, LimitStudyBeatsSlices)
+{
+    auto wl = workloads::buildVpr(smallParams());
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+
+    auto base = simr.runBaseline(wl, runOpts());
+    auto sliced = simr.run(wl, runOpts(), true);
+
+    core::RunOptions lim = runOpts();
+    for (Addr pc : wl.coveredBranchPcs())
+        lim.perfect.branchPcs.insert(pc);
+    for (Addr pc : wl.coveredLoadPcs())
+        lim.perfect.loadPcs.insert(pc);
+    auto limit = simr.runBaseline(wl, lim);
+
+    EXPECT_LT(limit.cycles, base.cycles);
+    // The limit study bounds (or roughly matches) the slice result.
+    EXPECT_LE(limit.cycles, sliced.cycles * 105 / 100);
+}

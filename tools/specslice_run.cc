@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Command-line driver: run any workload on any machine configuration
+ * and dump results — the scripting surface of the simulator.
+ *
+ *   specslice_run --workload vpr --insts 200000 --warmup 50000
+ *   specslice_run --workload mcf --width 8 --no-slices --stats
+ *   specslice_run --workload twolf --limit        # constrained limit
+ *   specslice_run --workload vpr --disasm         # dump the code
+ *   specslice_run --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/experiments.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "vpr";
+    unsigned width = 4;
+    std::uint64_t insts = 300'000;
+    std::uint64_t warmup = 100'000;
+    std::uint64_t seed = 1;
+    unsigned threads = 4;
+    int bias = -1;          // <0: keep default
+    bool slices = true;
+    bool limit = false;
+    bool profile = false;
+    bool stats = false;
+    bool disasm = false;
+    bool list = false;
+    bool compare = false;   // run baseline AND slices, print speedup
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: specslice_run [options]\n"
+        "  --workload NAME   benchmark to run (--list to enumerate)\n"
+        "  --width 4|8       Table 1 machine width (default 4)\n"
+        "  --insts N         measured instructions (default 300000)\n"
+        "  --warmup N        warm-up instructions (default 100000)\n"
+        "  --seed N          workload construction seed\n"
+        "  --threads N       SMT contexts (default 4)\n"
+        "  --bias N          ICOUNT main-thread fetch bias\n"
+        "  --no-slices       baseline run (helper threads idle)\n"
+        "  --compare         run baseline and slices, print speedup\n"
+        "  --limit           constrained limit study instead of slices\n"
+        "  --profile         print the problem-instruction profile\n"
+        "  --stats           dump all detail counters\n"
+        "  --disasm          print the program and slice disassembly\n"
+        "  --list            list available workloads\n");
+    std::exit(code);
+}
+
+std::uint64_t
+parseNum(const char *s)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0')
+        usage(2);
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (a == "--workload")
+            o.workload = next();
+        else if (a == "--width")
+            o.width = static_cast<unsigned>(parseNum(next()));
+        else if (a == "--insts")
+            o.insts = parseNum(next());
+        else if (a == "--warmup")
+            o.warmup = parseNum(next());
+        else if (a == "--seed")
+            o.seed = parseNum(next());
+        else if (a == "--threads")
+            o.threads = static_cast<unsigned>(parseNum(next()));
+        else if (a == "--bias")
+            o.bias = static_cast<int>(parseNum(next()));
+        else if (a == "--no-slices")
+            o.slices = false;
+        else if (a == "--compare")
+            o.compare = true;
+        else if (a == "--limit")
+            o.limit = true;
+        else if (a == "--profile")
+            o.profile = true;
+        else if (a == "--stats")
+            o.stats = true;
+        else if (a == "--disasm")
+            o.disasm = true;
+        else if (a == "--list")
+            o.list = true;
+        else if (a == "--help" || a == "-h")
+            usage(0);
+        else
+            usage(2);
+    }
+    return o;
+}
+
+void
+printResult(const char *tag, const sim::RunResult &r)
+{
+    std::printf("%-10s %10llu cycles  IPC %.3f  mispred %llu  "
+                "L1-miss %llu",
+                tag, static_cast<unsigned long long>(r.cycles), r.ipc(),
+                static_cast<unsigned long long>(r.mispredictions),
+                static_cast<unsigned long long>(r.l1dMissesMain));
+    if (r.forks)
+        std::printf("  forks %llu  preds-used %llu (wrong %llu)",
+                    static_cast<unsigned long long>(r.forks),
+                    static_cast<unsigned long long>(r.correlatorUsed),
+                    static_cast<unsigned long long>(r.correlatorWrong));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+
+    if (o.list) {
+        for (const auto &n : workloads::allWorkloadNames())
+            std::printf("%s\n", n.c_str());
+        return 0;
+    }
+
+    workloads::Params params;
+    params.scale = (o.insts + o.warmup) * 2;
+    params.seed = o.seed;
+    sim::Workload wl = workloads::buildWorkload(o.workload, params);
+
+    if (o.disasm) {
+        std::printf("%s", wl.program.disassemble().c_str());
+        return 0;
+    }
+
+    sim::MachineConfig cfg = o.width == 8
+                                 ? sim::MachineConfig::eightWide()
+                                 : sim::MachineConfig::fourWide();
+    cfg.numThreads = o.threads;
+    if (o.bias >= 0)
+        cfg.mainThreadFetchBias = o.bias;
+
+    sim::Simulator machine(cfg);
+    sim::RunOptions opts;
+    opts.maxMainInstructions = o.insts;
+    opts.warmupInstructions = o.warmup;
+    opts.profile = o.profile;
+
+    std::printf("%s on the %u-wide machine (%llu measured insts, "
+                "%llu warm-up)\n",
+                wl.name.c_str(), o.width,
+                static_cast<unsigned long long>(o.insts),
+                static_cast<unsigned long long>(o.warmup));
+
+    sim::RunResult result;
+    if (o.limit) {
+        sim::ExperimentConfig ecfg;
+        ecfg.measureInsts = o.insts;
+        ecfg.warmupInsts = o.warmup;
+        ecfg.seed = o.seed;
+        auto lo = sim::limitOptions(wl, ecfg);
+        lo.profile = o.profile;
+        result = machine.runBaseline(wl, lo);
+        printResult("limit", result);
+    } else if (o.compare) {
+        auto base = machine.runBaseline(wl, opts);
+        auto sliced = machine.run(wl, opts, true);
+        printResult("baseline", base);
+        printResult("slices", sliced);
+        std::printf("speedup: %+.1f%%\n", sim::speedupPct(base, sliced));
+        result = sliced;
+    } else {
+        result = machine.run(wl, opts, o.slices);
+        printResult(o.slices ? "slices" : "baseline", result);
+    }
+
+    if (o.profile) {
+        auto prob =
+            profile::classifyProblemInstructions(result.profile);
+        std::printf("\nproblem instructions: %zu loads/stores, "
+                    "%zu branches\n",
+                    prob.problemLoads.size(),
+                    prob.problemBranches.size());
+        for (Addr pc : prob.problemLoads) {
+            const auto &c = result.profile.perPc.at(pc);
+            std::printf("  load   0x%llx  %llu/%llu miss   %s\n",
+                        static_cast<unsigned long long>(pc),
+                        static_cast<unsigned long long>(c.loadMiss +
+                                                        c.storeMiss),
+                        static_cast<unsigned long long>(c.loadExec +
+                                                        c.storeExec),
+                        wl.program.fetch(pc)->disassemble().c_str());
+        }
+        for (Addr pc : prob.problemBranches) {
+            const auto &c = result.profile.perPc.at(pc);
+            std::printf("  branch 0x%llx  %llu/%llu mispred  %s\n",
+                        static_cast<unsigned long long>(pc),
+                        static_cast<unsigned long long>(c.branchMispred),
+                        static_cast<unsigned long long>(c.branchExec),
+                        wl.program.fetch(pc)->disassemble().c_str());
+        }
+    }
+
+    if (o.stats) {
+        std::printf("\n");
+        result.detail.dump(std::cout);
+    }
+    return 0;
+}
