@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_correlator.dir/bench_ablation_correlator.cc.o"
+  "CMakeFiles/bench_ablation_correlator.dir/bench_ablation_correlator.cc.o.d"
+  "bench_ablation_correlator"
+  "bench_ablation_correlator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_correlator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

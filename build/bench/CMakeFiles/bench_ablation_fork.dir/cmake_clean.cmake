@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fork.dir/bench_ablation_fork.cc.o"
+  "CMakeFiles/bench_ablation_fork.dir/bench_ablation_fork.cc.o.d"
+  "bench_ablation_fork"
+  "bench_ablation_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

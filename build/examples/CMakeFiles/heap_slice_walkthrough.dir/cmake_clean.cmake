@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_slice_walkthrough.dir/heap_slice_walkthrough.cpp.o"
+  "CMakeFiles/heap_slice_walkthrough.dir/heap_slice_walkthrough.cpp.o.d"
+  "heap_slice_walkthrough"
+  "heap_slice_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_slice_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

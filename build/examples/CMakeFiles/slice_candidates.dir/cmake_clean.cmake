@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_candidates.dir/slice_candidates.cpp.o"
+  "CMakeFiles/slice_candidates.dir/slice_candidates.cpp.o.d"
+  "slice_candidates"
+  "slice_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

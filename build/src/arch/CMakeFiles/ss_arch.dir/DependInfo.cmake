@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/exec.cc" "src/arch/CMakeFiles/ss_arch.dir/exec.cc.o" "gcc" "src/arch/CMakeFiles/ss_arch.dir/exec.cc.o.d"
+  "/root/repo/src/arch/memimg.cc" "src/arch/CMakeFiles/ss_arch.dir/memimg.cc.o" "gcc" "src/arch/CMakeFiles/ss_arch.dir/memimg.cc.o.d"
+  "/root/repo/src/arch/tracer.cc" "src/arch/CMakeFiles/ss_arch.dir/tracer.cc.o" "gcc" "src/arch/CMakeFiles/ss_arch.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_arch.dir/exec.cc.o"
+  "CMakeFiles/ss_arch.dir/exec.cc.o.d"
+  "CMakeFiles/ss_arch.dir/memimg.cc.o"
+  "CMakeFiles/ss_arch.dir/memimg.cc.o.d"
+  "CMakeFiles/ss_arch.dir/tracer.cc.o"
+  "CMakeFiles/ss_arch.dir/tracer.cc.o.d"
+  "libss_arch.a"
+  "libss_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_autoslice.dir/analyzer.cc.o"
+  "CMakeFiles/ss_autoslice.dir/analyzer.cc.o.d"
+  "libss_autoslice.a"
+  "libss_autoslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_autoslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

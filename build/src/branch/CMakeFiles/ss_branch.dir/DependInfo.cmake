@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/indirect.cc" "src/branch/CMakeFiles/ss_branch.dir/indirect.cc.o" "gcc" "src/branch/CMakeFiles/ss_branch.dir/indirect.cc.o.d"
+  "/root/repo/src/branch/predictor_unit.cc" "src/branch/CMakeFiles/ss_branch.dir/predictor_unit.cc.o" "gcc" "src/branch/CMakeFiles/ss_branch.dir/predictor_unit.cc.o.d"
+  "/root/repo/src/branch/yags.cc" "src/branch/CMakeFiles/ss_branch.dir/yags.cc.o" "gcc" "src/branch/CMakeFiles/ss_branch.dir/yags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_branch.dir/indirect.cc.o"
+  "CMakeFiles/ss_branch.dir/indirect.cc.o.d"
+  "CMakeFiles/ss_branch.dir/predictor_unit.cc.o"
+  "CMakeFiles/ss_branch.dir/predictor_unit.cc.o.d"
+  "CMakeFiles/ss_branch.dir/yags.cc.o"
+  "CMakeFiles/ss_branch.dir/yags.cc.o.d"
+  "libss_branch.a"
+  "libss_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

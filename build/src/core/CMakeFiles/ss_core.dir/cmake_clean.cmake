@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/fetch.cc.o"
+  "CMakeFiles/ss_core.dir/fetch.cc.o.d"
+  "CMakeFiles/ss_core.dir/smt_core.cc.o"
+  "CMakeFiles/ss_core.dir/smt_core.cc.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_isa.dir/assembler.cc.o"
+  "CMakeFiles/ss_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/ss_isa.dir/encoding.cc.o"
+  "CMakeFiles/ss_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/ss_isa.dir/instruction.cc.o"
+  "CMakeFiles/ss_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/ss_isa.dir/opcodes.cc.o"
+  "CMakeFiles/ss_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/ss_isa.dir/program.cc.o"
+  "CMakeFiles/ss_isa.dir/program.cc.o.d"
+  "libss_isa.a"
+  "libss_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_mem.dir/cache.cc.o"
+  "CMakeFiles/ss_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ss_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/ss_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ss_mem.dir/stream_prefetcher.cc.o"
+  "CMakeFiles/ss_mem.dir/stream_prefetcher.cc.o.d"
+  "CMakeFiles/ss_mem.dir/victim_buffer.cc.o"
+  "CMakeFiles/ss_mem.dir/victim_buffer.cc.o.d"
+  "CMakeFiles/ss_mem.dir/write_buffer.cc.o"
+  "CMakeFiles/ss_mem.dir/write_buffer.cc.o.d"
+  "libss_mem.a"
+  "libss_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_profile.dir/pde_profile.cc.o"
+  "CMakeFiles/ss_profile.dir/pde_profile.cc.o.d"
+  "libss_profile.a"
+  "libss_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

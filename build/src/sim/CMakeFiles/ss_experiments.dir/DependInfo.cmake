@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiments.cc" "src/sim/CMakeFiles/ss_experiments.dir/experiments.cc.o" "gcc" "src/sim/CMakeFiles/ss_experiments.dir/experiments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ss_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ss_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/ss_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/ss_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_experiments.dir/experiments.cc.o"
+  "CMakeFiles/ss_experiments.dir/experiments.cc.o.d"
+  "libss_experiments.a"
+  "libss_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sim.dir/simulator.cc.o"
+  "CMakeFiles/ss_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ss_sim.dir/table.cc.o"
+  "CMakeFiles/ss_sim.dir/table.cc.o.d"
+  "libss_sim.a"
+  "libss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slice/correlator.cc" "src/slice/CMakeFiles/ss_slice.dir/correlator.cc.o" "gcc" "src/slice/CMakeFiles/ss_slice.dir/correlator.cc.o.d"
+  "/root/repo/src/slice/slice_table.cc" "src/slice/CMakeFiles/ss_slice.dir/slice_table.cc.o" "gcc" "src/slice/CMakeFiles/ss_slice.dir/slice_table.cc.o.d"
+  "/root/repo/src/slice/validator.cc" "src/slice/CMakeFiles/ss_slice.dir/validator.cc.o" "gcc" "src/slice/CMakeFiles/ss_slice.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_slice.dir/correlator.cc.o"
+  "CMakeFiles/ss_slice.dir/correlator.cc.o.d"
+  "CMakeFiles/ss_slice.dir/slice_table.cc.o"
+  "CMakeFiles/ss_slice.dir/slice_table.cc.o.d"
+  "CMakeFiles/ss_slice.dir/validator.cc.o"
+  "CMakeFiles/ss_slice.dir/validator.cc.o.d"
+  "libss_slice.a"
+  "libss_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

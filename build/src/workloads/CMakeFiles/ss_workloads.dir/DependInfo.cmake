@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bzip2_sort.cc" "src/workloads/CMakeFiles/ss_workloads.dir/bzip2_sort.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/bzip2_sort.cc.o.d"
+  "/root/repo/src/workloads/crafty_bits.cc" "src/workloads/CMakeFiles/ss_workloads.dir/crafty_bits.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/crafty_bits.cc.o.d"
+  "/root/repo/src/workloads/eon_poly.cc" "src/workloads/CMakeFiles/ss_workloads.dir/eon_poly.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/eon_poly.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/ss_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/gap_bag.cc" "src/workloads/CMakeFiles/ss_workloads.dir/gap_bag.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/gap_bag.cc.o.d"
+  "/root/repo/src/workloads/gcc_rtx.cc" "src/workloads/CMakeFiles/ss_workloads.dir/gcc_rtx.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/gcc_rtx.cc.o.d"
+  "/root/repo/src/workloads/gzip_match.cc" "src/workloads/CMakeFiles/ss_workloads.dir/gzip_match.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/gzip_match.cc.o.d"
+  "/root/repo/src/workloads/mcf_tree.cc" "src/workloads/CMakeFiles/ss_workloads.dir/mcf_tree.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/mcf_tree.cc.o.d"
+  "/root/repo/src/workloads/parser_hash.cc" "src/workloads/CMakeFiles/ss_workloads.dir/parser_hash.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/parser_hash.cc.o.d"
+  "/root/repo/src/workloads/perl_hash.cc" "src/workloads/CMakeFiles/ss_workloads.dir/perl_hash.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/perl_hash.cc.o.d"
+  "/root/repo/src/workloads/twolf_net.cc" "src/workloads/CMakeFiles/ss_workloads.dir/twolf_net.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/twolf_net.cc.o.d"
+  "/root/repo/src/workloads/vortex_db.cc" "src/workloads/CMakeFiles/ss_workloads.dir/vortex_db.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/vortex_db.cc.o.d"
+  "/root/repo/src/workloads/vpr_heap.cc" "src/workloads/CMakeFiles/ss_workloads.dir/vpr_heap.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/vpr_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ss_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/ss_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/ss_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_workloads.dir/bzip2_sort.cc.o"
+  "CMakeFiles/ss_workloads.dir/bzip2_sort.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/crafty_bits.cc.o"
+  "CMakeFiles/ss_workloads.dir/crafty_bits.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/eon_poly.cc.o"
+  "CMakeFiles/ss_workloads.dir/eon_poly.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/factory.cc.o"
+  "CMakeFiles/ss_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/gap_bag.cc.o"
+  "CMakeFiles/ss_workloads.dir/gap_bag.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/gcc_rtx.cc.o"
+  "CMakeFiles/ss_workloads.dir/gcc_rtx.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/gzip_match.cc.o"
+  "CMakeFiles/ss_workloads.dir/gzip_match.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/mcf_tree.cc.o"
+  "CMakeFiles/ss_workloads.dir/mcf_tree.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/parser_hash.cc.o"
+  "CMakeFiles/ss_workloads.dir/parser_hash.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/perl_hash.cc.o"
+  "CMakeFiles/ss_workloads.dir/perl_hash.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/twolf_net.cc.o"
+  "CMakeFiles/ss_workloads.dir/twolf_net.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/vortex_db.cc.o"
+  "CMakeFiles/ss_workloads.dir/vortex_db.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/vpr_heap.cc.o"
+  "CMakeFiles/ss_workloads.dir/vpr_heap.cc.o.d"
+  "libss_workloads.a"
+  "libss_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

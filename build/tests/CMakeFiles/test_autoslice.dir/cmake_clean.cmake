@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoslice.dir/test_autoslice.cc.o"
+  "CMakeFiles/test_autoslice.dir/test_autoslice.cc.o.d"
+  "test_autoslice"
+  "test_autoslice.pdb"
+  "test_autoslice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

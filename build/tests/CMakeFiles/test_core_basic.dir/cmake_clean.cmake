@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_basic.dir/test_core_basic.cc.o"
+  "CMakeFiles/test_core_basic.dir/test_core_basic.cc.o.d"
+  "test_core_basic"
+  "test_core_basic.pdb"
+  "test_core_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_slices.dir/test_core_slices.cc.o"
+  "CMakeFiles/test_core_slices.dir/test_core_slices.cc.o.d"
+  "test_core_slices"
+  "test_core_slices.pdb"
+  "test_core_slices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

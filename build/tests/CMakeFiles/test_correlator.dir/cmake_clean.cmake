@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_correlator.dir/test_correlator.cc.o"
+  "CMakeFiles/test_correlator.dir/test_correlator.cc.o.d"
+  "test_correlator"
+  "test_correlator.pdb"
+  "test_correlator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_correlator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

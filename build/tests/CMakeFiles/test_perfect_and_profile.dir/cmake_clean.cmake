@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfect_and_profile.dir/test_perfect_and_profile.cc.o"
+  "CMakeFiles/test_perfect_and_profile.dir/test_perfect_and_profile.cc.o.d"
+  "test_perfect_and_profile"
+  "test_perfect_and_profile.pdb"
+  "test_perfect_and_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfect_and_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_perfect_and_profile.
+# This may be replaced when dependencies are built.

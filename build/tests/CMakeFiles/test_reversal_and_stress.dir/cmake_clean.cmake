@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reversal_and_stress.dir/test_reversal_and_stress.cc.o"
+  "CMakeFiles/test_reversal_and_stress.dir/test_reversal_and_stress.cc.o.d"
+  "test_reversal_and_stress"
+  "test_reversal_and_stress.pdb"
+  "test_reversal_and_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reversal_and_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpr_workload.dir/test_vpr_workload.cc.o"
+  "CMakeFiles/test_vpr_workload.dir/test_vpr_workload.cc.o.d"
+  "test_vpr_workload"
+  "test_vpr_workload.pdb"
+  "test_vpr_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_branch[1]_include.cmake")
+include("/root/repo/build/tests/test_correlator[1]_include.cmake")
+include("/root/repo/build/tests/test_validator[1]_include.cmake")
+include("/root/repo/build/tests/test_core_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_vpr_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_core_slices[1]_include.cmake")
+include("/root/repo/build/tests/test_perfect_and_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_reversal_and_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_autoslice[1]_include.cmake")
+include("/root/repo/build/tests/test_overhead_features[1]_include.cmake")

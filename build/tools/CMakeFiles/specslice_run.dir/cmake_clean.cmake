@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specslice_run.dir/specslice_run.cc.o"
+  "CMakeFiles/specslice_run.dir/specslice_run.cc.o.d"
+  "specslice_run"
+  "specslice_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specslice_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for specslice_run.
+# This may be replaced when dependencies are built.
