@@ -2,7 +2,9 @@
  * @file
  * Shared plumbing for the experiment harnesses: run-length defaults
  * (overridable via SS_BENCH_INSTS / SS_BENCH_WARMUP for quick or long
- * runs), standard run helpers, and speedup math.
+ * runs), standard run helpers, speedup math, and the machine-readable
+ * result emitter (BENCH_<name>.json) used to track simulator
+ * performance across changes.
  *
  * Each bench binary regenerates one table or figure of the paper; the
  * absolute numbers depend on this simulator rather than the authors'
@@ -15,8 +17,12 @@
 #define SPECSLICE_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "profile/pde_profile.hh"
 #include "sim/experiments.hh"
@@ -27,11 +33,32 @@
 namespace specslice::bench
 {
 
+/**
+ * Read an unsigned integer from the environment, falling back to dflt
+ * when the variable is unset. Malformed values (empty, negative,
+ * trailing garbage, overflow) abort with a clear message instead of
+ * being silently truncated to something surprising.
+ */
 inline std::uint64_t
 envOr(const char *name, std::uint64_t dflt)
 {
     const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 10) : dflt;
+    if (!v)
+        return dflt;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    bool negative = v[0] == '-';
+    bool empty = *v == '\0';
+    bool trailing = end == nullptr || *end != '\0';
+    if (empty || negative || trailing || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "error: %s='%s' is not a valid non-negative "
+                     "integer\n",
+                     name, v);
+        std::exit(2);
+    }
+    return parsed;
 }
 
 /** Measured instructions per run (paper: 100 M; scaled down here). */
@@ -97,6 +124,185 @@ speedupPct(const sim::RunResult &base, const sim::RunResult &other)
     return 100.0 * (static_cast<double>(base.cycles) /
                         static_cast<double>(other.cycles) -
                     1.0);
+}
+
+// ---------------------------------------------------------------
+// Machine-readable output (BENCH_<name>.json, specslice_run --json)
+// ---------------------------------------------------------------
+
+/** Escape a string for embedding in a JSON document. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * A tiny ordered JSON object builder — enough for flat result records
+ * and arrays of them; no external dependency.
+ */
+class JsonObject
+{
+  public:
+    JsonObject &
+    field(const std::string &key, std::uint64_t v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    JsonObject &
+    field(const std::string &key, double v)
+    {
+        char buf[64];
+        if (v != v) {  // NaN: JSON has no literal for it
+            return raw(key, "null");
+        }
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return raw(key, buf);
+    }
+
+    JsonObject &
+    field(const std::string &key, const std::string &v)
+    {
+        return raw(key, "\"" + jsonEscape(v) + "\"");
+    }
+
+    /** Insert a pre-rendered JSON value (object, array, number). */
+    JsonObject &
+    raw(const std::string &key, const std::string &json)
+    {
+        fields_.emplace_back(key, json);
+        return *this;
+    }
+
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        os << "{";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            os << (i ? ", " : "")
+               << '"' << jsonEscape(fields_[i].first) << "\": "
+               << fields_[i].second;
+        }
+        os << "}";
+        return os.str();
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/** Render a JSON array from pre-rendered element strings. */
+inline std::string
+jsonArray(const std::vector<std::string> &elems)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < elems.size(); ++i)
+        os << (i ? ", " : "") << elems[i];
+    os << "]";
+    return os.str();
+}
+
+/** One workload's timed simulation, as recorded by a bench binary. */
+struct WorkloadPerf
+{
+    std::string name;
+    sim::RunResult result;
+    double wallSeconds = 0.0;
+
+    double
+    instsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(result.mainRetired) /
+                         wallSeconds
+                   : 0.0;
+    }
+};
+
+/** The per-workload record shared by --json and BENCH_*.json. */
+inline JsonObject
+perfRecord(const WorkloadPerf &p)
+{
+    JsonObject o;
+    o.field("name", p.name)
+        .field("cycles", p.result.cycles)
+        .field("main_retired", p.result.mainRetired)
+        .field("ipc", p.result.ipc())
+        .field("wall_seconds", p.wallSeconds)
+        .field("sim_insts_per_sec", p.instsPerSec())
+        .field("cond_branches", p.result.condBranches)
+        .field("mispredictions", p.result.mispredictions)
+        .field("loads", p.result.loads)
+        .field("l1d_misses_main", p.result.l1dMissesMain)
+        .field("covered_misses", p.result.coveredMisses)
+        .field("forks", p.result.forks)
+        .field("correlator_used", p.result.correlatorUsed);
+    return o;
+}
+
+/**
+ * Write BENCH_<bench_name>.json into the current directory: the
+ * per-workload records plus an aggregate simulated-instructions/sec
+ * figure. This is the artifact perf claims are checked against —
+ * every PR that touches the hot path regenerates it and compares.
+ *
+ * @return the path written.
+ */
+inline std::string
+writeBenchJson(const std::string &bench_name,
+               const std::vector<WorkloadPerf> &rows)
+{
+    std::vector<std::string> elems;
+    std::uint64_t total_insts = 0;
+    double total_wall = 0.0;
+    for (const WorkloadPerf &p : rows) {
+        elems.push_back(perfRecord(p).str());
+        total_insts += p.result.mainRetired;
+        total_wall += p.wallSeconds;
+    }
+
+    JsonObject aggregate;
+    aggregate.field("main_retired", total_insts)
+        .field("wall_seconds", total_wall)
+        .field("sim_insts_per_sec",
+               total_wall > 0.0
+                   ? static_cast<double>(total_insts) / total_wall
+                   : 0.0);
+
+    JsonObject doc;
+    doc.field("bench", bench_name)
+        .field("insts", benchInsts())
+        .field("warmup", benchWarmup())
+        .raw("workloads", jsonArray(elems))
+        .raw("aggregate", aggregate.str());
+
+    std::string path = "BENCH_" + bench_name + ".json";
+    std::ofstream os(path);
+    os << doc.str() << "\n";
+    return path;
 }
 
 } // namespace specslice::bench

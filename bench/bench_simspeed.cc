@@ -1,13 +1,28 @@
 /**
  * @file
- * Simulator-throughput microbenchmarks (google-benchmark): how many
- * simulated instructions per second the timing model sustains on
- * representative workloads, with and without helper threads. Useful
- * for sizing experiment budgets; not a paper figure.
+ * Simulator-throughput benchmark: how many simulated instructions per
+ * second the timing model sustains. Not a paper figure — it sizes
+ * experiment budgets and guards the hot path against regressions.
+ *
+ * Default mode sweeps every workload once (run lengths from
+ * SS_BENCH_INSTS / SS_BENCH_WARMUP), prints a throughput table and
+ * writes BENCH_simspeed.json — the artifact the `bench_smoke` ctest
+ * target produces and perf claims are checked against.
+ *
+ * `bench_simspeed --gbench [google-benchmark args...]` instead runs
+ * the original google-benchmark microbenchmarks (steady-state timing
+ * of a few representative configurations).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -15,6 +30,10 @@ using namespace specslice;
 
 namespace
 {
+
+// ---------------------------------------------------------------
+// google-benchmark microbenchmarks (--gbench)
+// ---------------------------------------------------------------
 
 void
 runWorkload(benchmark::State &state, const std::string &name,
@@ -75,12 +94,68 @@ BM_WorkloadBuildVpr(benchmark::State &state)
     }
 }
 
-} // namespace
-
 BENCHMARK(BM_BaselineVpr)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SlicedVpr)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BaselineMcf)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BaselineVortex)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_WorkloadBuildVpr)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------
+// Default mode: full-workload sweep + BENCH_simspeed.json
+// ---------------------------------------------------------------
+
+int
+runSweep()
+{
+    const auto insts = bench::benchInsts();
+    const auto warmup = bench::benchWarmup();
+
+    sim::Simulator machine(sim::MachineConfig::fourWide());
+    sim::RunOptions opts = bench::benchOpts();
+
+    std::printf("simulator throughput, %llu measured insts "
+                "(+%llu warm-up) per workload\n",
+                static_cast<unsigned long long>(insts),
+                static_cast<unsigned long long>(warmup));
+    std::printf("%-10s %12s %8s %14s\n", "workload", "cycles", "IPC",
+                "sim insts/s");
+
+    std::vector<bench::WorkloadPerf> rows;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        auto wl = workloads::buildWorkload(name, bench::benchParams());
+        bench::WorkloadPerf p;
+        p.name = name;
+        auto t0 = std::chrono::steady_clock::now();
+        p.result = machine.run(wl, opts, true);
+        auto t1 = std::chrono::steady_clock::now();
+        p.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+        std::printf("%-10s %12llu %8.3f %14.0f\n", name.c_str(),
+                    static_cast<unsigned long long>(p.result.cycles),
+                    p.result.ipc(), p.instsPerSec());
+        rows.push_back(std::move(p));
+    }
+
+    std::string path = bench::writeBenchJson("simspeed", rows);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--gbench") == 0) {
+        // Drop the flag and hand the rest to google-benchmark.
+        for (int i = 1; i + 1 < argc; ++i)
+            argv[i] = argv[i + 1];
+        --argc;
+        benchmark::Initialize(&argc, argv);
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+    }
+    return runSweep();
+}

@@ -10,18 +10,30 @@ namespace specslice::arch
 const MemoryImage::Page *
 MemoryImage::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr >> pageShift);
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr pnum = addr >> pageShift;
+    if (pnum == cachedPageNum_)
+        return cachedPage_;
+    auto it = pages_.find(pnum);
+    if (it == pages_.end())
+        return nullptr;
+    cachedPageNum_ = pnum;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
 }
 
 MemoryImage::Page &
 MemoryImage::touchPage(Addr addr)
 {
-    auto &slot = pages_[addr >> pageShift];
+    Addr pnum = addr >> pageShift;
+    if (pnum == cachedPageNum_)
+        return *cachedPage_;
+    auto &slot = pages_[pnum];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cachedPageNum_ = pnum;
+    cachedPage_ = slot.get();
     return *slot;
 }
 
@@ -30,6 +42,17 @@ MemoryImage::read(Addr addr, unsigned n) const
 {
     SS_ASSERT(n == 1 || n == 2 || n == 4 || n == 8, "bad access size");
     std::uint64_t value = 0;
+    std::size_t off = addr & (pageSize - 1);
+    if (off + n <= pageSize) {
+        // Whole access within one page: a single lookup.
+        const Page *p = findPage(addr);
+        if (!p)
+            return 0;
+        for (unsigned i = 0; i < n; ++i)
+            value |= static_cast<std::uint64_t>((*p)[off + i]) << (8 * i);
+        return value;
+    }
+    // Page-straddling access: per-byte fallback.
     for (unsigned i = 0; i < n; ++i) {
         Addr a = addr + i;
         const Page *p = findPage(a);
@@ -44,6 +67,13 @@ MemoryImage::write(Addr addr, std::uint64_t value, unsigned n)
 {
     SS_ASSERT(n == 1 || n == 2 || n == 4 || n == 8, "bad access size");
     SS_ASSERT(!faults(addr), "functional write to the null page");
+    std::size_t off = addr & (pageSize - 1);
+    if (off + n <= pageSize) {
+        Page &p = touchPage(addr);
+        for (unsigned i = 0; i < n; ++i)
+            p[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < n; ++i) {
         Addr a = addr + i;
         touchPage(a)[a & (pageSize - 1)] =

@@ -72,6 +72,15 @@ class MemoryImage
     Page &touchPage(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    /**
+     * One-entry translation cache. The simulated working sets walk
+     * small regions, so consecutive accesses overwhelmingly land on
+     * the same page; caching the last page skips the hash lookup.
+     * Pages are never deallocated, so the pointer cannot dangle.
+     */
+    mutable Addr cachedPageNum_ = ~Addr{0};
+    mutable Page *cachedPage_ = nullptr;
 };
 
 } // namespace specslice::arch

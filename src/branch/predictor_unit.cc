@@ -3,13 +3,23 @@
 namespace specslice::branch
 {
 
+BranchPredictorUnit::Handles::Handles(StatGroup &g)
+    : condOverridden(g.scalar("cond_overridden")),
+      condPredictions(g.scalar("cond_predictions")),
+      indirectPredictions(g.scalar("indirect_predictions")),
+      condUpdates(g.scalar("cond_updates")),
+      indirectUpdates(g.scalar("indirect_updates"))
+{
+}
+
 BranchPredictorUnit::BranchPredictorUnit(const PredictorConfig &cfg)
     : ghist_(cfg.historyBits),
       phist_(cfg.pathBits),
       yags_(cfg.yags),
       indirect_(cfg.indirect),
       ras_(cfg.rasEntries),
-      stats_("bp")
+      stats_("bp"),
+      s_(stats_)
 {
 }
 
@@ -37,11 +47,11 @@ BranchPredictorUnit::predictCond(Addr pc, int override_dir,
     bool taken;
     if (override_dir >= 0) {
         taken = override_dir != 0;
-        stats_.add("cond_overridden");
+        ++s_.condOverridden;
     } else {
         taken = yags_.predict(pc, ctx.ghist);
     }
-    stats_.add("cond_predictions");
+    ++s_.condPredictions;
     ghist_.shift(taken);
     return taken;
 }
@@ -52,7 +62,7 @@ BranchPredictorUnit::predictIndirect(Addr pc, PredictContext &ctx)
     ctx.ghist = ghist_.value();
     ctx.phist = phist_.value();
     Addr target = indirect_.predict(pc, ctx.phist);
-    stats_.add("indirect_predictions");
+    ++s_.indirectPredictions;
     if (target != invalidAddr)
         phist_.shift(target);
     return target;
@@ -75,7 +85,7 @@ BranchPredictorUnit::updateCond(Addr pc, const PredictContext &ctx,
                                 bool taken)
 {
     yags_.update(pc, ctx.ghist, taken);
-    stats_.add("cond_updates");
+    ++s_.condUpdates;
 }
 
 void
@@ -83,7 +93,7 @@ BranchPredictorUnit::updateIndirect(Addr pc, const PredictContext &ctx,
                                     Addr target)
 {
     indirect_.update(pc, ctx.phist, target);
-    stats_.add("indirect_updates");
+    ++s_.indirectUpdates;
 }
 
 } // namespace specslice::branch

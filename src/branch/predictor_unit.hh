@@ -105,12 +105,24 @@ class BranchPredictorUnit
     const StatGroup &stats() const { return stats_; }
 
   private:
+    /** Handles into stats_, registered once at construction. */
+    struct Handles
+    {
+        explicit Handles(StatGroup &g);
+        Stat &condOverridden;
+        Stat &condPredictions;
+        Stat &indirectPredictions;
+        Stat &condUpdates;
+        Stat &indirectUpdates;
+    };
+
     GlobalHistory ghist_;
     PathHistory phist_;
     YagsPredictor yags_;
     CascadedIndirectPredictor indirect_;
     ReturnAddressStack ras_;
     StatGroup stats_;
+    Handles s_;
 };
 
 } // namespace specslice::branch

@@ -1,5 +1,7 @@
 #include "common/stats.hh"
 
+#include <limits>
+
 namespace specslice
 {
 
@@ -19,7 +21,7 @@ std::uint64_t
 StatGroup::get(const std::string &stat) const
 {
     auto it = counters_.find(stat);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : it->second.value();
 }
 
 double
@@ -27,21 +29,24 @@ StatGroup::ratio(const std::string &num, const std::string &den) const
 {
     std::uint64_t d = get(den);
     if (d == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return static_cast<double>(get(num)) / static_cast<double>(d);
 }
 
 void
 StatGroup::reset()
 {
-    counters_.clear();
+    // Zero in place: handles returned by scalar() stay valid, and
+    // counters registered before the reset remain visible afterwards.
+    for (auto &[k, v] : counters_)
+        v = 0;
 }
 
 void
 StatGroup::merge(const StatGroup &other)
 {
     for (const auto &[k, v] : other.counters_)
-        counters_[k] += v;
+        counters_[k] += v.value();
 }
 
 void
@@ -50,7 +55,7 @@ StatGroup::dump(std::ostream &os) const
     for (const auto &[k, v] : counters_) {
         if (!name_.empty())
             os << name_ << '.';
-        os << k << ' ' << v << '\n';
+        os << k << ' ' << v.value() << '\n';
     }
 }
 

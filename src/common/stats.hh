@@ -1,7 +1,14 @@
 /**
  * @file
- * A small statistics package: named scalar counters grouped in a
- * registry, with formatted dumping. Modeled (loosely) on gem5's stats.
+ * A small statistics package modeled (loosely) on gem5's stats: scalar
+ * counters registered once per component and bumped through stable
+ * handles on the hot path, with a string-keyed cold-path view
+ * (get/dump/merge) for reporting and tests.
+ *
+ * Hot-path contract: a component calls StatGroup::scalar("name") once
+ * at construction and stores the returned Stat reference; per-event
+ * accounting is then a pointer-indirect increment, never a string
+ * compare or a map walk.
  */
 
 #ifndef SPECSLICE_COMMON_STATS_HH
@@ -15,13 +22,59 @@
 namespace specslice
 {
 
+/**
+ * A single registered scalar counter. Lives inside a StatGroup's map
+ * (node-based, so the address is stable for the group's lifetime);
+ * components hold references and increment through them directly.
+ */
+class Stat
+{
+  public:
+    Stat &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Stat &
+    operator+=(std::uint64_t delta)
+    {
+        value_ += delta;
+        return *this;
+    }
+
+    Stat &
+    operator=(std::uint64_t v)
+    {
+        value_ = v;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    operator std::uint64_t() const { return value_; }
+
+  private:
+    friend class StatGroup;
+    std::uint64_t value_ = 0;
+};
+
 /** A named group of scalar statistics. */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
 
-    /** Add delta to the named counter (creating it at zero if new). */
+    /**
+     * Register (or look up) the named counter and return a handle to
+     * it. The reference remains valid for the group's lifetime;
+     * reset() zeroes the counter without invalidating handles.
+     * Registered counters appear in dump()/counters() even when zero.
+     */
+    Stat &scalar(const std::string &stat) { return counters_[stat]; }
+
+    /** Add delta to the named counter (creating it at zero if new).
+     *  Cold-path convenience; hot paths use scalar() handles. */
     void add(const std::string &stat, std::uint64_t delta = 1);
 
     /** Set the named counter to an absolute value. */
@@ -30,17 +83,23 @@ class StatGroup
     /** @return the value of the named counter (0 if never touched). */
     std::uint64_t get(const std::string &stat) const;
 
-    /** @return value of numerator / value of denominator, or 0. */
+    /**
+     * @return value of numerator / value of denominator, or a quiet
+     * NaN when the denominator is zero ("no data" is distinguishable
+     * from a true 0.0 ratio; formatters print it as "n/a").
+     */
     double ratio(const std::string &num, const std::string &den) const;
 
-    /** Reset all counters to zero. */
+    /** Zero all counters in place. Registrations (and outstanding
+     *  Stat handles) survive, so counters registered before a
+     *  warm-up reset still appear — as 0 — in the final dump. */
     void reset();
 
     /** Merge another group's counters into this one (summing). */
     void merge(const StatGroup &other);
 
     const std::string &name() const { return name_; }
-    const std::map<std::string, std::uint64_t> &counters() const
+    const std::map<std::string, Stat> &counters() const
     {
         return counters_;
     }
@@ -50,7 +109,7 @@ class StatGroup
 
   private:
     std::string name_;
-    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Stat> counters_;
 };
 
 } // namespace specslice

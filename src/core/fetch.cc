@@ -122,7 +122,7 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
     if (t.fetchStallUntil > cycle_ || t.fetchEnded)
         return false;
     if (windowCounterFor(t.isSlice) >= cfg_.windowSize) {
-        stats_.add("fetch_window_stalls");
+        ++s_.fetchWindowStalls;
         return false;
     }
 
@@ -136,8 +136,7 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
         t.fetchLine = line;
         if (lat > cfg_.memory.l1Latency) {
             t.fetchStallUntil = cycle_ + (lat - cfg_.memory.l1Latency);
-            stats_.add("icache_stall_cycles",
-                       lat - cfg_.memory.l1Latency);
+            s_.icacheStallCycles += lat - cfg_.memory.l1Latency;
             return false;
         }
     }
@@ -288,7 +287,7 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
     if (next_pc == invalidAddr) {
         t.fetchStallUntil = stallForever;
         end_fetch_group = true;
-        stats_.add("indirect_fetch_stalls");
+        ++s_.indirectFetchStalls;
     } else {
         t.fetchPc = next_pc;
     }
@@ -324,7 +323,7 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
     if (t.isSlice && !di.wrongPath && di.fx.fault) {
         terminateSliceFetch(t, tid);
         end_fetch_group = true;
-        stats_.add("slice_faults");
+        ++s_.sliceFaults;
     }
 
     // ---- dependence tracking & window insertion ----
@@ -333,7 +332,7 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
 
     SeqNum seq = di.seq;
     bool issue_ready = !di.wrongPath && di.pendingSrcs == 0;
-    inFlight_.emplace(seq, std::move(di));
+    DynInst &win = inFlight_.emplace(seq, std::move(di));
     t.rob.push_back(seq);
     ++windowCounterFor(t.isSlice);
     ++t.icount;
@@ -342,11 +341,11 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
         ready_.insert(seq);
 
     if (t.isSlice) {
-        stats_.add("slice_fetched");
+        ++s_.sliceFetched;
     } else {
-        stats_.add("main_fetched");
-        if (inFlight_.at(seq).wrongPath)
-            stats_.add("main_fetched_wrongpath");
+        ++s_.mainFetched;
+        if (win.wrongPath)
+            ++s_.mainFetchedWrongpath;
     }
 
     return !end_fetch_group;
@@ -366,7 +365,7 @@ SmtCore::forkSlice(DynInst &fork_inst, int slice_idx)
         auto it = forkGate_.find(desc.forkPc);
         if (it != forkGate_.end() && !it->second.confidence.taken()) {
             if (++it->second.probe < 32) {
-                stats_.add("forks_gated");
+                ++s_.forksGated;
                 return;
             }
             it->second.probe = 0;
@@ -382,7 +381,7 @@ SmtCore::forkSlice(DynInst &fork_inst, int slice_idx)
     }
     if (free_tid == invalidThread) {
         // "If no threads are idle, the fork request is ignored."
-        stats_.add("forks_ignored");
+        ++s_.forksIgnored;
         return;
     }
 
@@ -412,7 +411,7 @@ SmtCore::forkSlice(DynInst &fork_inst, int slice_idx)
 
     fork_inst.forkedThread = free_tid;
     correlator_.onFork(desc, free_tid, fork_inst.seq);
-    stats_.add("forks");
+    ++s_.forks;
 }
 
 void
@@ -449,7 +448,7 @@ SmtCore::adjustSliceLoad(ThreadCtx &t, DynInst &di)
         }
         t.regs.write(di.si->rc, v);
         di.fx.value = v;
-        stats_.add("slice_loads_fork_adjusted");
+        ++s_.sliceLoadsForkAdjusted;
         return;  // oldest matching entry = value as of the fork
     }
 }

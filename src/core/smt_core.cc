@@ -9,6 +9,45 @@
 namespace specslice::core
 {
 
+SmtCore::Handles::Handles(StatGroup &g)
+    : fetchWindowStalls(g.scalar("fetch_window_stalls")),
+      icacheStallCycles(g.scalar("icache_stall_cycles")),
+      indirectFetchStalls(g.scalar("indirect_fetch_stalls")),
+      sliceFaults(g.scalar("slice_faults")),
+      sliceFetched(g.scalar("slice_fetched")),
+      mainFetched(g.scalar("main_fetched")),
+      mainFetchedWrongpath(g.scalar("main_fetched_wrongpath")),
+      forksGated(g.scalar("forks_gated")),
+      forksIgnored(g.scalar("forks_ignored")),
+      forks(g.scalar("forks")),
+      sliceLoadsForkAdjusted(g.scalar("slice_loads_fork_adjusted")),
+      mainStores(g.scalar("main_stores")),
+      mainStoreMisses(g.scalar("main_store_misses")),
+      slicePrefetches(g.scalar("slice_prefetches")),
+      mainLoads(g.scalar("main_loads")),
+      mainLoadMisses(g.scalar("main_load_misses")),
+      mainCoveredMisses(g.scalar("main_covered_misses")),
+      condBranches(g.scalar("cond_branches")),
+      mispredictions(g.scalar("mispredictions")),
+      correlatorUsed(g.scalar("correlator_used")),
+      correlatorWrong(g.scalar("correlator_wrong")),
+      indirectBranches(g.scalar("indirect_branches")),
+      indirectMispredictions(g.scalar("indirect_mispredictions")),
+      returns(g.scalar("returns")),
+      returnMispredictions(g.scalar("return_mispredictions")),
+      sliceLocalSquashes(g.scalar("slice_local_squashes")),
+      forksSquashed(g.scalar("forks_squashed")),
+      sliceSquashedInsts(g.scalar("slice_squashed_insts")),
+      mainSquashedInsts(g.scalar("main_squashed_insts")),
+      lateAgreements(g.scalar("late_agreements")),
+      lateReversals(g.scalar("late_reversals")),
+      retireWbStalls(g.scalar("retire_wb_stalls")),
+      sliceRetired(g.scalar("slice_retired")),
+      slicesTerminatedDead(g.scalar("slices_terminated_dead")),
+      slicesCompleted(g.scalar("slices_completed"))
+{
+}
+
 SmtCore::SmtCore(const CoreConfig &cfg, const isa::Program &program,
                  arch::MemoryImage &mem)
     : cfg_(cfg),
@@ -18,7 +57,8 @@ SmtCore::SmtCore(const CoreConfig &cfg, const isa::Program &program,
       bpu_(cfg.predictor),
       sliceTable_(cfg.sliceTable),
       correlator_(cfg.correlator),
-      stats_("core")
+      stats_("core"),
+      s_(stats_)
 {
     SS_ASSERT(cfg.numThreads >= 1, "need at least the main thread");
     threads_.resize(cfg.numThreads);
@@ -33,8 +73,7 @@ SmtCore::loadSlice(const slice::SliceDescriptor &desc)
 DynInst *
 SmtCore::inst(SeqNum seq)
 {
-    auto it = inFlight_.find(seq);
-    return it == inFlight_.end() ? nullptr : &it->second;
+    return inFlight_.find(seq);
 }
 
 SeqNum
@@ -103,25 +142,25 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     RunResult res;
     res.cycles = cycle_ - measure_start;
     res.mainRetired = mainRetired_ - measured_base;
-    res.mainFetched = stats_.get("main_fetched");
-    res.mainFetchedWrongPath = stats_.get("main_fetched_wrongpath");
-    res.sliceFetched = stats_.get("slice_fetched");
-    res.sliceRetired = stats_.get("slice_retired");
-    res.condBranches = stats_.get("cond_branches");
-    res.mispredictions = stats_.get("mispredictions");
-    res.loads = stats_.get("main_loads");
-    res.l1dMissesMain = stats_.get("main_load_misses");
+    res.mainFetched = s_.mainFetched;
+    res.mainFetchedWrongPath = s_.mainFetchedWrongpath;
+    res.sliceFetched = s_.sliceFetched;
+    res.sliceRetired = s_.sliceRetired;
+    res.condBranches = s_.condBranches;
+    res.mispredictions = s_.mispredictions;
+    res.loads = s_.mainLoads;
+    res.l1dMissesMain = s_.mainLoadMisses;
     res.coveredMisses = hierarchy_.stats().get("covered_misses");
-    res.slicePrefetches = stats_.get("slice_prefetches");
-    res.forks = stats_.get("forks");
-    res.forksSquashed = stats_.get("forks_squashed");
-    res.forksIgnored = stats_.get("forks_ignored");
+    res.slicePrefetches = s_.slicePrefetches;
+    res.forks = s_.forks;
+    res.forksSquashed = s_.forksSquashed;
+    res.forksIgnored = s_.forksIgnored;
     res.predictionsGenerated =
         correlator_.stats().get("predictions_generated");
-    res.correlatorUsed = stats_.get("correlator_used");
-    res.correlatorWrong = stats_.get("correlator_wrong");
+    res.correlatorUsed = s_.correlatorUsed;
+    res.correlatorWrong = s_.correlatorWrong;
     res.latePredictions = correlator_.stats().get("matches_late");
-    res.lateReversals = stats_.get("late_reversals");
+    res.lateReversals = s_.lateReversals;
     res.detail.merge(stats_);
     res.detail.merge(hierarchy_.stats());
     res.detail.merge(correlator_.stats());
@@ -271,9 +310,9 @@ SmtCore::issueMemAccess(DynInst &di)
                 ++c.storeMiss;
         }
         if (!di.sliceThread) {
-            stats_.add("main_stores");
+            ++s_.mainStores;
             if (!res.l1Hit && !res.pvBufHit && !res.writeBufferHit)
-                stats_.add("main_store_misses");
+                ++s_.mainStoreMisses;
         }
         return 1;
     }
@@ -284,13 +323,13 @@ SmtCore::issueMemAccess(DynInst &di)
                          !res.writeBufferHit;
 
     if (di.sliceThread) {
-        stats_.add("slice_prefetches");
+        ++s_.slicePrefetches;
     } else {
-        stats_.add("main_loads");
+        ++s_.mainLoads;
         if (l1_level_miss)
-            stats_.add("main_load_misses");
+            ++s_.mainLoadMisses;
         if (res.coveredBySlice)
-            stats_.add("main_covered_misses");
+            ++s_.mainCoveredMisses;
         if (profileEnabled_) {
             auto &c = profile_.perPc[di.pc];
             ++c.loadExec;
@@ -342,13 +381,13 @@ SmtCore::resolveBranch(DynInst &di)
 
     if (!di.sliceThread) {
         if (di.si->isCondBranch()) {
-            stats_.add("cond_branches");
+            ++s_.condBranches;
             if (mispredicted)
-                stats_.add("mispredictions");
+                ++s_.mispredictions;
             if (di.usedCorrelator) {
-                stats_.add("correlator_used");
+                ++s_.correlatorUsed;
                 if (mispredicted) {
-                    stats_.add("correlator_wrong");
+                    ++s_.correlatorWrong;
                     if (traceEnabled())
                         std::fprintf(stderr,
                             "[trace] corr-wrong pc=0x%llx seq=%llu "
@@ -364,14 +403,14 @@ SmtCore::resolveBranch(DynInst &di)
                 recordBranchProfile(di, mispredicted);
             bpu_.updateCond(di.pc, di.bpCtx, actual_taken);
         } else if (di.si->isIndirect() && !di.si->isReturn()) {
-            stats_.add("indirect_branches");
+            ++s_.indirectBranches;
             if (mispredicted)
-                stats_.add("indirect_mispredictions");
+                ++s_.indirectMispredictions;
             bpu_.updateIndirect(di.pc, di.bpCtx, actual_next);
         } else if (di.si->isReturn()) {
-            stats_.add("returns");
+            ++s_.returns;
             if (mispredicted)
-                stats_.add("return_mispredictions");
+                ++s_.returnMispredictions;
         }
     }
 
@@ -392,7 +431,7 @@ SmtCore::resolveBranch(DynInst &di)
             bpu_.shiftResolvedTarget(actual_next);
     } else {
         correlator_.squashSlice(t.forkSeq, di.seq);
-        stats_.add("slice_local_squashes");
+        ++s_.sliceLocalSquashes;
     }
 
     di.predictedTaken = actual_taken;
@@ -417,9 +456,9 @@ SmtCore::squashThread(ThreadId tid, SeqNum younger_than,
     while (!t.rob.empty() && t.rob.back() > younger_than) {
         SeqNum seq = t.rob.back();
         t.rob.pop_back();
-        auto it = inFlight_.find(seq);
-        SS_ASSERT(it != inFlight_.end(), "rob entry missing");
-        DynInst &d = it->second;
+        DynInst *dp = inFlight_.find(seq);
+        SS_ASSERT(dp, "rob entry missing");
+        DynInst &d = *dp;
 
         if (d.setsLastWriter && t.lastWriter[d.si->rc] == d.seq)
             t.lastWriter[d.si->rc] = d.prevWriter;
@@ -430,7 +469,7 @@ SmtCore::squashThread(ThreadId tid, SeqNum younger_than,
             if (st.active && st.isSlice && st.forkSeq == d.seq) {
                 squashThread(d.forkedThread, invalidSeqNum, false);
                 st.active = false;
-                stats_.add("forks_squashed");
+                ++s_.forksSquashed;
             }
         }
 
@@ -452,9 +491,8 @@ SmtCore::squashThread(ThreadId tid, SeqNum younger_than,
                   "occupancy underflow");
         --occupancy;
         --t.icount;
-        stats_.add(d.sliceThread ? "slice_squashed_insts"
-                                 : "main_squashed_insts");
-        inFlight_.erase(it);
+        ++(d.sliceThread ? s_.sliceSquashedInsts : s_.mainSquashedInsts);
+        inFlight_.erase(seq);
     }
 }
 
@@ -478,7 +516,7 @@ SmtCore::handleLateResult(
     if (!br || br->completed || br->wrongPath)
         return;  // consumer resolved, squashed or speculative-dead
     if (late.computedDir == late.usedDir) {
-        stats_.add("late_agreements");
+        ++s_.lateAgreements;
         return;
     }
 
@@ -486,7 +524,7 @@ SmtCore::handleLateResult(
     // disagrees with the direction the branch was fetched with; reverse
     // the prediction and redirect fetch before the branch resolves.
     SS_ASSERT(br->si->isCondBranch(), "late binding on non-branch");
-    stats_.add("late_reversals");
+    ++s_.lateReversals;
 
     ThreadCtx &t = threads_[br->thread];
     if (br->regCheckpointAfter)
@@ -525,7 +563,7 @@ SmtCore::retireStage()
 
             if (d->si->isStore() && !d->sliceThread && !d->fx.fault) {
                 if (!hierarchy_.retireStore(d->fx.memAddr, cycle_)) {
-                    stats_.add("retire_wb_stalls");
+                    ++s_.retireWbStalls;
                     break;  // write buffer full: retry next cycle
                 }
             }
@@ -541,7 +579,7 @@ SmtCore::retireStage()
             --t.icount;
             --budget;
             if (d->sliceThread) {
-                stats_.add("slice_retired");
+                ++s_.sliceRetired;
             } else {
                 ++mainRetired_;
             }
@@ -566,7 +604,7 @@ SmtCore::retireStage()
             squashThread(tid, invalidSeqNum, false);
             correlator_.squashSlice(t.forkSeq, invalidSeqNum);
             t.fetchEnded = true;
-            stats_.add("slices_terminated_dead");
+            ++s_.slicesTerminatedDead;
             releaseSliceThread(tid);
         }
     }
@@ -599,7 +637,7 @@ SmtCore::releaseSliceThread(ThreadId tid)
     }
 
     correlator_.onSliceDone(t.forkSeq);
-    stats_.add("slices_completed");
+    ++s_.slicesCompleted;
 }
 
 } // namespace specslice::core

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <deque>
+#include <optional>
 #include <queue>
 #include <set>
 #include <unordered_map>
@@ -203,11 +204,61 @@ class SmtCore
     PerfectSpec perfect_;
     bool profileEnabled_ = false;
 
+    /**
+     * The in-flight instruction window, keyed by VN#. Sequence
+     * numbers are handed out densely and instructions are inserted in
+     * VN# order, so the live range [base, base + slots) stays within
+     * a few window sizes; a deque of optionals gives O(1) lookup with
+     * no hashing and no per-instruction node allocation. Deque
+     * end-operations keep references to other elements stable, same
+     * as the node-based map this replaces.
+     */
+    class InFlightWindow
+    {
+      public:
+        DynInst *
+        find(SeqNum seq)
+        {
+            if (seq < base_ || seq - base_ >= slots_.size())
+                return nullptr;
+            auto &slot = slots_[seq - base_];
+            return slot ? &*slot : nullptr;
+        }
+
+        /** Insert seq's instruction; seq must be newer than all
+         *  previous insertions. */
+        DynInst &
+        emplace(SeqNum seq, DynInst &&di)
+        {
+            if (slots_.empty())
+                base_ = seq;
+            while (base_ + slots_.size() < seq)
+                slots_.emplace_back(std::nullopt);
+            return *slots_.emplace_back(std::move(di));
+        }
+
+        void
+        erase(SeqNum seq)
+        {
+            if (seq < base_ || seq - base_ >= slots_.size())
+                return;
+            slots_[seq - base_].reset();
+            while (!slots_.empty() && !slots_.front()) {
+                slots_.pop_front();
+                ++base_;
+            }
+        }
+
+      private:
+        SeqNum base_ = 0;
+        std::deque<std::optional<DynInst>> slots_;
+    };
+
     // ---- dynamic state ----
     Cycle cycle_ = 0;
     SeqNum nextSeq_ = 1;
     std::vector<ThreadCtx> threads_;
-    std::unordered_map<SeqNum, DynInst> inFlight_;
+    InFlightWindow inFlight_;
     unsigned windowOccupancy_ = 0;
     /** Separate helper-thread window (dedicated-resources mode). */
     unsigned sliceWindowOccupancy_ = 0;
@@ -227,7 +278,54 @@ class SmtCore
     bool mainHalted_ = false;
 
     // ---- statistics ----
+    /** Handles into stats_, registered once at construction so the
+     *  per-instruction pipeline loops never do string lookups. */
+    struct Handles
+    {
+        explicit Handles(StatGroup &g);
+        // fetch stage
+        Stat &fetchWindowStalls;
+        Stat &icacheStallCycles;
+        Stat &indirectFetchStalls;
+        Stat &sliceFaults;
+        Stat &sliceFetched;
+        Stat &mainFetched;
+        Stat &mainFetchedWrongpath;
+        Stat &forksGated;
+        Stat &forksIgnored;
+        Stat &forks;
+        Stat &sliceLoadsForkAdjusted;
+        // issue/memory
+        Stat &mainStores;
+        Stat &mainStoreMisses;
+        Stat &slicePrefetches;
+        Stat &mainLoads;
+        Stat &mainLoadMisses;
+        Stat &mainCoveredMisses;
+        // resolve/squash
+        Stat &condBranches;
+        Stat &mispredictions;
+        Stat &correlatorUsed;
+        Stat &correlatorWrong;
+        Stat &indirectBranches;
+        Stat &indirectMispredictions;
+        Stat &returns;
+        Stat &returnMispredictions;
+        Stat &sliceLocalSquashes;
+        Stat &forksSquashed;
+        Stat &sliceSquashedInsts;
+        Stat &mainSquashedInsts;
+        Stat &lateAgreements;
+        Stat &lateReversals;
+        // retire
+        Stat &retireWbStalls;
+        Stat &sliceRetired;
+        Stat &slicesTerminatedDead;
+        Stat &slicesCompleted;
+    };
+
     StatGroup stats_;
+    Handles s_;
     PcProfile profile_;
 };
 

@@ -5,6 +5,30 @@
 namespace specslice::mem
 {
 
+MemoryHierarchy::Handles::Handles(StatGroup &g)
+    : memRequests(g.scalar("mem_requests")),
+      hwPrefetches(g.scalar("hw_prefetches")),
+      loads(g.scalar("loads")),
+      stores(g.scalar("stores")),
+      sliceAccesses(g.scalar("slice_accesses")),
+      delayedHits(g.scalar("delayed_hits")),
+      coveredMisses(g.scalar("covered_misses")),
+      l1dHits(g.scalar("l1d_hits")),
+      pvbufHits(g.scalar("pvbuf_hits")),
+      pvbufPrefetchHits(g.scalar("pvbuf_prefetch_hits")),
+      writebufHits(g.scalar("writebuf_hits")),
+      l1dMisses(g.scalar("l1d_misses")),
+      l1dMissesMain(g.scalar("l1d_misses_main")),
+      l1dMissesSlice(g.scalar("l1d_misses_slice")),
+      l2Hits(g.scalar("l2_hits")),
+      l2Misses(g.scalar("l2_misses")),
+      ifetches(g.scalar("ifetches")),
+      pvbufInstHits(g.scalar("pvbuf_inst_hits")),
+      l1iMisses(g.scalar("l1i_misses")),
+      storeMisses(g.scalar("store_misses"))
+{
+}
+
 MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg)
     : cfg_(cfg),
       l1i_(cfg.l1iSize, cfg.l1iAssoc, cfg.l1iLineSize),
@@ -14,7 +38,8 @@ MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg)
       writeBuf_(cfg.writeBufEntries),
       prefetcher_(cfg.prefetchStreams, cfg.l1dLineSize, cfg.prefetchDegree,
                   cfg.sequentialPrefetch),
-      stats_("mem")
+      stats_("mem"),
+      s_(stats_)
 {
 }
 
@@ -25,7 +50,7 @@ MemoryHierarchy::missToMemory(Cycle now)
     // for memBusOccupancy cycles; requests queue behind each other.
     Cycle start = std::max(now, memBusFreeAt_);
     memBusFreeAt_ = start + cfg_.memBusOccupancy;
-    stats_.add("mem_requests");
+    ++s_.memRequests;
     return (start - now) + cfg_.memLatency;
 }
 
@@ -40,7 +65,7 @@ MemoryHierarchy::launchPrefetches(Addr miss_addr, Cycle now)
             continue;
         Cycle lat = l2_.peek(line) ? cfg_.l2Latency : missToMemory(now);
         pvBuf_.insert(line, true, now + lat);
-        stats_.add("hw_prefetches");
+        ++s_.hwPrefetches;
     }
 }
 
@@ -50,9 +75,9 @@ MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
 {
     AccessResult res;
     bool is_main = !is_slice_thread;
-    stats_.add(is_store ? "stores" : "loads");
+    ++(is_store ? s_.stores : s_.loads);
     if (is_slice_thread)
-        stats_.add("slice_accesses");
+        ++s_.sliceAccesses;
 
     // L1D probe (prefetch/victim buffer checked in parallel).
     if (CacheLine *line = l1d_.access(addr, is_main)) {
@@ -65,7 +90,7 @@ MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
         if (pit != pendingFills_.end()) {
             if (now < pit->second.readyAt) {
                 res.latency = pit->second.readyAt - now;
-                stats_.add("delayed_hits");
+                ++s_.delayedHits;
             } else {
                 pendingFills_.erase(pit);
             }
@@ -77,11 +102,11 @@ MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
             // ("covered"). sliceFilled acts as the one-shot marker.
             res.coveredBySlice = true;
             line->sliceFilled = false;
-            stats_.add("covered_misses");
+            ++s_.coveredMisses;
         }
         if (is_store)
             line->dirty = true;
-        stats_.add("l1d_hits");
+        ++s_.l1dHits;
         return res;
     }
 
@@ -90,9 +115,9 @@ MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
         Cycle ready = std::max(entry->readyAt, now);
         res.pvBufHit = true;
         res.latency = cfg_.l1Latency + (ready - now);
-        stats_.add("pvbuf_hits");
+        ++s_.pvbufHits;
         if (entry->fromPrefetch)
-            stats_.add("pvbuf_prefetch_hits");
+            ++s_.pvbufPrefetchHits;
         // Promote into the L1.
         Addr promoted = entry->lineAddr;
         bool was_prefetch = entry->fromPrefetch;
@@ -114,7 +139,7 @@ MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
     if (writeBuf_.contains(l1d_.lineAddr(addr))) {
         res.writeBufferHit = true;
         res.latency = cfg_.l1Latency + 1;
-        stats_.add("writebuf_hits");
+        ++s_.writebufHits;
         Eviction ev = l1d_.fill(addr, true, is_slice_thread);
         if (ev.valid && ev.dirty)
             pvBuf_.insert(ev.lineAddr, false, now);
@@ -122,21 +147,21 @@ MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
     }
 
     // L1 miss.
-    stats_.add("l1d_misses");
+    ++s_.l1dMisses;
     if (is_main)
-        stats_.add("l1d_misses_main");
+        ++s_.l1dMissesMain;
     else
-        stats_.add("l1d_misses_slice");
+        ++s_.l1dMissesSlice;
     launchPrefetches(addr, now);
 
     Cycle lat;
     if (l2_.access(addr, is_main)) {
         res.l2Hit = true;
         lat = cfg_.l1Latency + cfg_.l2Latency;
-        stats_.add("l2_hits");
+        ++s_.l2Hits;
     } else {
         res.memAccess = true;
-        stats_.add("l2_misses");
+        ++s_.l2Misses;
         lat = cfg_.l1Latency + cfg_.l2Latency + missToMemory(now);
         l2_.fill(addr, false, is_slice_thread);
     }
@@ -156,7 +181,7 @@ MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
 Cycle
 MemoryHierarchy::accessInst(Addr pc, Cycle now)
 {
-    stats_.add("ifetches");
+    ++s_.ifetches;
     if (l1i_.access(pc, true))
         return cfg_.l1Latency;
 
@@ -166,16 +191,16 @@ MemoryHierarchy::accessInst(Addr pc, Cycle now)
         Cycle lat = cfg_.l1Latency + (ready - now);
         pvBuf_.remove(entry->lineAddr);
         l1i_.fill(pc, false, false);
-        stats_.add("pvbuf_inst_hits");
+        ++s_.pvbufInstHits;
         return lat;
     }
 
-    stats_.add("l1i_misses");
+    ++s_.l1iMisses;
     Cycle lat;
     if (l2_.access(pc, true)) {
         lat = cfg_.l1Latency + cfg_.l2Latency;
     } else {
-        stats_.add("l2_misses");
+        ++s_.l2Misses;
         lat = cfg_.l1Latency + cfg_.l2Latency + missToMemory(now);
         l2_.fill(pc, false, false);
     }
@@ -194,7 +219,7 @@ MemoryHierarchy::accessInst(Addr pc, Cycle now)
                              ? cfg_.l2Latency
                              : missToMemory(now);
             pvBuf_.insert(next, true, now + plat);
-            stats_.add("hw_prefetches");
+            ++s_.hwPrefetches;
         }
     }
     return lat;
@@ -204,14 +229,14 @@ AccessResult
 MemoryHierarchy::accessStore(Addr addr, Cycle now)
 {
     AccessResult res;
-    stats_.add("stores");
+    ++s_.stores;
     res.latency = 1;
 
     if (CacheLine *line = l1d_.access(addr, true)) {
         res.l1Hit = true;
         line->dirty = true;
         line->sliceFilled = false;
-        stats_.add("l1d_hits");
+        ++s_.l1dHits;
         return res;
     }
     if (auto *entry = pvBuf_.lookup(addr, now)) {
@@ -221,12 +246,12 @@ MemoryHierarchy::accessStore(Addr addr, Cycle now)
         Eviction ev = l1d_.fill(promoted, true, false);
         if (ev.valid)
             pvBuf_.insert(ev.lineAddr, false, now);
-        stats_.add("pvbuf_hits");
+        ++s_.pvbufHits;
         return res;
     }
     if (writeBuf_.contains(l1d_.lineAddr(addr))) {
         res.writeBufferHit = true;
-        stats_.add("writebuf_hits");
+        ++s_.writebufHits;
         return res;
     }
     // Store miss: write-allocate. The line is installed immediately
@@ -234,10 +259,10 @@ MemoryHierarchy::accessStore(Addr addr, Cycle now)
     // dependent load to the just-written data behaves like store
     // forwarding (hits). The write buffer at retirement covers the
     // rare line-evicted-before-retire case.
-    stats_.add("store_misses");
+    ++s_.storeMisses;
     launchPrefetches(addr, now);
     if (!l2_.access(addr, true)) {
-        stats_.add("l2_misses");
+        ++s_.l2Misses;
         missToMemory(now);
         l2_.fill(addr, false, false);
     }

@@ -125,6 +125,33 @@ class MemoryHierarchy
         bool bySlice = false;
     };
 
+    /** Handles into stats_, registered once at construction so the
+     *  access paths do pointer-indirect increments only. */
+    struct Handles
+    {
+        explicit Handles(StatGroup &g);
+        Stat &memRequests;
+        Stat &hwPrefetches;
+        Stat &loads;
+        Stat &stores;
+        Stat &sliceAccesses;
+        Stat &delayedHits;
+        Stat &coveredMisses;
+        Stat &l1dHits;
+        Stat &pvbufHits;
+        Stat &pvbufPrefetchHits;
+        Stat &writebufHits;
+        Stat &l1dMisses;
+        Stat &l1dMissesMain;
+        Stat &l1dMissesSlice;
+        Stat &l2Hits;
+        Stat &l2Misses;
+        Stat &ifetches;
+        Stat &pvbufInstHits;
+        Stat &l1iMisses;
+        Stat &storeMisses;
+    };
+
     MemConfig cfg_;
     SetAssocCache l1i_;
     SetAssocCache l1d_;
@@ -135,6 +162,7 @@ class MemoryHierarchy
     Cycle memBusFreeAt_ = 0;
     std::unordered_map<Addr, PendingFill> pendingFills_;
     StatGroup stats_;
+    Handles s_;
 };
 
 } // namespace specslice::mem

@@ -1,6 +1,7 @@
 #include "sim/table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -62,6 +63,10 @@ Table::render() const
 std::string
 Table::fmt(double v, int precision)
 {
+    // NaN/inf means "no data" (e.g. a ratio over a zero denominator)
+    // — print n/a, not a fake number.
+    if (!std::isfinite(v))
+        return "n/a";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
     return buf;
@@ -70,6 +75,8 @@ Table::fmt(double v, int precision)
 std::string
 Table::pct(double ratio, int precision)
 {
+    if (!std::isfinite(ratio))
+        return "n/a";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
     return buf;

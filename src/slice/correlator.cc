@@ -7,8 +7,31 @@
 namespace specslice::slice
 {
 
+PredictionCorrelator::Handles::Handles(StatGroup &g)
+    : entriesEvictedLive(g.scalar("entries_evicted_live")),
+      entriesAllocated(g.scalar("entries_allocated")),
+      pgiFetchNoEntry(g.scalar("pgi_fetch_no_entry")),
+      predictionsDroppedDead(g.scalar("predictions_dropped_dead")),
+      predictionsDroppedFull(g.scalar("predictions_dropped_full")),
+      killsAppliedFromDebt(g.scalar("kills_applied_from_debt")),
+      predictionsAllocated(g.scalar("predictions_allocated")),
+      predictionsGenerated(g.scalar("predictions_generated")),
+      matchesFull(g.scalar("matches_full")),
+      matchesLate(g.scalar("matches_late")),
+      matchesConflict(g.scalar("matches_conflict")),
+      killsLoop(g.scalar("kills_loop")),
+      killsPending(g.scalar("kills_pending")),
+      killsSlice(g.scalar("kills_slice")),
+      entriesSquashed(g.scalar("entries_squashed")),
+      killsRestored(g.scalar("kills_restored")),
+      consumersSquashed(g.scalar("consumers_squashed")),
+      slotsSliceSquashed(g.scalar("slots_slice_squashed")),
+      slotsRetired(g.scalar("slots_retired"))
+{
+}
+
 PredictionCorrelator::PredictionCorrelator(const Config &cfg)
-    : cfg_(cfg), stats_("correlator")
+    : cfg_(cfg), stats_("correlator"), s_(stats_)
 {
 }
 
@@ -66,7 +89,7 @@ PredictionCorrelator::maybeEvictForCapacity()
             return;
         }
     }
-    stats_.add("entries_evicted_live");
+    ++s_.entriesEvictedLive;
     freeEntry(entries_.begin()->first);
 }
 
@@ -90,7 +113,7 @@ PredictionCorrelator::onFork(const SliceDescriptor &desc, ThreadId thread,
         auto [it, inserted] = entries_.emplace(e.id, e);
         SS_ASSERT(inserted, "duplicate entry id");
         indexEntry(it->second);
-        stats_.add("entries_allocated");
+        ++s_.entriesAllocated;
     }
 }
 
@@ -114,17 +137,17 @@ PredictionCorrelator::onPgiFetch(const PgiSpec &spec, SeqNum fork_seq,
 {
     Entry *e = findEntry(fork_seq, spec.problemBranchPc);
     if (!e) {
-        stats_.add("pgi_fetch_no_entry");
+        ++s_.pgiFetchNoEntry;
         return 0;
     }
     if (e->deadSeq != invalidSeqNum) {
         // The main thread already left this slice's valid region.
-        stats_.add("predictions_dropped_dead");
+        ++s_.predictionsDroppedDead;
         return 0;
     }
     if (e->overflowed || e->slots.size() >= cfg_.predsPerBranch) {
         e->overflowed = true;
-        stats_.add("predictions_dropped_full");
+        ++s_.predictionsDroppedFull;
         return 0;
     }
     Slot s;
@@ -136,11 +159,11 @@ PredictionCorrelator::onPgiFetch(const PgiSpec &spec, SeqNum fork_seq,
         s.killed = true;
         s.killerSeq = e->pendingKills.front();
         e->pendingKills.pop_front();
-        stats_.add("kills_applied_from_debt");
+        ++s_.killsAppliedFromDebt;
     }
     e->slots.push_back(s);
     tokenIndex_.emplace(s.token, e->id);
-    stats_.add("predictions_allocated");
+    ++s_.predictionsAllocated;
     return s.token;
 }
 
@@ -172,7 +195,7 @@ PredictionCorrelator::onPgiExecute(std::uint64_t token, bool dir)
         return res;  // slot evicted/squashed in the meantime
     s->computed = true;
     s->dir = dir;
-    stats_.add("predictions_generated");
+    ++s_.predictionsGenerated;
     if (s->consumerSeq != invalidSeqNum) {
         res.hasConsumer = true;
         res.consumerSeq = s->consumerSeq;
@@ -208,20 +231,20 @@ PredictionCorrelator::onBranchFetch(Addr pc, SeqNum branch_seq,
             if (s.computed) {
                 res.overrideDir = s.dir ? 1 : 0;
                 s.everMatched = true;
-                stats_.add("matches_full");
+                ++s_.matchesFull;
             } else if (s.consumerSeq == invalidSeqNum) {
                 // Late prediction: bind this branch instance; the
                 // traditional predictor supplies the direction.
                 s.consumerSeq = branch_seq;
                 s.consumerUsedDir = default_dir;
                 s.everMatched = true;
-                stats_.add("matches_late");
+                ++s_.matchesLate;
             } else {
                 // Head already has a consumer bound and hasn't been
                 // killed yet: no help for this instance.
                 res.matched = false;
                 res.token = 0;
-                stats_.add("matches_conflict");
+                ++s_.matchesConflict;
             }
             return res;
         }
@@ -254,7 +277,7 @@ PredictionCorrelator::onKillFetch(Addr pc, SeqNum kill_seq)
                     if (!s.killed) {
                         s.killed = true;
                         s.killerSeq = kill_seq;
-                        stats_.add("kills_loop");
+                        ++s_.killsLoop;
                         applied = true;
                         break;
                     }
@@ -263,7 +286,7 @@ PredictionCorrelator::onKillFetch(Addr pc, SeqNum kill_seq)
                     // No slot yet: remember the kill as debt so the
                     // next allocation stays aligned.
                     e.pendingKills.push_back(kill_seq);
-                    stats_.add("kills_pending");
+                    ++s_.killsPending;
                 }
             }
         }
@@ -272,7 +295,7 @@ PredictionCorrelator::onKillFetch(Addr pc, SeqNum kill_seq)
                 if (!s.killed) {
                     s.killed = true;
                     s.killerSeq = kill_seq;
-                    stats_.add("kills_slice");
+                    ++s_.killsSlice;
                 }
             }
             if (e.deadSeq == invalidSeqNum)
@@ -289,7 +312,7 @@ PredictionCorrelator::squashMain(SeqNum squash_seq)
         if (e.forkSeq > squash_seq) {
             // The fork point itself was squashed.
             to_free.push_back(id);
-            stats_.add("entries_squashed");
+            ++s_.entriesSquashed;
             continue;
         }
         if (e.firstLoopKillSeq != invalidSeqNum &&
@@ -304,12 +327,12 @@ PredictionCorrelator::squashMain(SeqNum squash_seq)
             if (s.killed && s.killerSeq > squash_seq) {
                 s.killed = false;
                 s.killerSeq = invalidSeqNum;
-                stats_.add("kills_restored");
+                ++s_.killsRestored;
             }
             if (s.consumerSeq != invalidSeqNum &&
                 s.consumerSeq > squash_seq) {
                 s.consumerSeq = invalidSeqNum;
-                stats_.add("consumers_squashed");
+                ++s_.consumersSquashed;
             }
         }
     }
@@ -329,7 +352,7 @@ PredictionCorrelator::squashSlice(SeqNum fork_seq, SeqNum younger_than)
                !e.slots.back().killed) {
             tokenIndex_.erase(e.slots.back().token);
             e.slots.pop_back();
-            stats_.add("slots_slice_squashed");
+            ++s_.slotsSliceSquashed;
         }
     }
 }
@@ -382,7 +405,7 @@ PredictionCorrelator::retireUpTo(SeqNum bound)
             if (s.killed && s.killerSeq <= bound) {
                 tokenIndex_.erase(s.token);
                 e.slots.pop_front();
-                stats_.add("slots_retired");
+                ++s_.slotsRetired;
             } else {
                 break;
             }

@@ -197,6 +197,37 @@ TEST(CorrelatorTest, QueueOverflowStopsAllocating)
     EXPECT_EQ(c.onPgiFetch(sd.pgis[0], 100, 1004), 0u);
 }
 
+TEST(CorrelatorTest, OverflowStaysStickyAcrossSliceSquash)
+{
+    PredictionCorrelator::Config cfg;
+    cfg.predsPerBranch = 2;
+    PredictionCorrelator c(cfg);
+    SliceDescriptor sd = makeSlice();
+    c.onFork(sd, 1, 100);
+    EXPECT_NE(c.onPgiFetch(sd.pgis[0], 100, 1001), 0u);
+    EXPECT_NE(c.onPgiFetch(sd.pgis[0], 100, 1002), 0u);
+    // Third prediction overflows: it corresponds to branch instance 3
+    // but never got a slot.
+    EXPECT_EQ(c.onPgiFetch(sd.pgis[0], 100, 1003), 0u);
+
+    // A slice-local squash discards the (uncomputed) second slot. The
+    // freed capacity must NOT reopen the entry: the next PGI the
+    // re-fetched slice generates is for instance 2, but the correlator
+    // cannot know whether the slice replays instance 2 or continues
+    // from instance 4 — the slot/instance alignment is unrecoverable
+    // once a prediction was dropped.
+    c.squashSlice(100, 1001);
+    EXPECT_EQ(c.onPgiFetch(sd.pgis[0], 100, 1004), 0u);
+
+    // A main-thread squash of the fork itself frees the whole entry;
+    // a fresh fork starts over with alignment intact and accepts
+    // predictions again.
+    c.squashMain(50);
+    EXPECT_EQ(c.liveEntries(), 0u);
+    c.onFork(sd, 1, 300);
+    EXPECT_NE(c.onPgiFetch(sd.pgis[0], 300, 2001), 0u);
+}
+
 TEST(CorrelatorTest, DeadEntryRejectsLatePgiFetches)
 {
     PredictionCorrelator c;

@@ -10,12 +10,14 @@
  *   specslice_run --list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "bench_common.hh"
 #include "sim/experiments.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
@@ -38,6 +40,7 @@ struct Options
     bool limit = false;
     bool profile = false;
     bool stats = false;
+    bool json = false;      // machine-readable result on stdout
     bool disasm = false;
     bool list = false;
     bool compare = false;   // run baseline AND slices, print speedup
@@ -60,6 +63,7 @@ usage(int code)
         "  --limit           constrained limit study instead of slices\n"
         "  --profile         print the problem-instruction profile\n"
         "  --stats           dump all detail counters\n"
+        "  --json            print the result as JSON on stdout\n"
         "  --disasm          print the program and slice disassembly\n"
         "  --list            list available workloads\n");
     std::exit(code);
@@ -110,6 +114,8 @@ parseArgs(int argc, char **argv)
             o.profile = true;
         else if (a == "--stats")
             o.stats = true;
+        else if (a == "--json")
+            o.json = true;
         else if (a == "--disasm")
             o.disasm = true;
         else if (a == "--list")
@@ -120,6 +126,22 @@ parseArgs(int argc, char **argv)
             usage(2);
     }
     return o;
+}
+
+/** Run one configuration, timing the simulation wall clock. */
+bench::WorkloadPerf
+timedRun(const std::string &name, sim::Simulator &machine,
+         const sim::Workload &wl, const sim::RunOptions &opts,
+         bool slices)
+{
+    bench::WorkloadPerf p;
+    p.name = name;
+    auto t0 = std::chrono::steady_clock::now();
+    p.result = slices ? machine.run(wl, opts, true)
+                      : machine.runBaseline(wl, opts);
+    auto t1 = std::chrono::steady_clock::now();
+    p.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    return p;
 }
 
 void
@@ -174,12 +196,14 @@ main(int argc, char **argv)
     opts.warmupInstructions = o.warmup;
     opts.profile = o.profile;
 
-    std::printf("%s on the %u-wide machine (%llu measured insts, "
-                "%llu warm-up)\n",
-                wl.name.c_str(), o.width,
-                static_cast<unsigned long long>(o.insts),
-                static_cast<unsigned long long>(o.warmup));
+    if (!o.json)
+        std::printf("%s on the %u-wide machine (%llu measured insts, "
+                    "%llu warm-up)\n",
+                    wl.name.c_str(), o.width,
+                    static_cast<unsigned long long>(o.insts),
+                    static_cast<unsigned long long>(o.warmup));
 
+    std::vector<bench::WorkloadPerf> runs;
     sim::RunResult result;
     if (o.limit) {
         sim::ExperimentConfig ecfg;
@@ -188,18 +212,40 @@ main(int argc, char **argv)
         ecfg.seed = o.seed;
         auto lo = sim::limitOptions(wl, ecfg);
         lo.profile = o.profile;
-        result = machine.runBaseline(wl, lo);
-        printResult("limit", result);
+        runs.push_back(timedRun("limit", machine, wl, lo, false));
+        result = runs.back().result;
     } else if (o.compare) {
-        auto base = machine.runBaseline(wl, opts);
-        auto sliced = machine.run(wl, opts, true);
-        printResult("baseline", base);
-        printResult("slices", sliced);
-        std::printf("speedup: %+.1f%%\n", sim::speedupPct(base, sliced));
-        result = sliced;
+        runs.push_back(timedRun("baseline", machine, wl, opts, false));
+        runs.push_back(timedRun("slices", machine, wl, opts, true));
+        result = runs.back().result;
     } else {
-        result = machine.run(wl, opts, o.slices);
-        printResult(o.slices ? "slices" : "baseline", result);
+        runs.push_back(timedRun(o.slices ? "slices" : "baseline",
+                                machine, wl, opts, o.slices));
+        result = runs.back().result;
+    }
+
+    if (o.json) {
+        std::vector<std::string> elems;
+        for (const auto &p : runs)
+            elems.push_back(bench::perfRecord(p).str());
+        bench::JsonObject doc;
+        doc.field("workload", wl.name)
+            .field("width", std::uint64_t{o.width})
+            .field("insts", o.insts)
+            .field("warmup", o.warmup)
+            .field("seed", o.seed)
+            .raw("runs", bench::jsonArray(elems));
+        if (o.compare)
+            doc.field("speedup_pct",
+                      sim::speedupPct(runs[0].result, runs[1].result));
+        std::printf("%s\n", doc.str().c_str());
+    } else {
+        for (const auto &p : runs)
+            printResult(p.name.c_str(), p.result);
+        if (o.compare)
+            std::printf("speedup: %+.1f%%\n",
+                        sim::speedupPct(runs[0].result,
+                                        runs[1].result));
     }
 
     if (o.profile) {
@@ -230,8 +276,13 @@ main(int argc, char **argv)
     }
 
     if (o.stats) {
-        std::printf("\n");
-        result.detail.dump(std::cout);
+        if (o.json) {
+            // Keep stdout pure JSON; detail goes to stderr.
+            result.detail.dump(std::cerr);
+        } else {
+            std::printf("\n");
+            result.detail.dump(std::cout);
+        }
     }
     return 0;
 }
