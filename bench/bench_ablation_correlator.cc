@@ -17,7 +17,7 @@
 using namespace specslice;
 using bench::benchOpts;
 using bench::benchParams;
-using bench::speedupPct;
+using sim::speedupPct;
 
 namespace
 {
@@ -32,8 +32,9 @@ struct Mode
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Ablation: prediction correlator mechanisms "
                 "(speedup over no-slice baseline, %%)\n\n");
 
@@ -43,12 +44,13 @@ main()
         {"1-slot-queue", true, 1},
     };
 
-    const char *benches[] = {"vpr", "twolf", "gzip", "eon", "gap"};
+    const std::vector<std::string> benches = {"vpr", "twolf", "gzip",
+                                              "eon", "gap"};
 
     sim::Table table({"Program", "full", "no-dead-stop", "1-slot",
                       "wrong(full)", "wrong(1-slot)"});
 
-    for (const char *name : benches) {
+    auto rows = pool.map(benches, [&](const std::string &name) {
         auto wl = workloads::buildWorkload(name, benchParams());
 
         sim::Simulator base_sim(sim::MachineConfig::fourWide());
@@ -69,12 +71,14 @@ main()
                 wrong_one = res.correlatorWrong;
         }
 
-        table.addRow({name, sim::Table::fmt(spd[0], 1),
-                      sim::Table::fmt(spd[1], 1),
-                      sim::Table::fmt(spd[2], 1),
-                      sim::Table::count(wrong_full),
-                      sim::Table::count(wrong_one)});
-    }
+        return std::vector<std::string>{
+            name, sim::Table::fmt(spd[0], 1),
+            sim::Table::fmt(spd[1], 1), sim::Table::fmt(spd[2], 1),
+            sim::Table::count(wrong_full),
+            sim::Table::count(wrong_one)};
+    });
+    for (const auto &row : rows)
+        table.addRow(row);
 
     std::printf("%s\n", table.render().c_str());
     std::printf("Expected shape: the full configuration wins; removing "

@@ -16,20 +16,22 @@
 using namespace specslice;
 using bench::benchOpts;
 using bench::benchParams;
-using bench::speedupPct;
+using sim::speedupPct;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Ablation: helper-thread contexts and ICOUNT bias "
                 "(speedup over baseline, %%)\n\n");
 
-    const char *benches[] = {"vpr", "gzip", "twolf", "mcf"};
+    const std::vector<std::string> benches = {"vpr", "gzip", "twolf",
+                                              "mcf"};
 
     {
         sim::Table table({"Program", "2 threads", "3 threads",
                           "4 threads", "ignored@2", "ignored@4"});
-        for (const char *name : benches) {
+        auto rows = pool.map(benches, [&](const std::string &name) {
             auto wl = workloads::buildWorkload(name, benchParams());
             sim::Simulator base_sim(sim::MachineConfig::fourWide());
             auto base = base_sim.runBaseline(wl, benchOpts());
@@ -48,12 +50,14 @@ main()
                 if (threads[i] == 4)
                     ignored4 = res.forksIgnored;
             }
-            table.addRow({name, sim::Table::fmt(spd[0], 1),
-                          sim::Table::fmt(spd[1], 1),
-                          sim::Table::fmt(spd[2], 1),
-                          sim::Table::count(ignored2),
-                          sim::Table::count(ignored4)});
-        }
+            return std::vector<std::string>{
+                name, sim::Table::fmt(spd[0], 1),
+                sim::Table::fmt(spd[1], 1), sim::Table::fmt(spd[2], 1),
+                sim::Table::count(ignored2),
+                sim::Table::count(ignored4)};
+        });
+        for (const auto &row : rows)
+            table.addRow(row);
         std::printf("Idle helper contexts (1 / 2 / 3 helpers):\n%s\n",
                     table.render().c_str());
     }
@@ -61,7 +65,7 @@ main()
     {
         sim::Table table({"Program", "bias 0", "bias 8", "bias 16",
                           "bias 48"});
-        for (const char *name : benches) {
+        auto rows = pool.map(benches, [&](const std::string &name) {
             auto wl = workloads::buildWorkload(name, benchParams());
             sim::Simulator base_sim(sim::MachineConfig::fourWide());
             auto base = base_sim.runBaseline(wl, benchOpts());
@@ -75,8 +79,10 @@ main()
                 auto res = simr.run(wl, benchOpts(), true);
                 row.push_back(sim::Table::fmt(speedupPct(base, res), 1));
             }
+            return row;
+        });
+        for (const auto &row : rows)
             table.addRow(row);
-        }
         std::printf("ICOUNT main-thread fetch bias:\n%s\n",
                     table.render().c_str());
     }

@@ -22,21 +22,23 @@
 using namespace specslice;
 using bench::benchOpts;
 using bench::benchParams;
-using bench::speedupPct;
+using sim::speedupPct;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Ablation: Section 6.3 overhead reduction "
                 "(speedup over no-slice baseline, %%)\n\n");
 
-    const char *benches[] = {"bzip2", "crafty", "gzip", "twolf", "vpr"};
+    const std::vector<std::string> benches = {"bzip2", "crafty", "gzip",
+                                              "twolf", "vpr"};
 
     sim::Table table({"Program", "shared", "fork-gated", "dedicated",
                       "gated forks", "slice fetch% (shared)",
                       "(dedicated)"});
 
-    for (const char *name : benches) {
+    auto rows = pool.map(benches, [&](const std::string &name) {
         auto wl = workloads::buildWorkload(name, benchParams());
         sim::Simulator base_sim(sim::MachineConfig::fourWide());
         auto base = base_sim.runBaseline(wl, benchOpts());
@@ -61,7 +63,7 @@ main()
                          : 0.0;
         };
 
-        table.addRow({
+        return std::vector<std::string>{
             name,
             sim::Table::fmt(speedupPct(base, shared), 1),
             sim::Table::fmt(speedupPct(base, gated), 1),
@@ -69,8 +71,10 @@ main()
             sim::Table::count(gated.detail.get("forks_gated")),
             sim::Table::fmt(fetch_pct(shared), 0),
             sim::Table::fmt(fetch_pct(ded), 0),
-        });
-    }
+        };
+    });
+    for (const auto &row : rows)
+        table.addRow(row);
 
     std::printf("%s\n", table.render().c_str());
     std::printf(

@@ -16,9 +16,11 @@
 #ifndef SPECSLICE_BENCH_COMMON_HH
 #define SPECSLICE_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -26,6 +28,7 @@
 
 #include "profile/pde_profile.hh"
 #include "sim/experiments.hh"
+#include "sim/job_pool.hh"
 #include "sim/simulator.hh"
 #include "sim/table.hh"
 #include "workloads/workloads.hh"
@@ -104,6 +107,79 @@ benchOpts(bool profile = false)
     return o;
 }
 
+/**
+ * Parse a `--jobs N` option out of argv (any position). Returns the
+ * parsed count, or 0 (meaning "pool default": SS_JOBS or the hardware
+ * concurrency) when the flag is absent. Bad values abort with a usage
+ * message rather than silently running serial.
+ */
+inline unsigned
+jobsOption(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") != 0)
+            continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: --jobs requires a count\n");
+            std::exit(2);
+        }
+        const char *v = argv[i + 1];
+        char *end = nullptr;
+        errno = 0;
+        unsigned long parsed = std::strtoul(v, &end, 10);
+        if (*v == '\0' || v[0] == '-' || !end || *end != '\0' ||
+            errno == ERANGE || parsed == 0 || parsed > 4096) {
+            std::fprintf(stderr,
+                         "error: --jobs %s is not a job count in "
+                         "[1, 4096]\n",
+                         v);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(parsed);
+    }
+    return 0;
+}
+
+/**
+ * The workload list a bench binary sweeps: every registered workload,
+ * or the comma-separated subset named by SS_BENCH_WORKLOADS (used by
+ * the sanitizer smoke test to keep instrumented runs short). Unknown
+ * names abort rather than silently shrinking the sweep.
+ */
+inline std::vector<std::string>
+benchWorkloadNames()
+{
+    const std::vector<std::string> &all =
+        workloads::allWorkloadNames();
+    const char *filter = std::getenv("SS_BENCH_WORKLOADS");
+    if (!filter || *filter == '\0')
+        return all;
+
+    std::vector<std::string> picked;
+    std::stringstream ss(filter);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+        if (name.empty())
+            continue;
+        if (std::find(all.begin(), all.end(), name) == all.end()) {
+            std::fprintf(stderr,
+                         "error: SS_BENCH_WORKLOADS names unknown "
+                         "workload '%s'\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        picked.push_back(name);
+    }
+    if (picked.empty()) {
+        std::fprintf(stderr,
+                     "error: SS_BENCH_WORKLOADS='%s' selects no "
+                     "workloads\n",
+                     filter);
+        std::exit(2);
+    }
+    return picked;
+}
+
 /** Limit-study options: perfect the PCs the workload's slices cover. */
 inline sim::RunOptions
 limitOpts(const sim::Workload &wl)
@@ -114,16 +190,6 @@ limitOpts(const sim::Workload &wl)
     for (Addr pc : wl.coveredLoadPcs())
         o.perfect.loadPcs.insert(pc);
     return o;
-}
-
-inline double
-speedupPct(const sim::RunResult &base, const sim::RunResult &other)
-{
-    if (other.cycles == 0)
-        return 0.0;
-    return 100.0 * (static_cast<double>(base.cycles) /
-                        static_cast<double>(other.cycles) -
-                    1.0);
 }
 
 // ---------------------------------------------------------------
@@ -269,11 +335,16 @@ perfRecord(const WorkloadPerf &p)
  * figure. This is the artifact perf claims are checked against —
  * every PR that touches the hot path regenerates it and compares.
  *
+ * @param sweep_wall_seconds end-to-end wall clock for the whole sweep
+ *        (includes any parallel overlap, so with --jobs N it can be
+ *        well below the sum of per-run wall_seconds). <= 0 omits the
+ *        field.
  * @return the path written.
  */
 inline std::string
 writeBenchJson(const std::string &bench_name,
-               const std::vector<WorkloadPerf> &rows)
+               const std::vector<WorkloadPerf> &rows,
+               double sweep_wall_seconds = 0.0)
 {
     std::vector<std::string> elems;
     std::uint64_t total_insts = 0;
@@ -291,6 +362,12 @@ writeBenchJson(const std::string &bench_name,
                total_wall > 0.0
                    ? static_cast<double>(total_insts) / total_wall
                    : 0.0);
+    if (sweep_wall_seconds > 0.0) {
+        aggregate.field("sweep_wall_seconds", sweep_wall_seconds)
+            .field("sweep_insts_per_sec",
+                   static_cast<double>(total_insts) /
+                       sweep_wall_seconds);
+    }
 
     JsonObject doc;
     doc.field("bench", bench_name)

@@ -16,10 +16,23 @@
 
 using namespace specslice;
 
+namespace
+{
+
+/** One (benchmark, machine width) cell of the figure. */
+struct Config
+{
+    std::string name;
+    bool wide = false;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     sim::ExperimentConfig cfg = bench::experimentConfig();
+    sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Figure 1: IPC of baseline vs problem-instructions-"
                 "perfect vs all-perfect\n");
     std::printf("Machine parameters per Table 1 (4-wide: 128-entry "
@@ -29,12 +42,24 @@ main()
     sim::Table table({"Program", "W", "baseline", "prob.perfect",
                       "all perfect"});
 
-    for (const std::string &name : workloads::allWorkloadNames()) {
-        auto r4 = sim::runFigure1Row(sim::MachineConfig::fourWide(),
-                                     name, cfg);
-        auto r8 = sim::runFigure1Row(sim::MachineConfig::eightWide(),
-                                     name, cfg);
-        table.addRow({name, "4", sim::Table::fmt(r4.baselineIpc),
+    // The two widths of one benchmark are independent runs, so each
+    // gets its own job; results come back in submission order, which
+    // keeps the 4/8 row pairing.
+    std::vector<Config> configs;
+    for (const std::string &name : bench::benchWorkloadNames()) {
+        configs.push_back({name, false});
+        configs.push_back({name, true});
+    }
+    auto rows = pool.map(configs, [&](const Config &c) {
+        return sim::runFigure1Row(c.wide
+                                      ? sim::MachineConfig::eightWide()
+                                      : sim::MachineConfig::fourWide(),
+                                  c.name, cfg);
+    });
+    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+        const sim::Figure1Row &r4 = rows[i];
+        const sim::Figure1Row &r8 = rows[i + 1];
+        table.addRow({r4.program, "4", sim::Table::fmt(r4.baselineIpc),
                       sim::Table::fmt(r4.problemPerfectIpc),
                       sim::Table::fmt(r4.allPerfectIpc)});
         table.addRow({"", "8", sim::Table::fmt(r8.baselineIpc),

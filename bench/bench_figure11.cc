@@ -17,20 +17,24 @@
 using namespace specslice;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::ExperimentConfig cfg = bench::experimentConfig();
+    sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Figure 11: speedup of slices and of the constrained "
                 "limit study (4-wide)\n\n");
 
     sim::Table table({"Program", "base IPC", "slice IPC", "slice %",
                       "limit %"});
 
-    for (const std::string &name : workloads::allWorkloadNames()) {
-        auto row = sim::runFigure11Row(sim::MachineConfig::fourWide(),
+    auto rows = pool.map(
+        bench::benchWorkloadNames(), [&](const std::string &name) {
+            return sim::runFigure11Row(sim::MachineConfig::fourWide(),
                                        name, cfg);
+        });
+    for (const sim::Figure11Row &row : rows) {
         table.addRow({
-            name,
+            row.program,
             sim::Table::fmt(row.base.ipc()),
             sim::Table::fmt(row.sliced.ipc()),
             sim::Table::fmt(row.slicePct(), 1),

@@ -12,6 +12,11 @@
  * `bench_simspeed --gbench [google-benchmark args...]` instead runs
  * the original google-benchmark microbenchmarks (steady-state timing
  * of a few representative configurations).
+ *
+ * `--jobs N` parallelizes the sweep; the aggregate gains a
+ * sweep_wall_seconds field measuring the whole batch end to end. Use
+ * `--jobs 1` when the per-run insts/s numbers themselves are the
+ * measurement (parallel runs time-share cores).
  */
 
 #include <benchmark/benchmark.h>
@@ -105,12 +110,12 @@ BENCHMARK(BM_WorkloadBuildVpr)->Unit(benchmark::kMillisecond);
 // ---------------------------------------------------------------
 
 int
-runSweep()
+runSweep(unsigned jobs)
 {
     const auto insts = bench::benchInsts();
     const auto warmup = bench::benchWarmup();
 
-    sim::Simulator machine(sim::MachineConfig::fourWide());
+    sim::JobPool pool(jobs);
     sim::RunOptions opts = bench::benchOpts();
 
     std::printf("simulator throughput, %llu measured insts "
@@ -120,22 +125,36 @@ runSweep()
     std::printf("%-10s %12s %8s %14s\n", "workload", "cycles", "IPC",
                 "sim insts/s");
 
-    std::vector<bench::WorkloadPerf> rows;
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto wl = workloads::buildWorkload(name, bench::benchParams());
-        bench::WorkloadPerf p;
-        p.name = name;
-        auto t0 = std::chrono::steady_clock::now();
-        p.result = machine.run(wl, opts, true);
-        auto t1 = std::chrono::steady_clock::now();
-        p.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-        std::printf("%-10s %12llu %8.3f %14.0f\n", name.c_str(),
+    // Per-run wall clock is measured inside each job (with --jobs > 1
+    // the runs time-share cores, so per-run insts/s is only clean at
+    // --jobs 1); the sweep wall clock around the whole batch is what
+    // parallelism improves.
+    auto sweep_t0 = std::chrono::steady_clock::now();
+    std::vector<bench::WorkloadPerf> rows = pool.map(
+        bench::benchWorkloadNames(), [&](const std::string &name) {
+            auto wl =
+                workloads::buildWorkload(name, bench::benchParams());
+            sim::Simulator machine(sim::MachineConfig::fourWide());
+            bench::WorkloadPerf p;
+            p.name = name;
+            auto t0 = std::chrono::steady_clock::now();
+            p.result = machine.run(wl, opts, true);
+            auto t1 = std::chrono::steady_clock::now();
+            p.wallSeconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            return p;
+        });
+    auto sweep_t1 = std::chrono::steady_clock::now();
+    double sweep_wall =
+        std::chrono::duration<double>(sweep_t1 - sweep_t0).count();
+
+    for (const bench::WorkloadPerf &p : rows) {
+        std::printf("%-10s %12llu %8.3f %14.0f\n", p.name.c_str(),
                     static_cast<unsigned long long>(p.result.cycles),
                     p.result.ipc(), p.instsPerSec());
-        rows.push_back(std::move(p));
     }
 
-    std::string path = bench::writeBenchJson("simspeed", rows);
+    std::string path = bench::writeBenchJson("simspeed", rows, sweep_wall);
     std::printf("wrote %s\n", path.c_str());
     return 0;
 }
@@ -157,5 +176,5 @@ main(int argc, char **argv)
         benchmark::Shutdown();
         return 0;
     }
-    return runSweep();
+    return runSweep(bench::jobsOption(argc, argv));
 }

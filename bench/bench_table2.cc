@@ -16,9 +16,10 @@
 using namespace specslice;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::ExperimentConfig cfg = bench::experimentConfig();
+    sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Table 2: coverage of performance degrading events by "
                 "problem instructions\n");
     std::printf("(baseline 4-wide machine, %llu measured instructions "
@@ -28,12 +29,15 @@ main()
     sim::Table table({"Program", "#SI(mem)", "mem", "mis", "#SI(br)",
                       "br", "mis"});
 
-    for (const std::string &name : workloads::allWorkloadNames()) {
-        auto row = sim::runTable2Row(sim::MachineConfig::fourWide(),
+    auto rows = pool.map(
+        bench::benchWorkloadNames(), [&](const std::string &name) {
+            return sim::runTable2Row(sim::MachineConfig::fourWide(),
                                      name, cfg);
+        });
+    for (const sim::Table2Row &row : rows) {
         const auto &p = row.problem;
         table.addRow({
-            name,
+            row.program,
             row.insufficientMisses
                 ? "-"
                 : sim::Table::count(p.problemLoads.size()),

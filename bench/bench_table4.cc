@@ -21,9 +21,10 @@
 using namespace specslice;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::ExperimentConfig cfg = bench::experimentConfig();
+    sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Table 4: execution with and without slices "
                 "(4-wide machine)\n\n");
 
@@ -33,9 +34,12 @@ main()
                       "late%", "pref(K)", "covered", "miss.rm%",
                       "ld.frac"});
 
-    for (const std::string &name : workloads::allWorkloadNames()) {
-        auto maybe = sim::runTable4Row(sim::MachineConfig::fourWide(),
-                                       name, cfg);
+    auto rows = pool.map(
+        bench::benchWorkloadNames(), [&](const std::string &name) {
+            return sim::runTable4Row(sim::MachineConfig::fourWide(),
+                                     name, cfg);
+        });
+    for (const auto &maybe : rows) {
         if (!maybe)
             continue;
         const sim::Table4Row &r = *maybe;

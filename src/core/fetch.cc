@@ -338,7 +338,7 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
     ++t.icount;
     ++fetched;
     if (issue_ready)
-        ready_.insert(seq);
+        ready_.push_back(seq);
 
     if (t.isSlice) {
         ++s_.sliceFetched;

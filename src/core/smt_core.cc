@@ -93,7 +93,10 @@ SmtCore::resetStats()
     stats_.reset();
     hierarchy_.stats().reset();
     correlator_.stats().reset();
-    profile_.perPc.clear();
+    // Non-profiling runs never touch the per-PC map (all writers are
+    // gated on profileEnabled_), so skip it entirely here too.
+    if (profileEnabled_)
+        profile_.perPc.clear();
 }
 
 RunResult
@@ -101,6 +104,11 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
 {
     perfect_ = opts.perfect;
     profileEnabled_ = opts.profile;
+    if (profileEnabled_) {
+        // One bucket per static instruction avoids rehash-and-move
+        // churn as the profile fills in.
+        profile_.perPc.reserve(program_.staticSize());
+    }
 
     ThreadCtx &main = threads_[0];
     main.active = true;
@@ -165,7 +173,8 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     res.detail.merge(hierarchy_.stats());
     res.detail.merge(correlator_.stats());
     res.detail.merge(bpu_.stats());
-    res.profile = profile_;
+    if (profileEnabled_)
+        res.profile = std::move(profile_);
     return res;
 }
 
@@ -212,7 +221,7 @@ SmtCore::wakeupDependents(DynInst &di)
             continue;
         SS_ASSERT(d->pendingSrcs > 0, "wakeup underflow");
         if (--d->pendingSrcs == 0 && !d->issued)
-            ready_.insert(d->seq);
+            ready_.push_back(d->seq);
     }
     di.dependents.clear();
 }
@@ -220,18 +229,28 @@ SmtCore::wakeupDependents(DynInst &di)
 void
 SmtCore::issueStage()
 {
+    // Sort the entries appended since the last drain and merge them
+    // into the sorted prefix: the scan below then visits candidates
+    // in VN# (oldest-first) order, exactly as the ordered set did.
+    if (readySortedPrefix_ < ready_.size()) {
+        auto mid = ready_.begin() +
+                   static_cast<std::ptrdiff_t>(readySortedPrefix_);
+        std::sort(mid, ready_.end());
+        std::inplace_merge(ready_.begin(), mid, ready_.end());
+    }
+
     unsigned issued = 0;
     unsigned int_alu = 0, mem_ports = 0, complex = 0, fp = 0;
-    std::vector<SeqNum> taken;
+    readyKept_.clear();
 
     for (SeqNum seq : ready_) {
         DynInst *di = inst(seq);
-        if (!di) {
-            taken.push_back(seq);
+        if (!di || di->issued)
+            continue;  // squashed since insertion: drop lazily
+        if (di->eligibleAt > cycle_) {
+            readyKept_.push_back(seq);
             continue;
         }
-        if (di->eligibleAt > cycle_)
-            continue;
 
         const isa::OpTraits &tr = di->si->traits();
         // With dedicated slice resources, helper-thread instructions
@@ -239,8 +258,10 @@ SmtCore::issueStage()
         // ports constrain them.
         bool dedicated =
             di->sliceThread && cfg_.dedicatedSliceResources;
-        if (!dedicated && issued >= cfg_.issueWidth)
+        if (!dedicated && issued >= cfg_.issueWidth) {
+            readyKept_.push_back(seq);
             continue;
+        }
 
         bool fu_ok = true;
         switch (tr.fu) {
@@ -268,13 +289,14 @@ SmtCore::issueStage()
           case isa::FuClass::None:
             break;
         }
-        if (!fu_ok)
+        if (!fu_ok) {
+            readyKept_.push_back(seq);
             continue;
+        }
 
         di->issued = true;
         if (!dedicated)
             ++issued;
-        taken.push_back(seq);
 
         Cycle lat = tr.latency;
         if (tr.isLoad || tr.isStore)
@@ -284,8 +306,10 @@ SmtCore::issueStage()
         completions_.push({di->completeAt, seq});
     }
 
-    for (SeqNum s : taken)
-        ready_.erase(s);
+    // The kept entries are a subsequence of a sorted scan: already
+    // sorted, so the next cycle merges only fresh insertions.
+    ready_.swap(readyKept_);
+    readySortedPrefix_ = ready_.size();
 }
 
 Cycle
@@ -485,7 +509,8 @@ SmtCore::squashThread(ThreadId tid, SeqNum younger_than,
             }
         }
 
-        ready_.erase(seq);
+        // ready_ entries for squashed VN#s are dropped lazily by
+        // issueStage (the in-flight lookup fails).
         unsigned &occupancy = windowCounterFor(d.sliceThread);
         SS_ASSERT(occupancy > 0 && t.icount > 0,
                   "occupancy underflow");

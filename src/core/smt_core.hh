@@ -21,7 +21,6 @@
 #include <deque>
 #include <optional>
 #include <queue>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -269,7 +268,19 @@ class SmtCore
         std::uint8_t probe = 0;       ///< periodic re-probe counter
     };
     std::unordered_map<Addr, ForkGate> forkGate_;
-    std::set<SeqNum> ready_;
+    /**
+     * Ready-to-issue instructions. Insertions (fetch and wakeup) are
+     * appended; issueStage sorts the appended tail once per cycle and
+     * drains in VN# order — identical selection order to the ordered
+     * set this replaces, without per-insert node allocation or
+     * rebalancing. Squashed entries are dropped lazily (their VN# no
+     * longer resolves in the in-flight window).
+     */
+    std::vector<SeqNum> ready_;
+    /** Prefix of ready_ already in sorted order. */
+    std::size_t readySortedPrefix_ = 0;
+    /** Scratch for the per-cycle drain (kept to reuse capacity). */
+    std::vector<SeqNum> readyKept_;
     using Event = std::pair<Cycle, SeqNum>;
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         completions_;

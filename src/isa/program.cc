@@ -1,5 +1,6 @@
 #include "isa/program.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -15,7 +16,53 @@ Program::addSection(CodeSection section)
         bool disjoint = section.end() <= s.base || section.base >= s.end();
         SS_ASSERT(disjoint, "overlapping code sections");
     }
-    sections_.push_back(std::move(section));
+    // Keep sections sorted by base so lookups can binary-search.
+    auto pos = std::upper_bound(
+        sections_.begin(), sections_.end(), section.base,
+        [](Addr base, const CodeSection &s) { return base < s.base; });
+    sections_.insert(pos, std::move(section));
+    rebuildIndex();
+}
+
+void
+Program::rebuildIndex()
+{
+    flat_.clear();
+    flatBase_ = 0;
+    flatSpan_ = 0;
+    if (sections_.empty())
+        return;
+
+    Addr lo = sections_.front().base;
+    Addr hi = sections_.back().end();
+    std::size_t span_insts = (hi - lo) / instBytes;
+    if (span_insts > flatIndexLimit)
+        return;  // sparse layout: fetchSlow() serves lookups
+
+    flat_.assign(span_insts, nullptr);
+    for (const auto &s : sections_) {
+        std::size_t idx = (s.base - lo) / instBytes;
+        for (const Instruction &inst : s.code)
+            flat_[idx++] = &inst;
+    }
+    flatBase_ = lo;
+    flatSpan_ = hi - lo;
+}
+
+const Instruction *
+Program::fetchSlow(Addr pc) const
+{
+    // First section with base > pc; its predecessor is the only
+    // candidate container.
+    auto it = std::upper_bound(
+        sections_.begin(), sections_.end(), pc,
+        [](Addr p, const CodeSection &s) { return p < s.base; });
+    if (it == sections_.begin())
+        return nullptr;
+    const CodeSection &s = *(it - 1);
+    if (!s.contains(pc))
+        return nullptr;
+    return &s.code[(pc - s.base) / instBytes];
 }
 
 void
@@ -26,16 +73,6 @@ Program::addSymbols(const std::map<std::string, Addr> &symbols)
         if (!inserted && it->second != addr)
             SS_FATAL("conflicting definitions of symbol '", name, "'");
     }
-}
-
-const Instruction *
-Program::fetch(Addr pc) const
-{
-    for (const auto &s : sections_) {
-        if (s.contains(pc))
-            return &s.code[(pc - s.base) / instBytes];
-    }
-    return nullptr;
 }
 
 Addr

@@ -37,14 +37,63 @@ struct CodeSection
 class Program
 {
   public:
+    /**
+     * Widest address span (in instructions) the O(1) PC-indexed
+     * decode array covers. Programs whose sections spread further
+     * apart fall back to a binary search over the sorted sections.
+     */
+    static constexpr std::size_t flatIndexLimit = 1u << 20;
+
+    Program() = default;
+    // The decode array points into the sections' instruction storage:
+    // copies rebuild it against their own storage. Moves transfer the
+    // heap buffers, so the array stays valid and moves stay cheap.
+    Program(const Program &other)
+        : sections_(other.sections_), symbols_(other.symbols_)
+    {
+        rebuildIndex();
+    }
+    Program &
+    operator=(const Program &other)
+    {
+        if (this != &other) {
+            sections_ = other.sections_;
+            symbols_ = other.symbols_;
+            rebuildIndex();
+        }
+        return *this;
+    }
+    Program(Program &&) = default;
+    Program &operator=(Program &&) = default;
+
     /** Add a section; sections must not overlap. */
     void addSection(CodeSection section);
 
     /** Merge symbols (label -> address). */
     void addSymbols(const std::map<std::string, Addr> &symbols);
 
-    /** @return the instruction at pc, or nullptr if unmapped. */
-    const Instruction *fetch(Addr pc) const;
+    /**
+     * @return the instruction at pc, or nullptr if unmapped.
+     *
+     * Hot path of the fetch stage: a contiguous decode array built at
+     * load maps pc to its instruction in O(1) with no per-section
+     * scan. Purely const, so one Program may be fetched from by many
+     * concurrently-running simulations.
+     */
+    const Instruction *
+    fetch(Addr pc) const
+    {
+        Addr off = pc - flatBase_;  // wraps below flatBase_: off huge
+        if (off < flatSpan_) {
+            if (off % instBytes != 0)
+                return nullptr;
+            return flat_[off / instBytes];
+        }
+        // Outside the array. If the array exists it covers every
+        // section, so pc is unmapped; otherwise binary-search the
+        // sorted sections (sparse-layout fallback).
+        return flat_.empty() ? fetchSlow(pc) : nullptr;
+    }
 
     /** @return true if pc holds an instruction. */
     bool contains(Addr pc) const { return fetch(pc) != nullptr; }
@@ -58,6 +107,7 @@ class Program
     /** @return total static instruction count across sections. */
     std::size_t staticSize() const;
 
+    /** Sections, sorted by base address. */
     const std::vector<CodeSection> &sections() const { return sections_; }
     const std::map<std::string, Addr> &symbols() const { return symbols_; }
 
@@ -65,8 +115,24 @@ class Program
     std::string disassemble() const;
 
   private:
+    /** Binary search over the sorted sections (flat-array fallback). */
+    const Instruction *fetchSlow(Addr pc) const;
+    /** Rebuild the PC-indexed decode array after a section change. */
+    void rebuildIndex();
+
     std::vector<CodeSection> sections_;
     std::map<std::string, Addr> symbols_;
+
+    /**
+     * O(1) decode index: flat_[(pc - flatBase_) / instBytes] is the
+     * instruction at pc (nullptr in inter-section gaps). Empty when
+     * there are no sections or the span exceeds flatIndexLimit.
+     * flatSpan_ is the covered byte span (0 when empty), so the fetch
+     * fast path is a single range check.
+     */
+    std::vector<const Instruction *> flat_;
+    Addr flatBase_ = 0;
+    Addr flatSpan_ = 0;
 };
 
 } // namespace specslice::isa

@@ -1,5 +1,7 @@
 #include "sim/experiments.hh"
 
+#include <limits>
+
 #include "workloads/workloads.hh"
 
 namespace specslice::sim
@@ -8,8 +10,10 @@ namespace specslice::sim
 double
 speedupPct(const RunResult &base, const RunResult &other)
 {
+    // No cycles means no data, not zero speedup: return NaN and let
+    // Table::fmt print "n/a" (the StatGroup::ratio convention).
     if (other.cycles == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return 100.0 * (static_cast<double>(base.cycles) /
                         static_cast<double>(other.cycles) -
                     1.0);

@@ -1,0 +1,90 @@
+#include "sim/job_pool.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace specslice::sim
+{
+
+unsigned
+JobPool::defaultJobs()
+{
+    if (const char *v = std::getenv("SS_JOBS")) {
+        char *end = nullptr;
+        errno = 0;
+        unsigned long parsed = std::strtoul(v, &end, 10);
+        bool bad = *v == '\0' || v[0] == '-' || end == nullptr ||
+                   *end != '\0' || errno == ERANGE || parsed == 0 ||
+                   parsed > 4096;
+        if (bad) {
+            std::fprintf(stderr,
+                         "error: SS_JOBS='%s' is not a job count in "
+                         "[1, 4096]\n",
+                         v);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+JobPool::JobPool(unsigned jobs) : jobs_(jobs ? jobs : defaultJobs())
+{
+    // jobs_ == 1 runs tasks inline in submit(): no workers, and the
+    // pool degenerates to exactly the serial execution order.
+    if (jobs_ < 2)
+        return;
+    workers_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+std::future<void>
+JobPool::submit(std::function<void()> fn)
+{
+    std::packaged_task<void()> task(std::move(fn));
+    std::future<void> fut = task.get_future();
+    if (jobs_ < 2) {
+        task();  // inline: exceptions land in the future
+        return fut;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void
+JobPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace specslice::sim

@@ -53,26 +53,26 @@ PredictionCorrelator::unindexEntry(const Entry &e)
     for (Addr pc : {e.branchPc, e.loopKillPc, e.sliceKillPc}) {
         if (pc == invalidAddr)
             continue;
-        auto it = pcIndex_.find(pc);
-        if (it == pcIndex_.end())
+        std::vector<std::uint64_t> *ids = pcIndex_.find(pc);
+        if (!ids)
             continue;
-        auto &ids = it->second;
-        ids.erase(std::remove(ids.begin(), ids.end(), e.id), ids.end());
-        if (ids.empty())
-            pcIndex_.erase(it);
+        ids->erase(std::remove(ids->begin(), ids->end(), e.id),
+                   ids->end());
+        if (ids->empty())
+            pcIndex_.erase(pc);
     }
 }
 
 void
 PredictionCorrelator::freeEntry(std::uint64_t id)
 {
-    auto it = entries_.find(id);
-    if (it == entries_.end())
+    Entry *e = entries_.find(id);
+    if (!e)
         return;
-    for (const Slot &s : it->second.slots)
+    for (const Slot &s : e->slots)
         tokenIndex_.erase(s.token);
-    unindexEntry(it->second);
-    entries_.erase(it);
+    unindexEntry(*e);
+    entries_.erase(id);
 }
 
 void
@@ -82,15 +82,17 @@ PredictionCorrelator::maybeEvictForCapacity()
         return;
     // Prefer the oldest fully-drained entry; otherwise evict the oldest
     // entry outright (a real machine would simply lose correlation).
-    for (auto &[id, e] : entries_) {
-        bool drained = e.sliceDone && e.slots.empty();
-        if (drained) {
-            freeEntry(id);
-            return;
-        }
+    std::uint64_t victim = 0;
+    entries_.forEach([&](Entry &e) {
+        if (!victim && e.sliceDone && e.slots.empty())
+            victim = e.id;
+    });
+    if (victim) {
+        freeEntry(victim);
+        return;
     }
     ++s_.entriesEvictedLive;
-    freeEntry(entries_.begin()->first);
+    freeEntry(entries_.oldest()->id);
 }
 
 void
@@ -110,9 +112,8 @@ PredictionCorrelator::onFork(const SliceDescriptor &desc, ThreadId thread,
         e.skipFirstLoopKill = p.loopKillSkipFirst;
         e.forkSeq = fork_seq;
         e.thread = thread;
-        auto [it, inserted] = entries_.emplace(e.id, e);
-        SS_ASSERT(inserted, "duplicate entry id");
-        indexEntry(it->second);
+        Entry &stored = entries_.push(std::move(e));
+        indexEntry(stored);
         ++s_.entriesAllocated;
     }
 }
@@ -120,13 +121,14 @@ PredictionCorrelator::onFork(const SliceDescriptor &desc, ThreadId thread,
 PredictionCorrelator::Entry *
 PredictionCorrelator::findEntry(SeqNum fork_seq, Addr branch_pc)
 {
-    auto it = pcIndex_.find(branch_pc);
-    if (it == pcIndex_.end())
+    const std::vector<std::uint64_t> *ids = pcIndex_.find(branch_pc);
+    if (!ids)
         return nullptr;
-    for (std::uint64_t id : it->second) {
-        Entry &e = entries_.at(id);
-        if (e.forkSeq == fork_seq && e.branchPc == branch_pc)
-            return &e;
+    for (std::uint64_t id : *ids) {
+        Entry *e = entries_.find(id);
+        SS_ASSERT(e, "pc index references a freed entry");
+        if (e->forkSeq == fork_seq && e->branchPc == branch_pc)
+            return e;
     }
     return nullptr;
 }
@@ -162,7 +164,7 @@ PredictionCorrelator::onPgiFetch(const PgiSpec &spec, SeqNum fork_seq,
         ++s_.killsAppliedFromDebt;
     }
     e->slots.push_back(s);
-    tokenIndex_.emplace(s.token, e->id);
+    tokenIndex_.insert(s.token, e->id);
     ++s_.predictionsAllocated;
     return s.token;
 }
@@ -170,16 +172,16 @@ PredictionCorrelator::onPgiFetch(const PgiSpec &spec, SeqNum fork_seq,
 PredictionCorrelator::Slot *
 PredictionCorrelator::findSlot(std::uint64_t token, Entry **entry_out)
 {
-    auto it = tokenIndex_.find(token);
-    if (it == tokenIndex_.end())
+    const std::uint64_t *id = tokenIndex_.find(token);
+    if (!id)
         return nullptr;
-    auto eit = entries_.find(it->second);
-    if (eit == entries_.end())
+    Entry *e = entries_.find(*id);
+    if (!e)
         return nullptr;
-    for (Slot &s : eit->second.slots) {
+    for (Slot &s : e->slots) {
         if (s.token == token) {
             if (entry_out)
-                *entry_out = &eit->second;
+                *entry_out = e;
             return &s;
         }
     }
@@ -210,18 +212,16 @@ PredictionCorrelator::onBranchFetch(Addr pc, SeqNum branch_seq,
                                     bool default_dir)
 {
     MatchResult res;
-    auto it = pcIndex_.find(pc);
-    if (it == pcIndex_.end())
+    const std::vector<std::uint64_t> *ids = pcIndex_.find(pc);
+    if (!ids)
         return res;
 
-    // Entries are scanned in allocation (fork) order: the oldest
+    // The pc's id list is in allocation (fork) order: the oldest
     // in-flight instance of the slice owns the branch first.
-    for (auto &[id, e] : entries_) {
+    for (std::uint64_t id : *ids) {
+        Entry &e = *entries_.find(id);
         if (e.branchPc != pc)
-            continue;
-        if (std::find(it->second.begin(), it->second.end(), id) ==
-            it->second.end())
-            continue;
+            continue;  // pc is only a kill PC for this entry
         // Head = oldest prediction not yet killed.
         for (Slot &s : e.slots) {
             if (s.killed)
@@ -257,16 +257,16 @@ PredictionCorrelator::onBranchFetch(Addr pc, SeqNum branch_seq,
 void
 PredictionCorrelator::onKillFetch(Addr pc, SeqNum kill_seq)
 {
-    auto it = pcIndex_.find(pc);
-    if (it == pcIndex_.end())
+    const std::vector<std::uint64_t> *found = pcIndex_.find(pc);
+    if (!found)
         return;
     // Copy: kills never add/remove entries.
-    std::vector<std::uint64_t> ids = it->second;
+    std::vector<std::uint64_t> ids = *found;
     for (std::uint64_t id : ids) {
-        auto eit = entries_.find(id);
-        if (eit == entries_.end())
+        Entry *ep = entries_.find(id);
+        if (!ep)
             continue;
-        Entry &e = eit->second;
+        Entry &e = *ep;
         if (e.loopKillPc == pc) {
             if (e.skipFirstLoopKill &&
                 e.firstLoopKillSeq == invalidSeqNum) {
@@ -308,12 +308,12 @@ void
 PredictionCorrelator::squashMain(SeqNum squash_seq)
 {
     std::vector<std::uint64_t> to_free;
-    for (auto &[id, e] : entries_) {
+    entries_.forEach([&](Entry &e) {
         if (e.forkSeq > squash_seq) {
             // The fork point itself was squashed.
-            to_free.push_back(id);
+            to_free.push_back(e.id);
             ++s_.entriesSquashed;
-            continue;
+            return;
         }
         if (e.firstLoopKillSeq != invalidSeqNum &&
             e.firstLoopKillSeq > squash_seq)
@@ -335,7 +335,7 @@ PredictionCorrelator::squashMain(SeqNum squash_seq)
                 ++s_.consumersSquashed;
             }
         }
-    }
+    });
     for (std::uint64_t id : to_free)
         freeEntry(id);
 }
@@ -343,9 +343,9 @@ PredictionCorrelator::squashMain(SeqNum squash_seq)
 void
 PredictionCorrelator::squashSlice(SeqNum fork_seq, SeqNum younger_than)
 {
-    for (auto &[id, e] : entries_) {
+    entries_.forEach([&](Entry &e) {
         if (e.forkSeq != fork_seq)
-            continue;
+            return;
         while (!e.slots.empty() && e.slots.back().pgiSeq > younger_than &&
                !e.slots.back().computed &&
                e.slots.back().consumerSeq == invalidSeqNum &&
@@ -354,7 +354,7 @@ PredictionCorrelator::squashSlice(SeqNum fork_seq, SeqNum younger_than)
             e.slots.pop_back();
             ++s_.slotsSliceSquashed;
         }
-    }
+    });
 }
 
 bool
@@ -362,44 +362,45 @@ PredictionCorrelator::allEntriesDead(SeqNum fork_seq,
                                      SeqNum retired_bound) const
 {
     bool any = false;
-    for (const auto &[id, e] : entries_) {
+    bool all_dead = true;
+    entries_.forEach([&](const Entry &e) {
         if (e.forkSeq != fork_seq)
-            continue;
+            return;
         any = true;
         if (e.deadSeq == invalidSeqNum || e.deadSeq > retired_bound)
-            return false;
-    }
-    return any;
+            all_dead = false;
+    });
+    return any && all_dead;
 }
 
 unsigned
 PredictionCorrelator::consumedCount(SeqNum fork_seq) const
 {
     unsigned n = 0;
-    for (const auto &[id, e] : entries_) {
+    entries_.forEach([&](const Entry &e) {
         if (e.forkSeq != fork_seq)
-            continue;
+            return;
         for (const Slot &s : e.slots)
             n += s.everMatched ||
                  s.consumerSeq != invalidSeqNum;
-    }
+    });
     return n;
 }
 
 void
 PredictionCorrelator::onSliceDone(SeqNum fork_seq)
 {
-    for (auto &[id, e] : entries_) {
+    entries_.forEach([&](Entry &e) {
         if (e.forkSeq == fork_seq)
             e.sliceDone = true;
-    }
+    });
 }
 
 void
 PredictionCorrelator::retireUpTo(SeqNum bound)
 {
     std::vector<std::uint64_t> to_free;
-    for (auto &[id, e] : entries_) {
+    entries_.forEach([&](Entry &e) {
         while (!e.slots.empty()) {
             Slot &s = e.slots.front();
             if (s.killed && s.killerSeq <= bound) {
@@ -414,8 +415,8 @@ PredictionCorrelator::retireUpTo(SeqNum bound)
             e.deadSeq != invalidSeqNum && e.deadSeq <= bound;
         if ((e.sliceDone || dead_retired) && e.slots.empty() &&
             e.forkSeq <= bound)
-            to_free.push_back(id);
-    }
+            to_free.push_back(e.id);
+    });
     for (std::uint64_t id : to_free)
         freeEntry(id);
 }

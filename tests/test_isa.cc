@@ -180,6 +180,89 @@ TEST(ProgramTest, FetchAndSymbols)
     EXPECT_EQ(prog.staticSize(), 2u);
 }
 
+TEST(ProgramTest, FetchSectionBoundaries)
+{
+    Assembler a(0x1000), b(0x8000);
+    a.nop();
+    a.nop();
+    a.nop();
+    b.halt();
+    Program prog;
+    prog.addSection(a.finish());
+    prog.addSection(b.finish());
+
+    // First and last instruction of each section hit.
+    EXPECT_NE(prog.fetch(0x1000), nullptr);
+    EXPECT_NE(prog.fetch(0x1000 + 2 * instBytes), nullptr);
+    EXPECT_NE(prog.fetch(0x8000), nullptr);
+    // One past the end of a section misses.
+    EXPECT_EQ(prog.fetch(0x1000 + 3 * instBytes), nullptr);
+    EXPECT_EQ(prog.fetch(0x8000 + instBytes), nullptr);
+    // Below the first section, in the inter-section gap, misaligned.
+    EXPECT_EQ(prog.fetch(0x1000 - instBytes), nullptr);
+    EXPECT_EQ(prog.fetch(0), nullptr);
+    EXPECT_EQ(prog.fetch(0x4000), nullptr);
+    EXPECT_EQ(prog.fetch(0x1000 + 1), nullptr);
+    EXPECT_EQ(prog.fetch(0x8000 + instBytes / 2), nullptr);
+    EXPECT_EQ(prog.fetch(~Addr{0}), nullptr);
+}
+
+TEST(ProgramTest, FetchSparseLayoutFallback)
+{
+    // Sections further apart than flatIndexLimit instructions exceed
+    // the decode array's span and take the binary-search path.
+    Addr far = 0x1000 + (Program::flatIndexLimit + 16) * instBytes;
+    Assembler a(0x1000), b(far);
+    a.nop();
+    a.nop();
+    b.halt();
+    Program prog;
+    prog.addSection(a.finish());
+    prog.addSection(b.finish());
+
+    EXPECT_EQ(prog.fetch(0x1000)->op, Opcode::Nop);
+    EXPECT_EQ(prog.fetch(0x1000 + instBytes)->op, Opcode::Nop);
+    EXPECT_EQ(prog.fetch(far)->op, Opcode::Halt);
+    EXPECT_EQ(prog.fetch(0x1000 + 2 * instBytes), nullptr);
+    EXPECT_EQ(prog.fetch(far + instBytes), nullptr);
+    EXPECT_EQ(prog.fetch(far - instBytes), nullptr);
+    EXPECT_EQ(prog.fetch(far + 1), nullptr);  // misaligned
+    EXPECT_EQ(prog.fetch(0x800), nullptr);
+}
+
+TEST(ProgramTest, SectionsAddedOutOfOrder)
+{
+    Assembler lo(0x1000), hi(0x8000);
+    lo.nop();
+    hi.halt();
+    Program prog;
+    prog.addSection(hi.finish());  // high base first
+    prog.addSection(lo.finish());
+
+    EXPECT_EQ(prog.fetch(0x1000)->op, Opcode::Nop);
+    EXPECT_EQ(prog.fetch(0x8000)->op, Opcode::Halt);
+    ASSERT_EQ(prog.sections().size(), 2u);
+    EXPECT_LT(prog.sections()[0].base, prog.sections()[1].base);
+}
+
+TEST(ProgramTest, CopiedProgramFetchesFromItsOwnStorage)
+{
+    Assembler as(0x1000);
+    as.addi(1, 1, 5);
+    Program copy;
+    {
+        Program orig;
+        orig.addSection(as.finish());
+        copy = orig;
+        // The copy's decode array must point at the copy's sections,
+        // not the original's.
+        EXPECT_NE(copy.fetch(0x1000), orig.fetch(0x1000));
+    }
+    ASSERT_NE(copy.fetch(0x1000), nullptr);  // orig destroyed
+    EXPECT_EQ(copy.fetch(0x1000)->op, Opcode::AddI);
+    EXPECT_EQ(copy.fetch(0x1000), &copy.sections()[0].code[0]);
+}
+
 TEST(ProgramTest, MultipleSections)
 {
     Assembler a(0x1000), b(0x8000);
