@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/interval.hh"
+#include "obs/trace.hh"
 #include "profile/pde_profile.hh"
 #include "sim/experiments.hh"
 #include "sim/job_pool.hh"
@@ -35,6 +37,38 @@
 
 namespace specslice::bench
 {
+
+/**
+ * Version of the machine-readable result documents (BENCH_*.json and
+ * specslice_run --json). Bump when fields change meaning or move:
+ *   1 — flat per-workload records (implicit, pre-versioning)
+ *   2 — schema_version field, optional per-run "intervals" array
+ */
+constexpr std::uint64_t benchSchemaVersion = 2;
+
+/**
+ * Arm debug tracing for a bench/driver binary: SS_TRACE from the
+ * environment plus any `--trace FLAGS` / `--trace=FLAGS` argument.
+ * Call once at the top of main(); unknown flag names are fatal.
+ */
+inline void
+initObservability(int argc, char **argv)
+{
+    obs::TraceSink::instance().initFromEnv();
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "error: --trace requires a flag list\n");
+                std::exit(2);
+            }
+            obs::TraceSink::instance().setFlags(argv[i + 1]);
+        } else if (std::strncmp(a, "--trace=", 8) == 0) {
+            obs::TraceSink::instance().setFlags(a + 8);
+        }
+    }
+}
 
 /**
  * Read an unsigned integer from the environment, falling back to dflt
@@ -326,6 +360,8 @@ perfRecord(const WorkloadPerf &p)
         .field("covered_misses", p.result.coveredMisses)
         .field("forks", p.result.forks)
         .field("correlator_used", p.result.correlatorUsed);
+    if (!p.result.intervals.empty())
+        o.raw("intervals", obs::intervalsToJson(p.result.intervals));
     return o;
 }
 
@@ -370,7 +406,8 @@ writeBenchJson(const std::string &bench_name,
     }
 
     JsonObject doc;
-    doc.field("bench", bench_name)
+    doc.field("schema_version", benchSchemaVersion)
+        .field("bench", bench_name)
         .field("insts", benchInsts())
         .field("warmup", benchWarmup())
         .raw("workloads", jsonArray(elems))

@@ -31,6 +31,7 @@ struct Config
 int
 main(int argc, char **argv)
 {
+    bench::initObservability(argc, argv);
     sim::ExperimentConfig cfg = bench::experimentConfig();
     sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Figure 1: IPC of baseline vs problem-instructions-"

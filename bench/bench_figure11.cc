@@ -19,6 +19,7 @@ using namespace specslice;
 int
 main(int argc, char **argv)
 {
+    bench::initObservability(argc, argv);
     sim::ExperimentConfig cfg = bench::experimentConfig();
     sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Figure 11: speedup of slices and of the constrained "

@@ -164,6 +164,7 @@ runSweep(unsigned jobs)
 int
 main(int argc, char **argv)
 {
+    bench::initObservability(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "--gbench") == 0) {
         // Drop the flag and hand the rest to google-benchmark.
         for (int i = 1; i + 1 < argc; ++i)

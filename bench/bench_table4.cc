@@ -23,6 +23,7 @@ using namespace specslice;
 int
 main(int argc, char **argv)
 {
+    bench::initObservability(argc, argv);
     sim::ExperimentConfig cfg = bench::experimentConfig();
     sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Table 4: execution with and without slices "

@@ -5,9 +5,67 @@ namespace specslice
 namespace logging_detail
 {
 
+namespace
+{
+
+/** Per-thread job tag state, installed by ScopedJobTag. */
+thread_local long tls_job_index = -1;
+thread_local std::string *tls_capture = nullptr;
+
+/** Render "[jN] " when the thread is job-tagged, "" otherwise. */
+std::string
+jobPrefix()
+{
+    if (tls_job_index < 0)
+        return {};
+    return "[j" + std::to_string(tls_job_index) + "] ";
+}
+
+/** Flush whatever this thread buffered before dying (panic/fatal):
+ *  buffered lines must not vanish with the process. */
+void
+dumpCaptureOnExit()
+{
+    if (tls_capture && !tls_capture->empty()) {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fwrite(tls_capture->data(), 1, tls_capture->size(),
+                    stderr);
+        tls_capture->clear();
+    }
+}
+
+} // namespace
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+emitLine(const char *tag, const std::string &msg)
+{
+    std::string line = jobPrefix();
+    if (tag) {
+        line += tag;
+        line += ": ";
+    }
+    line += msg;
+    line += '\n';
+
+    if (tls_capture) {
+        tls_capture->append(line);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    dumpCaptureOnExit();
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -15,6 +73,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    dumpCaptureOnExit();
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }
@@ -22,14 +81,42 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info", msg);
 }
 
 } // namespace logging_detail
+
+ScopedJobTag::ScopedJobTag(long index, std::string *capture)
+{
+    logging_detail::tls_job_index = index;
+    logging_detail::tls_capture = capture;
+}
+
+ScopedJobTag::~ScopedJobTag()
+{
+    logging_detail::tls_job_index = -1;
+    logging_detail::tls_capture = nullptr;
+}
+
+long
+ScopedJobTag::currentIndex()
+{
+    return logging_detail::tls_job_index;
+}
+
+void
+ScopedJobTag::writeCaptured(const std::string &buffered)
+{
+    if (buffered.empty())
+        return;
+    std::lock_guard<std::mutex> lock(logging_detail::sinkMutex());
+    std::fwrite(buffered.data(), 1, buffered.size(), stderr);
+}
+
 } // namespace specslice

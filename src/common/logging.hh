@@ -3,6 +3,15 @@
  * Error and status reporting in the gem5 style: panic() for internal
  * invariant violations, fatal() for user errors, warn()/inform() for
  * status messages.
+ *
+ * All non-fatal output funnels through a single mutexed, line-buffered
+ * sink so messages emitted concurrently (e.g. from sim::JobPool
+ * workers) never interleave mid-line. A thread can additionally be
+ * tagged with a job index (ScopedJobTag): its lines are then prefixed
+ * with "[jN] " and, when a capture buffer is installed, accumulated
+ * there instead of written directly — the pool flushes captured
+ * buffers in submission order, making parallel-sweep output
+ * byte-identical to a serial run.
  */
 
 #ifndef SPECSLICE_COMMON_LOGGING_HH
@@ -10,6 +19,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -36,7 +46,46 @@ concat(Args &&...args)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
+/** The mutex every line-granular emitter serializes on. */
+std::mutex &sinkMutex();
+
+/**
+ * Emit one complete line ("<tag>: <msg>\n", or "[jN] <tag>: <msg>\n"
+ * from a job-tagged thread) through the shared sink: appended to the
+ * thread's capture buffer when one is installed, otherwise written to
+ * stderr under sinkMutex(). A null tag emits the message verbatim
+ * (used by the trace sink, which formats its own prefixes).
+ */
+void emitLine(const char *tag, const std::string &msg);
+
 } // namespace logging_detail
+
+/**
+ * Tag the current thread's log/trace lines with a job index and
+ * (optionally) buffer them for an ordered flush. Used by sim::JobPool
+ * around each task; nesting is not supported.
+ */
+class ScopedJobTag
+{
+  public:
+    /**
+     * @param index submission index of the job (>= 0)
+     * @param capture when non-null, lines are appended here (already
+     *        prefixed) instead of being written to stderr; the caller
+     *        flushes the buffer when it chooses (writeCaptured()).
+     */
+    ScopedJobTag(long index, std::string *capture);
+    ~ScopedJobTag();
+
+    ScopedJobTag(const ScopedJobTag &) = delete;
+    ScopedJobTag &operator=(const ScopedJobTag &) = delete;
+
+    /** The current thread's job index, or -1 when untagged. */
+    static long currentIndex();
+
+    /** Write a captured buffer to stderr under the sink mutex. */
+    static void writeCaptured(const std::string &buffered);
+};
 
 /** Abort: an internal simulator invariant was violated (a bug). */
 #define SS_PANIC(...)                                                     \

@@ -42,6 +42,33 @@ StatGroup::reset()
         v = 0;
 }
 
+StatGroup::Snapshot
+StatGroup::snapshot() const
+{
+    Snapshot snap;
+    for (const auto &[k, v] : counters_)
+        snap.emplace(k, v.value());
+    return snap;
+}
+
+StatGroup::Snapshot
+StatGroup::snapshotDelta(Snapshot &since) const
+{
+    Snapshot delta;
+    for (const auto &[k, v] : counters_) {
+        std::uint64_t cur = v.value();
+        auto it = since.find(k);
+        std::uint64_t base =
+            it == since.end() ? 0 : it->second;
+        // A counter below its baseline means the group was reset()
+        // since the last snapshot: everything accumulated so far is
+        // new.
+        delta.emplace(k, cur >= base ? cur - base : cur);
+    }
+    since = snapshot();
+    return delta;
+}
+
 void
 StatGroup::merge(const StatGroup &other)
 {

@@ -95,6 +95,25 @@ class StatGroup
      *  warm-up reset still appear — as 0 — in the final dump. */
     void reset();
 
+    /**
+     * A point-in-time copy of the counter values, used as the baseline
+     * for interval (time-series) deltas.
+     */
+    using Snapshot = std::map<std::string, std::uint64_t>;
+
+    /** @return the current value of every registered counter. */
+    Snapshot snapshot() const;
+
+    /**
+     * @return per-counter increase since `since`, then advance `since`
+     * to the current values. Counters that moved backwards (the group
+     * was reset() in between) are counted from zero, so a sequence of
+     * deltas taken across a reset still sums to the final counter
+     * values. Counters absent from `since` (registered after the last
+     * snapshot) count from zero too.
+     */
+    Snapshot snapshotDelta(Snapshot &since) const;
+
     /** Merge another group's counters into this one (summing). */
     void merge(const StatGroup &other);
 

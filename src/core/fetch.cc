@@ -6,13 +6,12 @@
  * functional execute-at-fetch for correct-path instructions.
  */
 
-#include <cstdio>
-#include <cstdlib>
 #include <memory>
 
 #include "core/smt_core.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace specslice::core
 {
@@ -24,37 +23,6 @@ namespace
 constexpr Cycle stallForever = ~Cycle{0} / 2;
 
 } // namespace
-
-bool
-SmtCore::traceEnabled()
-{
-    static const bool on = std::getenv("SS_TRACE") != nullptr;
-    return on;
-}
-
-void
-SmtCore::tracePgiFetch(const DynInst &di, const ThreadCtx &t)
-{
-    std::fprintf(stderr,
-                 "[trace] pgi pc=0x%llx tok=%llu fork=%llu cyc=%llu\n",
-                 (unsigned long long)di.pc,
-                 (unsigned long long)di.pgiToken,
-                 (unsigned long long)t.forkSeq,
-                 (unsigned long long)cycle_);
-}
-
-void
-SmtCore::traceBranchFetch(const DynInst &di)
-{
-    std::fprintf(stderr,
-                 "[trace] branch pc=0x%llx seq=%llu actual=%d pred=%d "
-                 "corr=%d tok=%llu cyc=%llu\n",
-                 (unsigned long long)di.pc, (unsigned long long)di.seq,
-                 (int)di.fx.taken, (int)di.predictedTaken,
-                 (int)di.usedCorrelator,
-                 (unsigned long long)di.correlatorToken,
-                 (unsigned long long)cycle_);
-}
 
 ThreadId
 SmtCore::pickFetchThread(bool slices_only) const
@@ -311,13 +279,22 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
             di.pgiToken =
                 correlator_.onPgiFetch(*spec, t.forkSeq, di.seq);
             di.pgiInvert = spec->invert;
-            if (traceEnabled())
-                tracePgiFetch(di, t);
+            SS_DTRACE(Corr, "pgi pc=0x", std::hex, di.pc, std::dec,
+                      " tok=", di.pgiToken, " fork=", t.forkSeq,
+                      " cyc=", cycle_);
         }
     }
-    if (traceEnabled() && !t.isSlice && !di.wrongPath &&
-        si->isCondBranch() && correlator_.isInterestingPc(pc))
-        traceBranchFetch(di);
+    // Check the flag before the isInterestingPc hash probe: this runs
+    // per fetched conditional branch and must cost nothing when off.
+    if (obs::traceEnabled(obs::TraceFlag::Corr)) [[unlikely]] {
+        if (!t.isSlice && !di.wrongPath && si->isCondBranch() &&
+            correlator_.isInterestingPc(pc))
+            SS_DTRACE(Corr, "branch pc=0x", std::hex, di.pc, std::dec,
+                      " seq=", di.seq, " actual=", int{di.fx.taken},
+                      " pred=", int{di.predictedTaken},
+                      " corr=", int{di.usedCorrelator},
+                      " tok=", di.correlatorToken, " cyc=", cycle_);
+    }
 
     // Slice faults terminate the slice (null-pointer dereference).
     if (t.isSlice && !di.wrongPath && di.fx.fault) {
@@ -347,6 +324,13 @@ SmtCore::fetchOne(ThreadCtx &t, ThreadId tid, unsigned &fetched)
         if (win.wrongPath)
             ++s_.mainFetchedWrongpath;
     }
+
+    if (events_) [[unlikely]]
+        events_->push(obs::EventKind::Fetch, tid, win.pc, seq,
+                      win.wrongPath);
+    SS_DTRACE(Fetch, "tid=", int{tid}, " pc=0x", std::hex, win.pc,
+              std::dec, " seq=", seq, " wp=", int{win.wrongPath},
+              " cyc=", cycle_);
 
     return !end_fetch_group;
 }
@@ -412,6 +396,13 @@ SmtCore::forkSlice(DynInst &fork_inst, int slice_idx)
     fork_inst.forkedThread = free_tid;
     correlator_.onFork(desc, free_tid, fork_inst.seq);
     ++s_.forks;
+    if (events_) [[unlikely]]
+        events_->push(obs::EventKind::SliceFork, free_tid,
+                      desc.slicePc, fork_inst.seq, desc.forkPc);
+    SS_DTRACE(Slice, "fork pc=0x", std::hex, desc.forkPc,
+              " slice=0x", desc.slicePc, std::dec,
+              " tid=", int{free_tid}, " forkSeq=", fork_inst.seq,
+              " cyc=", cycle_);
 }
 
 void
@@ -467,9 +458,11 @@ SmtCore::countSliceIteration(ThreadCtx &t, Addr pc)
 void
 SmtCore::terminateSliceFetch(ThreadCtx &t, ThreadId tid)
 {
-    (void)tid;
     SS_ASSERT(t.isSlice, "terminating a non-slice thread");
     t.fetchEnded = true;
+    SS_DTRACE(Slice, "fetch-end tid=", int{tid},
+              " forkSeq=", t.forkSeq, " iters=", t.loopIters,
+              " cyc=", cycle_);
 }
 
 } // namespace specslice::core

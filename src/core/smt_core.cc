@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace specslice::core
 {
@@ -99,11 +100,57 @@ SmtCore::resetStats()
         profile_.perPc.clear();
 }
 
+void
+SmtCore::restartIntervals(IntervalState &st, Cycle interval_cycles)
+{
+    st.core = stats_.snapshot();
+    st.mem = hierarchy_.stats().snapshot();
+    st.corr = correlator_.stats().snapshot();
+    st.retiredBase = mainRetired_;
+    st.windowStart = cycle_;
+    st.nextBoundary = cycle_ + interval_cycles;
+    st.index = 0;
+}
+
+void
+SmtCore::captureInterval(IntervalState &st, Cycle interval_cycles,
+                         std::vector<obs::IntervalRecord> &out)
+{
+    StatGroup::Snapshot dc = stats_.snapshotDelta(st.core);
+    StatGroup::Snapshot dm = hierarchy_.stats().snapshotDelta(st.mem);
+    StatGroup::Snapshot dk =
+        correlator_.stats().snapshotDelta(st.corr);
+
+    obs::IntervalRecord rec;
+    rec.index = st.index++;
+    rec.startCycle = st.windowStart;
+    rec.endCycle = cycle_;
+    rec.retired = mainRetired_ - st.retiredBase;
+    rec.loads = dc["main_loads"];
+    rec.l1dMisses = dc["main_load_misses"];
+    rec.l2Misses = dm["l2_misses"];
+    rec.condBranches = dc["cond_branches"];
+    rec.mispredictions = dc["mispredictions"];
+    rec.forks = dc["forks"];
+    rec.predsGenerated = dk["predictions_generated"];
+    rec.predsBound = dk["matches_full"] + dk["matches_late"];
+    rec.predsUsed = dc["correlator_used"];
+    rec.predsKilled = dk["kills_loop"] + dk["kills_slice"] +
+                      dk["kills_applied_from_debt"];
+    out.push_back(rec);
+
+    st.retiredBase = mainRetired_;
+    st.windowStart = cycle_;
+    st.nextBoundary = cycle_ + interval_cycles;
+}
+
 RunResult
 SmtCore::run(Addr entry_pc, const RunOptions &opts)
 {
     perfect_ = opts.perfect;
     profileEnabled_ = opts.profile;
+    events_ = opts.events;
+    correlator_.setEventSink(events_);
     if (profileEnabled_) {
         // One bucket per static instruction avoids rehash-and-move
         // churn as the profile fills in.
@@ -127,8 +174,16 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     Cycle measure_start = 0;
     std::uint64_t measured_base = 0;
 
+    const Cycle iv_cycles = opts.intervalCycles;
+    IntervalState iv;
+    std::vector<obs::IntervalRecord> intervals;
+    if (iv_cycles)
+        restartIntervals(iv, iv_cycles);
+
     while (cycle_ < max_cycles) {
         ++cycle_;
+        if (events_)
+            events_->setNow(cycle_);
         hierarchy_.tick(cycle_);
         completeStage();
         issueStage();
@@ -140,14 +195,30 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
             resetStats();
             measure_start = cycle_;
             measured_base = mainRetired_;
+            // The time-series covers the measured region only:
+            // discard warm-up windows and restart at the boundary so
+            // window deltas sum to the final (post-reset) counters.
+            if (iv_cycles) {
+                intervals.clear();
+                restartIntervals(iv, iv_cycles);
+            }
         }
+        if (iv_cycles && cycle_ >= iv.nextBoundary)
+            captureInterval(iv, iv_cycles, intervals);
         if (mainRetired_ >= budget)
             break;
         if (mainHalted_ && threads_[0].rob.empty())
             break;
     }
 
+    // Close the final (possibly partial) window.
+    if (iv_cycles && cycle_ > iv.windowStart)
+        captureInterval(iv, iv_cycles, intervals);
+    if (events_)
+        correlator_.drainEvents();
+
     RunResult res;
+    res.intervals = std::move(intervals);
     res.cycles = cycle_ - measure_start;
     res.mainRetired = mainRetired_ - measured_base;
     res.mainFetched = s_.mainFetched;
@@ -304,6 +375,11 @@ SmtCore::issueStage()
 
         di->completeAt = cycle_ + lat;
         completions_.push({di->completeAt, seq});
+        if (events_) [[unlikely]]
+            events_->push(obs::EventKind::Issue, di->thread, di->pc,
+                          seq, lat);
+        SS_DTRACE(Smt, "issue seq=", seq, " pc=0x", std::hex, di->pc,
+                  std::dec, " lat=", lat, " cyc=", cycle_);
     }
 
     // The kept entries are a subsequence of a sorted scan: already
@@ -410,18 +486,16 @@ SmtCore::resolveBranch(DynInst &di)
                 ++s_.mispredictions;
             if (di.usedCorrelator) {
                 ++s_.correlatorUsed;
-                if (mispredicted) {
+                if (mispredicted)
                     ++s_.correlatorWrong;
-                    if (traceEnabled())
-                        std::fprintf(stderr,
-                            "[trace] corr-wrong pc=0x%llx seq=%llu "
-                            "pred=%d actual=%d tok=%llu cyc=%llu\n",
-                            (unsigned long long)di.pc,
-                            (unsigned long long)di.seq,
-                            (int)di.predictedTaken, (int)actual_taken,
-                            (unsigned long long)di.correlatorToken,
-                            (unsigned long long)cycle_);
-                }
+                SS_DTRACE(Corr, mispredicted ? "corr-wrong"
+                                             : "corr-right",
+                          " pc=0x", std::hex, di.pc, std::dec,
+                          " seq=", di.seq,
+                          " pred=", int{di.predictedTaken},
+                          " actual=", int{actual_taken},
+                          " tok=", di.correlatorToken,
+                          " cyc=", cycle_);
             }
             if (profileEnabled_)
                 recordBranchProfile(di, mispredicted);
@@ -517,8 +591,12 @@ SmtCore::squashThread(ThreadId tid, SeqNum younger_than,
         --occupancy;
         --t.icount;
         ++(d.sliceThread ? s_.sliceSquashedInsts : s_.mainSquashedInsts);
+        if (events_) [[unlikely]]
+            events_->push(obs::EventKind::Squash, tid, d.pc, seq);
         inFlight_.erase(seq);
     }
+    SS_DTRACE(Smt, "squash tid=", int{tid},
+              " younger_than=", younger_than, " cyc=", cycle_);
 }
 
 void
@@ -608,6 +686,8 @@ SmtCore::retireStage()
             } else {
                 ++mainRetired_;
             }
+            if (events_) [[unlikely]]
+                events_->push(obs::EventKind::Retire, tid, d->pc, seq);
             inFlight_.erase(seq);
         }
 
@@ -663,6 +743,11 @@ SmtCore::releaseSliceThread(ThreadId tid)
 
     correlator_.onSliceDone(t.forkSeq);
     ++s_.slicesCompleted;
+    if (events_) [[unlikely]]
+        events_->push(obs::EventKind::SliceEnd, tid, t.fetchPc,
+                      t.forkSeq);
+    SS_DTRACE(Slice, "end tid=", int{tid}, " forkSeq=", t.forkSeq,
+              " cyc=", cycle_);
 }
 
 } // namespace specslice::core

@@ -35,6 +35,8 @@
 #include "core/perfect.hh"
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
+#include "obs/events.hh"
+#include "obs/interval.hh"
 #include "slice/correlator.hh"
 #include "slice/slice_table.hh"
 
@@ -69,6 +71,20 @@ struct RunOptions
     PerfectSpec perfect;
     /** Collect the per-PC PDE profile (costs some time). */
     bool profile = false;
+    /**
+     * Record an interval stats time-series with this window length in
+     * cycles (0 = off). Windows cover the measured region (recording
+     * restarts at the warm-up stats reset); the final partial window
+     * is included, so per-window deltas sum to the end-of-run
+     * counters.
+     */
+    Cycle intervalCycles = 0;
+    /**
+     * Record typed pipeline/correlator events into this buffer (null
+     * = off; see obs/events.hh for the event vocabulary). The buffer
+     * must outlive the run; each run needs its own buffer.
+     */
+    obs::EventBuffer *events = nullptr;
 };
 
 /** Aggregated results of a run. */
@@ -95,6 +111,8 @@ struct RunResult
     std::uint64_t latePredictions = 0;   ///< matched while Empty
     std::uint64_t lateReversals = 0;     ///< early resolutions performed
     StatGroup detail;                    ///< everything else
+    /** Interval time-series (empty unless RunOptions.intervalCycles). */
+    std::vector<obs::IntervalRecord> intervals;
 
     double
     ipc() const
@@ -186,11 +204,22 @@ class SmtCore
     void resetStats();
     void recordBranchProfile(const DynInst &di, bool mispredicted);
 
-    // Correlation trace (SS_TRACE=1): PGI fetches, correlator-relevant
-    // branch fetches, and wrong overrides, for slice debugging.
-    static bool traceEnabled();
-    void tracePgiFetch(const DynInst &di, const ThreadCtx &t);
-    void traceBranchFetch(const DynInst &di);
+    // ---- observability ----
+    /** Baselines for the interval time-series (active when
+     *  RunOptions.intervalCycles > 0). */
+    struct IntervalState
+    {
+        StatGroup::Snapshot core, mem, corr;
+        std::uint64_t retiredBase = 0;
+        Cycle windowStart = 0;
+        Cycle nextBoundary = 0;
+        std::uint64_t index = 0;
+    };
+    /** (Re)start interval recording at the current cycle. */
+    void restartIntervals(IntervalState &st, Cycle interval_cycles);
+    /** Close the current window and append its record. */
+    void captureInterval(IntervalState &st, Cycle interval_cycles,
+                         std::vector<obs::IntervalRecord> &out);
 
     // ---- configuration & structural state ----
     CoreConfig cfg_;
@@ -202,6 +231,8 @@ class SmtCore
     slice::PredictionCorrelator correlator_;
     PerfectSpec perfect_;
     bool profileEnabled_ = false;
+    /** Structured-event sink for this run (null = off). */
+    obs::EventBuffer *events_ = nullptr;
 
     /**
      * The in-flight instruction window, keyed by VN#. Sequence

@@ -1,0 +1,78 @@
+#include "obs/interval.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace specslice::obs
+{
+
+std::string
+intervalsCsvHeader()
+{
+    return "interval,start_cycle,end_cycle,retired,ipc,loads,"
+           "l1d_misses,l1d_miss_rate,l2_misses,cond_branches,"
+           "mispredictions,mispredict_rate,forks,preds_generated,"
+           "preds_bound,preds_used,preds_killed";
+}
+
+namespace
+{
+
+/** Format one record as a CSV row (no newline). */
+std::string
+csvRow(const IntervalRecord &r)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.6g,%" PRIu64
+        ",%" PRIu64 ",%.6g,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%.6g,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64,
+        r.index, r.startCycle, r.endCycle, r.retired, r.ipc(), r.loads,
+        r.l1dMisses, r.l1dMissRate(), r.l2Misses, r.condBranches,
+        r.mispredictions, r.mispredictRate(), r.forks,
+        r.predsGenerated, r.predsBound, r.predsUsed, r.predsKilled);
+    return buf;
+}
+
+} // namespace
+
+void
+writeIntervalsCsv(std::ostream &os,
+                  const std::vector<IntervalRecord> &records)
+{
+    os << intervalsCsvHeader() << '\n';
+    for (const IntervalRecord &r : records)
+        os << csvRow(r) << '\n';
+}
+
+std::string
+intervalsToJson(const std::vector<IntervalRecord> &records)
+{
+    std::string out = "[";
+    char buf[512];
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const IntervalRecord &r = records[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"interval\": %" PRIu64 ", \"start_cycle\": %" PRIu64
+            ", \"end_cycle\": %" PRIu64 ", \"retired\": %" PRIu64
+            ", \"ipc\": %.6g, \"loads\": %" PRIu64
+            ", \"l1d_misses\": %" PRIu64 ", \"l2_misses\": %" PRIu64
+            ", \"cond_branches\": %" PRIu64
+            ", \"mispredictions\": %" PRIu64 ", \"forks\": %" PRIu64
+            ", \"preds_generated\": %" PRIu64
+            ", \"preds_bound\": %" PRIu64 ", \"preds_used\": %" PRIu64
+            ", \"preds_killed\": %" PRIu64 "}",
+            i ? ", " : "", r.index, r.startCycle, r.endCycle, r.retired,
+            r.ipc(), r.loads, r.l1dMisses, r.l2Misses, r.condBranches,
+            r.mispredictions, r.forks, r.predsGenerated, r.predsBound,
+            r.predsUsed, r.predsKilled);
+        out += buf;
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace specslice::obs

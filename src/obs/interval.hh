@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interval statistics time-series: the simulator slices a run into
+ * fixed-length cycle windows and records, per window, the deltas of
+ * the headline counters (IPC, cache miss rates, mispredict rate, and
+ * the slice fork/bind/kill/use pipeline). End-of-run aggregates hide
+ * phase structure — a correlator change that wins early and loses
+ * late can net to zero; the time-series makes each phase visible.
+ *
+ * Records are carried in RunResult and emitted as a CSV file
+ * (specslice_run --intervals) and as an "intervals" array in the
+ * --json document.
+ */
+
+#ifndef SPECSLICE_OBS_INTERVAL_HH
+#define SPECSLICE_OBS_INTERVAL_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specslice::obs
+{
+
+/** One fixed-length window of a run; all counts are deltas. */
+struct IntervalRecord
+{
+    std::uint64_t index = 0;
+    Cycle startCycle = 0;   ///< first cycle of the window (exclusive)
+    Cycle endCycle = 0;     ///< last cycle of the window (inclusive)
+    std::uint64_t retired = 0;        ///< main-thread instructions
+    std::uint64_t loads = 0;          ///< main-thread loads issued
+    std::uint64_t l1dMisses = 0;      ///< main-thread L1D misses
+    std::uint64_t l2Misses = 0;       ///< whole-hierarchy L2 misses
+    std::uint64_t condBranches = 0;   ///< main, resolved
+    std::uint64_t mispredictions = 0;
+    std::uint64_t forks = 0;          ///< slices forked
+    std::uint64_t predsGenerated = 0; ///< PGI executions
+    std::uint64_t predsBound = 0;     ///< branch-to-slot matches
+    std::uint64_t predsUsed = 0;      ///< correlator overrides consumed
+    std::uint64_t predsKilled = 0;    ///< slot kills applied
+
+    Cycle cycles() const { return endCycle - startCycle; }
+
+    double
+    ipc() const
+    {
+        return cycles() ? static_cast<double>(retired) /
+                              static_cast<double>(cycles())
+                        : 0.0;
+    }
+
+    double
+    l1dMissRate() const
+    {
+        return loads ? static_cast<double>(l1dMisses) /
+                           static_cast<double>(loads)
+                     : 0.0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return condBranches ? static_cast<double>(mispredictions) /
+                                  static_cast<double>(condBranches)
+                            : 0.0;
+    }
+};
+
+/** The CSV header row matching writeIntervalsCsv (no newline). */
+std::string intervalsCsvHeader();
+
+/** Write header + one CSV row per record. */
+void writeIntervalsCsv(std::ostream &os,
+                       const std::vector<IntervalRecord> &records);
+
+/** Render the records as a JSON array (for the --json document). */
+std::string intervalsToJson(const std::vector<IntervalRecord> &records);
+
+} // namespace specslice::obs
+
+#endif // SPECSLICE_OBS_INTERVAL_HH

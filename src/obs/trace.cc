@@ -1,0 +1,109 @@
+#include "obs/trace.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace specslice::obs
+{
+
+namespace
+{
+
+constexpr const char *flagNames[] = {"fetch", "smt",  "corr",
+                                     "slice", "mem",  "pred"};
+static_assert(sizeof(flagNames) / sizeof(flagNames[0]) ==
+              static_cast<unsigned>(TraceFlag::NumFlags));
+
+} // namespace
+
+TraceSink &
+TraceSink::instance()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+const char *
+TraceSink::flagName(TraceFlag f)
+{
+    return flagNames[static_cast<unsigned>(f)];
+}
+
+void
+TraceSink::enable(TraceFlag f)
+{
+    trace_detail::mask.fetch_or(1u << static_cast<unsigned>(f),
+                                std::memory_order_relaxed);
+}
+
+void
+TraceSink::disable(TraceFlag f)
+{
+    trace_detail::mask.fetch_and(~(1u << static_cast<unsigned>(f)),
+                                 std::memory_order_relaxed);
+}
+
+void
+TraceSink::disableAll()
+{
+    trace_detail::mask.store(0, std::memory_order_relaxed);
+}
+
+void
+TraceSink::setFlags(const std::string &csv)
+{
+    std::stringstream ss(csv);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+        if (name.empty())
+            continue;
+        if (name == "all" || name == "1") {
+            for (unsigned i = 0;
+                 i < static_cast<unsigned>(TraceFlag::NumFlags); ++i)
+                enable(static_cast<TraceFlag>(i));
+            continue;
+        }
+        bool found = false;
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(TraceFlag::NumFlags); ++i) {
+            if (name == flagNames[i]) {
+                enable(static_cast<TraceFlag>(i));
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            SS_FATAL("unknown trace flag '", name,
+                     "' (valid: fetch,smt,corr,slice,mem,pred,all)");
+    }
+}
+
+void
+TraceSink::initFromEnv()
+{
+    if (const char *v = std::getenv("SS_TRACE"))
+        setFlags(v);
+}
+
+void
+TraceSink::write(TraceFlag f, const std::string &msg)
+{
+    std::string line = "[trace:";
+    line += flagName(f);
+    line += "] ";
+    line += msg;
+    if (collector_) {
+        collector_->append(line);
+        collector_->push_back('\n');
+        return;
+    }
+    logging_detail::emitLine(nullptr, line);
+}
+
+void
+TraceSink::setCollector(std::string *lines)
+{
+    collector_ = lines;
+}
+
+} // namespace specslice::obs

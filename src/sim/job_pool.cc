@@ -3,6 +3,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "common/logging.hh"
 
 namespace specslice::sim
 {
@@ -55,7 +58,24 @@ JobPool::~JobPool()
 std::future<void>
 JobPool::submit(std::function<void()> fn)
 {
-    std::packaged_task<void()> task(std::move(fn));
+    // Wrap the task so its log/trace output is tagged with the job's
+    // submission index and captured; buffers are flushed in submission
+    // order, so the bytes hitting stderr do not depend on the worker
+    // count. The inline (jobs_ < 2) path runs the same wrapper, which
+    // makes `--jobs 1` output identical to a parallel run's.
+    long index = submitted_.fetch_add(1, std::memory_order_relaxed);
+    std::packaged_task<void()> task(
+        [this, index, fn = std::move(fn)]() {
+            std::string buffered;
+            try {
+                ScopedJobTag tag(index, &buffered);
+                fn();
+            } catch (...) {
+                completeOutput(index, std::move(buffered));
+                throw;
+            }
+            completeOutput(index, std::move(buffered));
+        });
     std::future<void> fut = task.get_future();
     if (jobs_ < 2) {
         task();  // inline: exceptions land in the future
@@ -67,6 +87,24 @@ JobPool::submit(std::function<void()> fn)
     }
     cv_.notify_one();
     return fut;
+}
+
+void
+JobPool::completeOutput(long index, std::string &&buffered)
+{
+    std::lock_guard<std::mutex> lock(outMutex_);
+    if (index != outNext_) {
+        outPending_.emplace(index, std::move(buffered));
+        return;
+    }
+    ScopedJobTag::writeCaptured(buffered);
+    ++outNext_;
+    for (auto it = outPending_.begin();
+         it != outPending_.end() && it->first == outNext_;
+         it = outPending_.erase(it)) {
+        ScopedJobTag::writeCaptured(it->second);
+        ++outNext_;
+    }
 }
 
 void

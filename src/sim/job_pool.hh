@@ -9,6 +9,11 @@
  *
  *  - results are returned in submission order (map() fills a slot per
  *    item; callers format/print only after the whole batch is done);
+ *  - log/trace lines a job emits (SS_WARN, SS_INFORM, SS_DTRACE) are
+ *    captured per job via ScopedJobTag, prefixed with the job's
+ *    submission index ("[jN] "), and flushed to stderr in submission
+ *    order as jobs complete — so sweep output is byte-identical no
+ *    matter the worker count;
  *  - exceptions thrown by a job are captured and rethrown from the
  *    submitting thread (the first one in submission order, after all
  *    jobs of the batch have finished);
@@ -24,13 +29,16 @@
 #ifndef SPECSLICE_SIM_JOB_POOL_HH
 #define SPECSLICE_SIM_JOB_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -110,12 +118,24 @@ class JobPool
   private:
     void workerLoop();
 
+    /**
+     * Record job `index`'s captured log output as complete and flush
+     * the contiguous prefix of completed buffers (in submission
+     * order) to stderr.
+     */
+    void completeOutput(long index, std::string &&buffered);
+
     unsigned jobs_;
     std::vector<std::thread> workers_;
     std::deque<std::packaged_task<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+
+    std::atomic<long> submitted_{0};
+    std::mutex outMutex_;
+    std::map<long, std::string> outPending_;
+    long outNext_ = 0;
 };
 
 } // namespace specslice::sim

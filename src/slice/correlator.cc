@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace specslice::slice
 {
@@ -64,13 +65,31 @@ PredictionCorrelator::unindexEntry(const Entry &e)
 }
 
 void
+PredictionCorrelator::emitSlotEvent(obs::EventKind kind, const Entry &e,
+                                    const Slot &s, SeqNum seq)
+{
+    if (events_)
+        events_->push(kind, e.thread, e.branchPc, seq, s.token);
+}
+
+void
+PredictionCorrelator::emitSlotTerminal(const Entry &e, const Slot &s)
+{
+    emitSlotEvent(s.everMatched ? obs::EventKind::CorrPredUsed
+                                : obs::EventKind::CorrPredKilled,
+                  e, s, s.pgiSeq);
+}
+
+void
 PredictionCorrelator::freeEntry(std::uint64_t id)
 {
     Entry *e = entries_.find(id);
     if (!e)
         return;
-    for (const Slot &s : e->slots)
+    for (const Slot &s : e->slots) {
+        emitSlotTerminal(*e, s);
         tokenIndex_.erase(s.token);
+    }
     unindexEntry(*e);
     entries_.erase(id);
 }
@@ -115,6 +134,12 @@ PredictionCorrelator::onFork(const SliceDescriptor &desc, ThreadId thread,
         Entry &stored = entries_.push(std::move(e));
         indexEntry(stored);
         ++s_.entriesAllocated;
+        if (events_)
+            events_->push(obs::EventKind::CorrEntryCreate, thread,
+                          stored.branchPc, fork_seq, stored.id);
+        SS_DTRACE(Corr, "entry id=", stored.id, " branch=0x", std::hex,
+                  stored.branchPc, std::dec, " fork=", fork_seq,
+                  " thread=", unsigned{thread});
     }
 }
 
@@ -150,6 +175,11 @@ PredictionCorrelator::onPgiFetch(const PgiSpec &spec, SeqNum fork_seq,
     if (e->overflowed || e->slots.size() >= cfg_.predsPerBranch) {
         e->overflowed = true;
         ++s_.predictionsDroppedFull;
+        if (events_)
+            events_->push(obs::EventKind::CorrOverflow, e->thread,
+                          e->branchPc, pgi_seq, e->id);
+        SS_DTRACE(Corr, "overflow entry=", e->id, " branch=0x",
+                  std::hex, e->branchPc);
         return 0;
     }
     Slot s;
@@ -166,6 +196,10 @@ PredictionCorrelator::onPgiFetch(const PgiSpec &spec, SeqNum fork_seq,
     e->slots.push_back(s);
     tokenIndex_.insert(s.token, e->id);
     ++s_.predictionsAllocated;
+    emitSlotEvent(obs::EventKind::CorrPredCreate, *e, s, pgi_seq);
+    SS_DTRACE(Corr, "create tok=", s.token, " entry=", e->id,
+              " pgi-seq=", pgi_seq,
+              s.killed ? " (pre-killed from debt)" : "");
     return s.token;
 }
 
@@ -230,15 +264,28 @@ PredictionCorrelator::onBranchFetch(Addr pc, SeqNum branch_seq,
             res.token = s.token;
             if (s.computed) {
                 res.overrideDir = s.dir ? 1 : 0;
+                if (!s.everMatched)
+                    emitSlotEvent(obs::EventKind::CorrPredBound, e, s,
+                                  branch_seq);
                 s.everMatched = true;
                 ++s_.matchesFull;
+                SS_DTRACE(Corr, "match-full tok=", s.token, " pc=0x",
+                          std::hex, pc, std::dec,
+                          " branch-seq=", branch_seq,
+                          " dir=", int{s.dir});
             } else if (s.consumerSeq == invalidSeqNum) {
                 // Late prediction: bind this branch instance; the
                 // traditional predictor supplies the direction.
                 s.consumerSeq = branch_seq;
                 s.consumerUsedDir = default_dir;
+                if (!s.everMatched)
+                    emitSlotEvent(obs::EventKind::CorrPredBound, e, s,
+                                  branch_seq);
                 s.everMatched = true;
                 ++s_.matchesLate;
+                SS_DTRACE(Corr, "match-late tok=", s.token, " pc=0x",
+                          std::hex, pc, std::dec,
+                          " branch-seq=", branch_seq);
             } else {
                 // Head already has a consumer bound and hasn't been
                 // killed yet: no help for this instance.
@@ -279,6 +326,8 @@ PredictionCorrelator::onKillFetch(Addr pc, SeqNum kill_seq)
                         s.killerSeq = kill_seq;
                         ++s_.killsLoop;
                         applied = true;
+                        SS_DTRACE(Corr, "kill-loop tok=", s.token,
+                                  " killer-seq=", kill_seq);
                         break;
                     }
                 }
@@ -296,6 +345,8 @@ PredictionCorrelator::onKillFetch(Addr pc, SeqNum kill_seq)
                     s.killed = true;
                     s.killerSeq = kill_seq;
                     ++s_.killsSlice;
+                    SS_DTRACE(Corr, "kill-slice tok=", s.token,
+                              " killer-seq=", kill_seq);
                 }
             }
             if (e.deadSeq == invalidSeqNum)
@@ -350,6 +401,7 @@ PredictionCorrelator::squashSlice(SeqNum fork_seq, SeqNum younger_than)
                !e.slots.back().computed &&
                e.slots.back().consumerSeq == invalidSeqNum &&
                !e.slots.back().killed) {
+            emitSlotTerminal(e, e.slots.back());
             tokenIndex_.erase(e.slots.back().token);
             e.slots.pop_back();
             ++s_.slotsSliceSquashed;
@@ -404,6 +456,7 @@ PredictionCorrelator::retireUpTo(SeqNum bound)
         while (!e.slots.empty()) {
             Slot &s = e.slots.front();
             if (s.killed && s.killerSeq <= bound) {
+                emitSlotTerminal(e, s);
                 tokenIndex_.erase(s.token);
                 e.slots.pop_front();
                 ++s_.slotsRetired;
@@ -419,6 +472,17 @@ PredictionCorrelator::retireUpTo(SeqNum bound)
     });
     for (std::uint64_t id : to_free)
         freeEntry(id);
+}
+
+void
+PredictionCorrelator::drainEvents()
+{
+    if (!events_)
+        return;
+    entries_.forEach([&](const Entry &e) {
+        for (const Slot &s : e.slots)
+            emitSlotTerminal(e, s);
+    });
 }
 
 } // namespace specslice::slice

@@ -14,10 +14,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "bench_common.hh"
+#include "obs/events.hh"
+#include "obs/interval.hh"
+#include "obs/trace.hh"
 #include "sim/experiments.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
@@ -45,6 +50,11 @@ struct Options
     bool list = false;
     bool compare = false;   // run baseline AND slices, print speedup
     unsigned jobs = 0;      // --compare parallelism (0: pool default)
+    std::string trace;          // --trace flag list (adds to SS_TRACE)
+    std::string intervalsPath;  // --intervals CSV destination
+    std::uint64_t intervalCycles = 10'000;
+    bool intervalsRequested = false;
+    std::string chromeTracePath;  // --chrome-trace JSON destination
 };
 
 [[noreturn]] void
@@ -67,6 +77,13 @@ usage(int code)
         "  --profile         print the problem-instruction profile\n"
         "  --stats           dump all detail counters\n"
         "  --json            print the result as JSON on stdout\n"
+        "  --trace FLAGS     arm debug tracing (comma list of\n"
+        "                    fetch,smt,corr,slice,mem,pred or 'all';\n"
+        "                    SS_TRACE in the environment also works)\n"
+        "  --intervals FILE  write the interval time-series CSV\n"
+        "  --interval-cycles N  interval window length (default 10000)\n"
+        "  --chrome-trace FILE  write pipeline/slice events as Chrome\n"
+        "                    trace JSON (chrome://tracing, Perfetto)\n"
         "  --disasm          print the program and slice disassembly\n"
         "  --list            list available workloads\n");
     std::exit(code);
@@ -116,6 +133,22 @@ parseArgs(int argc, char **argv)
             if (o.jobs == 0 || o.jobs > 4096)
                 usage(2);
         }
+        else if (a == "--trace")
+            o.trace = next();
+        else if (a.rfind("--trace=", 0) == 0)
+            o.trace = a.substr(8);
+        else if (a == "--intervals") {
+            o.intervalsPath = next();
+            o.intervalsRequested = true;
+        }
+        else if (a == "--interval-cycles") {
+            o.intervalCycles = parseNum(next());
+            o.intervalsRequested = true;
+            if (o.intervalCycles == 0)
+                usage(2);
+        }
+        else if (a == "--chrome-trace")
+            o.chromeTracePath = next();
         else if (a == "--limit")
             o.limit = true;
         else if (a == "--profile")
@@ -175,6 +208,10 @@ main(int argc, char **argv)
 {
     Options o = parseArgs(argc, argv);
 
+    obs::TraceSink::instance().initFromEnv();
+    if (!o.trace.empty())
+        obs::TraceSink::instance().setFlags(o.trace);
+
     if (o.list) {
         for (const auto &n : workloads::allWorkloadNames())
             std::printf("%s\n", n.c_str());
@@ -203,6 +240,15 @@ main(int argc, char **argv)
     opts.maxMainInstructions = o.insts;
     opts.warmupInstructions = o.warmup;
     opts.profile = o.profile;
+    if (o.json || o.intervalsRequested)
+        opts.intervalCycles = o.intervalCycles;
+
+    // The event buffer is attached to the run of interest only: the
+    // slices run under --compare (the baseline never forks), otherwise
+    // whatever single run executes.
+    std::unique_ptr<obs::EventBuffer> events;
+    if (!o.chromeTracePath.empty())
+        events = std::make_unique<obs::EventBuffer>();
 
     if (!o.json)
         std::printf("%s on the %u-wide machine (%llu measured insts, "
@@ -220,6 +266,8 @@ main(int argc, char **argv)
         ecfg.seed = o.seed;
         auto lo = sim::limitOptions(wl, ecfg);
         lo.profile = o.profile;
+        lo.intervalCycles = opts.intervalCycles;
+        lo.events = events.get();
         runs.push_back(timedRun("limit", machine, wl, lo, false));
         result = runs.back().result;
     } else if (o.compare) {
@@ -237,10 +285,14 @@ main(int argc, char **argv)
         sim::JobPool pool(o.jobs);
         runs = pool.map(specs, [&](const RunSpec &s) {
             sim::Simulator m(cfg);
-            return timedRun(s.tag, m, wl, opts, s.slices);
+            sim::RunOptions ro = opts;
+            if (s.slices)
+                ro.events = events.get();
+            return timedRun(s.tag, m, wl, ro, s.slices);
         });
         result = runs.back().result;
     } else {
+        opts.events = events.get();
         runs.push_back(timedRun(o.slices ? "slices" : "baseline",
                                 machine, wl, opts, o.slices));
         result = runs.back().result;
@@ -251,7 +303,8 @@ main(int argc, char **argv)
         for (const auto &p : runs)
             elems.push_back(bench::perfRecord(p).str());
         bench::JsonObject doc;
-        doc.field("workload", wl.name)
+        doc.field("schema_version", bench::benchSchemaVersion)
+            .field("workload", wl.name)
             .field("width", std::uint64_t{o.width})
             .field("insts", o.insts)
             .field("warmup", o.warmup)
@@ -268,6 +321,26 @@ main(int argc, char **argv)
             std::printf("speedup: %+.1f%%\n",
                         sim::speedupPct(runs[0].result,
                                         runs[1].result));
+    }
+
+    if (!o.intervalsPath.empty()) {
+        std::ofstream os(o.intervalsPath);
+        if (!os)
+            SS_FATAL("cannot open --intervals file '", o.intervalsPath,
+                     "'");
+        obs::writeIntervalsCsv(os, result.intervals);
+    }
+
+    if (events) {
+        std::ofstream os(o.chromeTracePath);
+        if (!os)
+            SS_FATAL("cannot open --chrome-trace file '",
+                     o.chromeTracePath, "'");
+        events->writeChromeTrace(os);
+        if (!o.json)
+            std::printf("chrome trace: %s (%zu events%s)\n",
+                        o.chromeTracePath.c_str(), events->size(),
+                        events->dropped() ? ", ring overflowed" : "");
     }
 
     if (o.profile) {
