@@ -149,12 +149,16 @@ execute(const isa::Instruction &inst, Addr pc, RegFile &regs,
             res.fault = true;
             break;
         }
-        if (inst.op == Opcode::Stq)
+        if (inst.op == Opcode::Stq) {
             mem.writeQ(ea, a);
-        else if (inst.op == Opcode::Stl)
+            res.value = a;
+        } else if (inst.op == Opcode::Stl) {
             mem.writeL(ea, static_cast<std::uint32_t>(a));
-        else
+            res.value = static_cast<std::uint32_t>(a);
+        } else {
             mem.writeB(ea, static_cast<std::uint8_t>(a));
+            res.value = static_cast<std::uint8_t>(a);
+        }
         break;
       }
 

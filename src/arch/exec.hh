@@ -22,7 +22,10 @@ struct ExecResult
     Addr nextPc = invalidAddr;   ///< PC of the next instruction
     bool taken = false;          ///< control transfer taken?
     Addr memAddr = invalidAddr;  ///< effective address for mem ops
-    std::uint64_t value = 0;     ///< value written to rc (if any)
+    /** Value written to rc (wroteReg), or the data a store put in
+     *  memory, truncated to the store width (isStore() ops). The
+     *  retirement checker compares both against its reference. */
+    std::uint64_t value = 0;
     bool wroteReg = false;       ///< rc was written
     bool fault = false;          ///< null-page access (terminates slices)
     bool halted = false;         ///< Halt executed

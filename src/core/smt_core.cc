@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/checker.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 
@@ -150,6 +151,7 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     perfect_ = opts.perfect;
     profileEnabled_ = opts.profile;
     events_ = opts.events;
+    checker_ = opts.checker;
     correlator_.setEventSink(events_);
     if (profileEnabled_) {
         // One bucket per static instruction avoids rehash-and-move
@@ -684,6 +686,10 @@ SmtCore::retireStage()
             if (d->sliceThread) {
                 ++s_.sliceRetired;
             } else {
+#ifndef SS_CHECK_DISABLED
+                if (checker_) [[unlikely]]
+                    checkRetirement(*d);
+#endif
                 ++mainRetired_;
             }
             if (events_) [[unlikely]]
@@ -720,6 +726,29 @@ SmtCore::retireStage()
     correlator_.retireUpTo(bound > 0 ? bound - 1 : 0);
     while (!storeUndoLog_.empty() && storeUndoLog_.front().seq < bound)
         storeUndoLog_.pop_front();
+}
+
+void
+SmtCore::checkRetirement(const DynInst &di)
+{
+    // Everything the reference interpreter cross-checks comes from the
+    // functional outcome computed on the correct path at fetch —
+    // exactly the values this core's architectural state is built
+    // from, so any internal corruption that reaches retirement is
+    // caught here.
+    check::RetireRecord rec;
+    rec.seq = di.seq;
+    rec.pc = di.pc;
+    rec.wroteReg = di.fx.wroteReg;
+    rec.reg = di.si->rc;
+    rec.value = di.fx.value;
+    rec.isStore = di.si->isStore();
+    rec.storeAddr = di.fx.memAddr;
+    rec.storeData = di.fx.value;
+    rec.isCondBranch = di.si->isCondBranch();
+    rec.taken = di.fx.taken;
+    rec.nextPc = di.fx.nextPc;
+    checker_->onRetire(rec);
 }
 
 void

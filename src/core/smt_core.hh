@@ -40,6 +40,11 @@
 #include "slice/correlator.hh"
 #include "slice/slice_table.hh"
 
+namespace specslice::check
+{
+class RetireChecker;
+}
+
 namespace specslice::core
 {
 
@@ -85,6 +90,29 @@ struct RunOptions
      * must outlive the run; each run needs its own buffer.
      */
     obs::EventBuffer *events = nullptr;
+    /**
+     * Differential-correctness checker fed at every main-thread
+     * retirement (null = off). The checker must start from the same
+     * entry PC and initial memory image as this run and must outlive
+     * it; each run needs its own instance. sim::Simulator constructs
+     * one per run when the sim-level `check` flag is set. Ignored in
+     * SS_CHECK_DISABLED builds (the hook is compiled out).
+     */
+    check::RetireChecker *checker = nullptr;
+
+    // ---- sim-level checking knobs (interpreted by sim::Simulator,
+    //      which owns checker construction per run) ----
+    /** Co-simulate with the retirement checker (also forced on for
+     *  every run by SS_CHECK=1 in the environment). */
+    bool check = false;
+    /** SS_FATAL with the first-divergence report the moment a
+     *  divergence is detected. When false the divergence is latched
+     *  into RunResult instead (used by the injected-fault tests). */
+    bool checkFatal = true;
+    /** Mutation-style self-test: corrupt the Nth (1-based) observed
+     *  register writeback / store before comparison. 0 = off. */
+    std::uint64_t checkInjectRegFault = 0;
+    std::uint64_t checkInjectStoreFault = 0;
 };
 
 /** Aggregated results of a run. */
@@ -113,6 +141,16 @@ struct RunResult
     StatGroup detail;                    ///< everything else
     /** Interval time-series (empty unless RunOptions.intervalCycles). */
     std::vector<obs::IntervalRecord> intervals;
+
+    // Retirement-checker outcome (RunOptions.check runs only).
+    /** Main-thread retirements the checker compared (warm-up included;
+     *  0 when checking was off or compiled out). */
+    std::uint64_t checkedRetired = 0;
+    /** A divergence was latched (only reachable with checkFatal off —
+     *  fatal mode aborts at the divergence point). */
+    bool checkDiverged = false;
+    /** First-divergence report (empty unless checkDiverged). */
+    std::string checkReport;
 
     double
     ipc() const
@@ -203,6 +241,8 @@ class SmtCore
     SeqNum oldestInFlight() const;
     void resetStats();
     void recordBranchProfile(const DynInst &di, bool mispredicted);
+    /** Report one main-thread retirement to the attached checker. */
+    void checkRetirement(const DynInst &di);
 
     // ---- observability ----
     /** Baselines for the interval time-series (active when
@@ -233,6 +273,8 @@ class SmtCore
     bool profileEnabled_ = false;
     /** Structured-event sink for this run (null = off). */
     obs::EventBuffer *events_ = nullptr;
+    /** Retirement-time architectural checker (null = off). */
+    check::RetireChecker *checker_ = nullptr;
 
     /**
      * The in-flight instruction window, keyed by VN#. Sequence

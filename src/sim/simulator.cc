@@ -1,10 +1,31 @@
 #include "sim/simulator.hh"
 
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "check/checker.hh"
 #include "common/logging.hh"
 #include "slice/validator.hh"
 
 namespace specslice::sim
 {
+
+namespace
+{
+
+/** SS_CHECK=1 forces the retirement checker on for every run. */
+bool
+checkForcedByEnv()
+{
+    static const bool forced = [] {
+        const char *v = std::getenv("SS_CHECK");
+        return v && *v != '\0' && std::strcmp(v, "0") != 0;
+    }();
+    return forced;
+}
+
+} // namespace
 
 RunResult
 Simulator::run(const Workload &wl, const RunOptions &opts,
@@ -19,6 +40,36 @@ Simulator::run(const Workload &wl, const RunOptions &opts,
     MachineConfig cfg = cfg_;
     cfg.slicesEnabled = with_slices;
 
+    // Each run gets its own checker instance (parallel JobPool sweeps
+    // therefore get one per job): a fresh reference memory image built
+    // by the same initializer the timing core's image got, stepping
+    // from the same entry PC.
+    RunOptions run_opts = opts;
+    std::unique_ptr<check::RetireChecker> checker;
+    bool want_check = opts.check || checkForcedByEnv();
+#ifndef SS_CHECK_DISABLED
+    if (want_check) {
+        check::RetireChecker::Config ccfg;
+        ccfg.panicOnDivergence = opts.checkFatal &&
+                                 opts.checkInjectRegFault == 0 &&
+                                 opts.checkInjectStoreFault == 0;
+        ccfg.injectRegFaultAt = opts.checkInjectRegFault;
+        ccfg.injectStoreFaultAt = opts.checkInjectStoreFault;
+        checker = std::make_unique<check::RetireChecker>(
+            wl.program, wl.entry, wl.initMemory, ccfg);
+        run_opts.checker = checker.get();
+    }
+#else
+    if (want_check) {
+        static const bool warned = [] {
+            SS_WARN("retirement checking requested but this build has "
+                    "SS_CHECK_DISABLED; running unchecked");
+            return true;
+        }();
+        (void)warned;
+    }
+#endif
+
     core::SmtCore machine(cfg, wl.program, mem);
     if (with_slices) {
         for (const auto &s : wl.slices) {
@@ -29,7 +80,26 @@ Simulator::run(const Workload &wl, const RunOptions &opts,
             machine.loadSlice(s);
         }
     }
-    return machine.run(wl.entry, opts);
+    RunResult res = machine.run(wl.entry, run_opts);
+
+    if (checker) {
+        res.checkedRetired = checker->checkedCount();
+        res.checkDiverged = checker->diverged();
+        if (checker->diverged()) {
+            res.checkReport = checker->report();
+            // panicOnDivergence aborts at the divergence point; ending
+            // up here means the caller opted into latching (fault
+            // injection or checkFatal=false) — still fail loudly when
+            // a *real* run was supposed to be fatal.
+            if (opts.checkFatal && opts.checkInjectRegFault == 0 &&
+                opts.checkInjectStoreFault == 0)
+                SS_FATAL("workload '", wl.name,
+                         "' diverged from the architectural "
+                         "reference:\n",
+                         res.checkReport);
+        }
+    }
+    return res;
 }
 
 } // namespace specslice::sim

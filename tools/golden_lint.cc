@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Standalone validator for the golden digest corpus: parses every
+ * golden/<workload>.digest, runs the structural lint (schema version,
+ * required sections and counters, finite non-negative ratios), and
+ * checks the corpus covers exactly the workload suite — no missing
+ * workloads, no strays. Runs no simulation, so it is cheap enough to
+ * gate every CI configuration.
+ *
+ *   golden_lint golden/
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/digest.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2 || std::string(argv[1]) == "--help") {
+        std::printf("usage: golden_lint DIR\n");
+        return argc == 2 ? 0 : 2;
+    }
+    const std::filesystem::path dir = argv[1];
+
+    std::error_code ec;
+    std::vector<std::filesystem::path> files;
+    for (const auto &e : std::filesystem::directory_iterator(dir, ec))
+        if (e.path().extension() == ".digest")
+            files.push_back(e.path());
+    if (ec) {
+        std::printf("golden_lint: cannot scan %s: %s\n",
+                    dir.string().c_str(), ec.message().c_str());
+        return 1;
+    }
+    std::sort(files.begin(), files.end());
+
+    bool failed = false;
+    auto problem = [&](const std::filesystem::path &p,
+                       const std::string &msg) {
+        failed = true;
+        std::printf("%s: %s\n", p.string().c_str(), msg.c_str());
+    };
+
+    std::set<std::string> seen;
+    for (const auto &path : files) {
+        std::ifstream is(path);
+        if (!is) {
+            problem(path, "cannot open");
+            continue;
+        }
+        std::string perr;
+        auto d = check::parseDigest(is, perr);
+        if (!d) {
+            problem(path, "parse error: " + perr);
+            continue;
+        }
+        for (const std::string &msg : check::lintDigest(*d))
+            problem(path, msg);
+        // The filename is the workload key the verifier looks up by;
+        // a digest claiming a different workload would silently gate
+        // the wrong runs.
+        if (d->workload != path.stem().string())
+            problem(path, "workload '" + d->workload +
+                              "' does not match filename");
+        seen.insert(path.stem().string());
+    }
+
+    const std::vector<std::string> &all = workloads::allWorkloadNames();
+    std::set<std::string> known(all.begin(), all.end());
+    for (const std::string &name : all)
+        if (!seen.count(name))
+            problem(dir / (name + ".digest"),
+                    "missing digest for workload '" + name + "'");
+    for (const std::string &name : seen)
+        if (!known.count(name))
+            problem(dir / (name + ".digest"),
+                    "stray digest: no workload named '" + name + "'");
+
+    if (!failed)
+        std::printf("golden_lint: %zu digests ok, all %zu workloads "
+                    "covered\n",
+                    files.size(), all.size());
+    return failed ? 1 : 0;
+}

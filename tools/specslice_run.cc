@@ -42,6 +42,7 @@ struct Options
     unsigned threads = 4;
     int bias = -1;          // <0: keep default
     bool slices = true;
+    bool check = false;     // retirement-time architectural checker
     bool limit = false;
     bool profile = false;
     bool stats = false;
@@ -70,6 +71,10 @@ usage(int code)
         "  --threads N       SMT contexts (default 4)\n"
         "  --bias N          ICOUNT main-thread fetch bias\n"
         "  --no-slices       baseline run (helper threads idle)\n"
+        "  --check           co-simulate the in-order architectural\n"
+        "                    reference; divergence is fatal with a\n"
+        "                    first-divergence report (SS_CHECK=1 in\n"
+        "                    the environment also works)\n"
         "  --compare         run baseline and slices, print speedup\n"
         "  --jobs N          simulations run in parallel for --compare\n"
         "                    (default: SS_JOBS or the core count)\n"
@@ -126,6 +131,8 @@ parseArgs(int argc, char **argv)
             o.bias = static_cast<int>(parseNum(next()));
         else if (a == "--no-slices")
             o.slices = false;
+        else if (a == "--check")
+            o.check = true;
         else if (a == "--compare")
             o.compare = true;
         else if (a == "--jobs") {
@@ -240,6 +247,7 @@ main(int argc, char **argv)
     opts.maxMainInstructions = o.insts;
     opts.warmupInstructions = o.warmup;
     opts.profile = o.profile;
+    opts.check = o.check;
     if (o.json || o.intervalsRequested)
         opts.intervalCycles = o.intervalCycles;
 
@@ -266,6 +274,7 @@ main(int argc, char **argv)
         ecfg.seed = o.seed;
         auto lo = sim::limitOptions(wl, ecfg);
         lo.profile = o.profile;
+        lo.check = o.check;
         lo.intervalCycles = opts.intervalCycles;
         lo.events = events.get();
         runs.push_back(timedRun("limit", machine, wl, lo, false));
@@ -298,6 +307,10 @@ main(int argc, char **argv)
         result = runs.back().result;
     }
 
+    std::uint64_t checked = 0;
+    for (const auto &p : runs)
+        checked += p.result.checkedRetired;
+
     if (o.json) {
         std::vector<std::string> elems;
         for (const auto &p : runs)
@@ -313,6 +326,8 @@ main(int argc, char **argv)
         if (o.compare)
             doc.field("speedup_pct",
                       sim::speedupPct(runs[0].result, runs[1].result));
+        if (checked)
+            doc.field("checked_retired", checked);
         std::printf("%s\n", doc.str().c_str());
     } else {
         for (const auto &p : runs)
@@ -321,6 +336,12 @@ main(int argc, char **argv)
             std::printf("speedup: %+.1f%%\n",
                         sim::speedupPct(runs[0].result,
                                         runs[1].result));
+        // Reaching this point with checking on means every compared
+        // retirement matched (divergence would have been fatal).
+        if (checked)
+            std::printf("checker: %llu retirements matched the "
+                        "architectural reference\n",
+                        static_cast<unsigned long long>(checked));
     }
 
     if (!o.intervalsPath.empty()) {

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * The golden-stats regression gate: runs every workload in its
+ * baseline and slice-enabled configurations — with the retirement
+ * checker co-simulating — and diffs the resulting stat digests
+ * against the committed corpus under golden/.
+ *
+ *   specslice_verify --golden golden/            # regression check
+ *   specslice_verify --generate golden/          # refresh the corpus
+ *   specslice_verify --golden golden/ --jobs 8 --workloads vpr,mcf
+ *
+ * Verification reads the run parameters (insts/warmup/seed/width/
+ * threads) out of each digest, so the committed corpus — not the
+ * invoker — defines the regression workload. Comparison rules:
+ * integer counters must match exactly; cycle-derived ratios compare
+ * within a relative epsilon (decimal round-trip). Any retirement-
+ * checker divergence aborts immediately with a first-divergence
+ * report. Exits 0 only when every workload matches.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/digest.hh"
+#include "common/logging.hh"
+#include "sim/job_pool.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+struct RunParams
+{
+    std::uint64_t insts = 20'000;
+    std::uint64_t warmup = 5'000;
+    std::uint64_t seed = 1;
+    unsigned width = 4;
+    unsigned threads = 4;
+};
+
+struct Options
+{
+    std::string dir = "golden";
+    bool generate = false;
+    std::vector<std::string> workloads;  ///< empty = all (+ coverage)
+    RunParams params;
+    unsigned jobs = 0;  ///< 0 = SS_JOBS or hardware concurrency
+    bool check = true;
+    bool verbose = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: specslice_verify [--golden DIR | --generate DIR] "
+        "[options]\n"
+        "  --golden DIR      diff live runs against the digest corpus\n"
+        "                    in DIR (default mode, DIR 'golden')\n"
+        "  --generate DIR    (re)write the digest corpus into DIR\n"
+        "  --workloads A,B   restrict to these workloads (default all;\n"
+        "                    a restricted verify skips the coverage\n"
+        "                    check)\n"
+        "  --insts N         measured instructions (generate; %llu)\n"
+        "  --warmup N        warm-up instructions (generate; %llu)\n"
+        "  --seed N          workload seed (generate; 1)\n"
+        "  --width 4|8       machine width (generate; 4)\n"
+        "  --threads N       SMT contexts (generate; 4)\n"
+        "  --jobs N          parallel workload jobs (default SS_JOBS\n"
+        "                    or the core count)\n"
+        "  --no-check        skip retirement-checker co-simulation\n"
+        "  --verbose         per-workload detail\n",
+        static_cast<unsigned long long>(RunParams{}.insts),
+        static_cast<unsigned long long>(RunParams{}.warmup));
+    std::exit(code);
+}
+
+std::uint64_t
+parseNum(const char *s)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0' || *s == '\0' || *s == '-')
+        usage(2);
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    bool mode_set = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (a == "--golden") {
+            o.dir = next();
+            o.generate = false;
+            mode_set = true;
+        } else if (a == "--generate") {
+            o.dir = next();
+            o.generate = true;
+            mode_set = true;
+        } else if (a == "--workloads") {
+            std::stringstream ss(next());
+            std::string name;
+            while (std::getline(ss, name, ','))
+                if (!name.empty())
+                    o.workloads.push_back(name);
+        } else if (a == "--insts") {
+            o.params.insts = parseNum(next());
+        } else if (a == "--warmup") {
+            o.params.warmup = parseNum(next());
+        } else if (a == "--seed") {
+            o.params.seed = parseNum(next());
+        } else if (a == "--width") {
+            o.params.width = static_cast<unsigned>(parseNum(next()));
+            if (o.params.width != 4 && o.params.width != 8)
+                usage(2);
+        } else if (a == "--threads") {
+            o.params.threads = static_cast<unsigned>(parseNum(next()));
+            if (o.params.threads == 0)
+                usage(2);
+        } else if (a == "--jobs") {
+            o.jobs = static_cast<unsigned>(parseNum(next()));
+            if (o.jobs == 0 || o.jobs > 4096)
+                usage(2);
+        } else if (a == "--no-check") {
+            o.check = false;
+        } else if (a == "--check") {
+            o.check = true;
+        } else if (a == "--verbose" || a == "-v") {
+            o.verbose = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(0);
+        } else {
+            usage(2);
+        }
+    }
+    (void)mode_set;
+    return o;
+}
+
+/** One config's digest section from a finished run. */
+check::Digest::Section
+sectionFrom(const std::string &config, const sim::RunResult &r)
+{
+    check::Digest::Section s;
+    s.config = config;
+    auto &c = s.counters;
+    c["cycles"] = r.cycles;
+    c["main_retired"] = r.mainRetired;
+    c["main_fetched"] = r.mainFetched;
+    c["main_fetched_wrongpath"] = r.mainFetchedWrongPath;
+    c["slice_fetched"] = r.sliceFetched;
+    c["slice_retired"] = r.sliceRetired;
+    c["cond_branches"] = r.condBranches;
+    c["mispredictions"] = r.mispredictions;
+    c["main_loads"] = r.loads;
+    c["l1d_misses_main"] = r.l1dMissesMain;
+    c["covered_misses"] = r.coveredMisses;
+    c["slice_prefetches"] = r.slicePrefetches;
+    c["forks"] = r.forks;
+    c["forks_squashed"] = r.forksSquashed;
+    c["forks_ignored"] = r.forksIgnored;
+    c["predictions_generated"] = r.predictionsGenerated;
+    c["correlator_used"] = r.correlatorUsed;
+    c["correlator_wrong"] = r.correlatorWrong;
+    c["late_predictions"] = r.latePredictions;
+    c["late_reversals"] = r.lateReversals;
+    // Every detail counter rides along (prefixed: several share names
+    // with the top-level fields above), so any behavioural drift in
+    // any subsystem shows up in the diff.
+    for (const auto &[k, v] : r.detail.counters())
+        c["detail." + k] = v.value();
+    s.ratios["ipc"] = r.ipc();
+    return s;
+}
+
+/** Run one workload in both configurations and digest the results. */
+check::Digest
+buildLiveDigest(const std::string &name, const RunParams &p, bool check)
+{
+    workloads::Params wp;
+    wp.scale = (p.insts + p.warmup) * 2;
+    wp.seed = p.seed;
+    sim::Workload wl = workloads::buildWorkload(name, wp);
+
+    sim::MachineConfig cfg = p.width == 8
+                                 ? sim::MachineConfig::eightWide()
+                                 : sim::MachineConfig::fourWide();
+    cfg.numThreads = p.threads;
+    sim::Simulator machine(cfg);
+
+    sim::RunOptions opts;
+    opts.maxMainInstructions = p.insts;
+    opts.warmupInstructions = p.warmup;
+    opts.check = check;  // divergence is fatal with a full report
+
+    check::Digest d;
+    d.workload = name;
+    d.insts = p.insts;
+    d.warmup = p.warmup;
+    d.seed = p.seed;
+    d.width = p.width;
+    d.threads = p.threads;
+    d.sections.push_back(
+        sectionFrom("baseline", machine.runBaseline(wl, opts)));
+    d.sections.push_back(
+        sectionFrom("slices", machine.run(wl, opts, true)));
+    return d;
+}
+
+std::filesystem::path
+digestPath(const std::string &dir, const std::string &workload)
+{
+    return std::filesystem::path(dir) / (workload + ".digest");
+}
+
+struct Outcome
+{
+    std::string name;
+    bool ok = false;
+    std::vector<std::string> messages;
+};
+
+Outcome
+verifyWorkload(const std::string &name, const Options &o)
+{
+    Outcome out;
+    out.name = name;
+
+    std::ifstream is(digestPath(o.dir, name));
+    if (!is) {
+        out.messages.push_back("missing digest file " +
+                               digestPath(o.dir, name).string());
+        return out;
+    }
+    std::string perr;
+    auto golden = check::parseDigest(is, perr);
+    if (!golden) {
+        out.messages.push_back("malformed digest: " + perr);
+        return out;
+    }
+    for (std::string &msg : check::lintDigest(*golden))
+        out.messages.push_back("lint: " + std::move(msg));
+    if (!out.messages.empty())
+        return out;
+
+    // The committed digest defines the regression run.
+    RunParams p;
+    p.insts = golden->insts;
+    p.warmup = golden->warmup;
+    p.seed = golden->seed;
+    p.width = golden->width;
+    p.threads = golden->threads;
+
+    check::Digest live = buildLiveDigest(name, p, o.check);
+    out.messages = check::diffDigests(*golden, live);
+    out.ok = out.messages.empty();
+    return out;
+}
+
+Outcome
+generateWorkload(const std::string &name, const Options &o)
+{
+    Outcome out;
+    out.name = name;
+    check::Digest d = buildLiveDigest(name, o.params, o.check);
+    for (std::string &msg : check::lintDigest(d)) {
+        // A digest that fails its own lint must never reach golden/.
+        out.messages.push_back("generated digest fails lint: " +
+                               std::move(msg));
+    }
+    if (!out.messages.empty())
+        return out;
+
+    auto path = digestPath(o.dir, name);
+    std::ofstream os(path);
+    if (!os) {
+        out.messages.push_back("cannot write " + path.string());
+        return out;
+    }
+    os << check::formatDigest(d);
+    out.ok = static_cast<bool>(os);
+    if (!out.ok)
+        out.messages.push_back("write failed: " + path.string());
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+
+    const std::vector<std::string> &all = workloads::allWorkloadNames();
+    std::vector<std::string> names =
+        o.workloads.empty() ? all : o.workloads;
+    for (const std::string &n : names) {
+        if (std::find(all.begin(), all.end(), n) == all.end())
+            SS_FATAL("unknown workload '", n, "'");
+    }
+
+    if (o.generate)
+        std::filesystem::create_directories(o.dir);
+
+    sim::JobPool pool(o.jobs);
+    std::vector<Outcome> outcomes =
+        pool.map(names, [&](const std::string &name) {
+            return o.generate ? generateWorkload(name, o)
+                              : verifyWorkload(name, o);
+        });
+
+    bool failed = false;
+    for (const Outcome &out : outcomes) {
+        if (out.ok) {
+            if (o.verbose || o.generate)
+                std::printf("%-8s %s\n", out.name.c_str(),
+                            o.generate ? "digest written" : "ok");
+            continue;
+        }
+        failed = true;
+        std::printf("%-8s FAILED\n", out.name.c_str());
+        for (const std::string &m : out.messages)
+            std::printf("    %s\n", m.c_str());
+    }
+
+    // Coverage: a full verify also rejects stray digests so the
+    // corpus cannot silently drift from the workload suite.
+    if (!o.generate && o.workloads.empty()) {
+        std::set<std::string> known(all.begin(), all.end());
+        std::error_code ec;
+        for (const auto &e :
+             std::filesystem::directory_iterator(o.dir, ec)) {
+            if (e.path().extension() != ".digest")
+                continue;
+            std::string stem = e.path().stem().string();
+            if (!known.count(stem)) {
+                failed = true;
+                std::printf("stray digest for unknown workload: %s\n",
+                            e.path().string().c_str());
+            }
+        }
+        if (ec) {
+            failed = true;
+            std::printf("cannot scan %s: %s\n", o.dir.c_str(),
+                        ec.message().c_str());
+        }
+    }
+
+    std::printf("%s: %zu/%zu workloads %s (%s)\n",
+                o.generate ? "generate" : "verify",
+                static_cast<std::size_t>(
+                    std::count_if(outcomes.begin(), outcomes.end(),
+                                  [](const Outcome &x) { return x.ok; })),
+                outcomes.size(), o.generate ? "written" : "match",
+                o.check ? "retirement checker on"
+                        : "retirement checker off");
+    return failed ? 1 : 0;
+}
