@@ -43,18 +43,30 @@ namespace specslice::bench
  * specslice_run --json). Bump when fields change meaning or move:
  *   1 — flat per-workload records (implicit, pre-versioning)
  *   2 — schema_version field, optional per-run "intervals" array
+ *   3 — per-run "outcome" field (completed/cycle_limit/watchdog/
+ *       checker_divergence/fault), optional "faults_injected"/
+ *       "fault_summary" fields, top-level "error" document on a
+ *       failed specslice_run (additive)
  */
-constexpr std::uint64_t benchSchemaVersion = 2;
+constexpr std::uint64_t benchSchemaVersion = 3;
 
 /**
  * Arm debug tracing for a bench/driver binary: SS_TRACE from the
  * environment plus any `--trace FLAGS` / `--trace=FLAGS` argument.
- * Call once at the top of main(); unknown flag names are fatal.
+ * Call once at the top of main(); an unknown flag name is a usage
+ * error (exit 2) listing the valid names.
  */
 inline void
 initObservability(int argc, char **argv)
 {
     obs::TraceSink::instance().initFromEnv();
+    auto arm = [](const char *csv) {
+        std::string err;
+        if (!obs::TraceSink::instance().trySetFlags(csv, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            std::exit(2);
+        }
+    };
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strcmp(a, "--trace") == 0) {
@@ -63,9 +75,9 @@ initObservability(int argc, char **argv)
                              "error: --trace requires a flag list\n");
                 std::exit(2);
             }
-            obs::TraceSink::instance().setFlags(argv[i + 1]);
+            arm(argv[i + 1]);
         } else if (std::strncmp(a, "--trace=", 8) == 0) {
-            obs::TraceSink::instance().setFlags(a + 8);
+            arm(a + 8);
         }
     }
 }
@@ -359,7 +371,13 @@ perfRecord(const WorkloadPerf &p)
         .field("l1d_misses_main", p.result.l1dMissesMain)
         .field("covered_misses", p.result.coveredMisses)
         .field("forks", p.result.forks)
-        .field("correlator_used", p.result.correlatorUsed);
+        .field("correlator_used", p.result.correlatorUsed)
+        .field("outcome",
+               std::string(sim::outcomeName(p.result.outcome)));
+    if (p.result.faultsInjected) {
+        o.field("faults_injected", p.result.faultsInjected)
+            .field("fault_summary", p.result.faultSummary);
+    }
     if (!p.result.intervals.empty())
         o.raw("intervals", obs::intervalsToJson(p.result.intervals));
     return o;

@@ -53,6 +53,12 @@ BranchPredictorUnit::predictCond(Addr pc, int override_dir,
     } else {
         taken = yags_.predict(pc, ctx.ghist);
     }
+    // pred.flip: invert the direction before the speculative history
+    // shift, so the history tracks the (wrong) path the front end
+    // actually follows — recovery then works exactly as it would for
+    // a natural misprediction.
+    if (injector_ && injector_->fire(fault::Site::PredFlip))
+        taken = !taken;
     ++s_.condPredictions;
     ghist_.shift(taken);
     SS_DTRACE(Pred, "cond pc=0x", std::hex, pc, std::dec,

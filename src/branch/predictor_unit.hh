@@ -18,6 +18,7 @@
 #include "branch/yags.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 
 namespace specslice::branch
 {
@@ -104,6 +105,12 @@ class BranchPredictorUnit
 
     const StatGroup &stats() const { return stats_; }
 
+    /**
+     * Attach a fault injector (null detaches). Tap point: `pred.flip`
+     * inverts the direction predictCond() hands the front end.
+     */
+    void setInjector(fault::Injector *inj) { injector_ = inj; }
+
   private:
     /** Handles into stats_, registered once at construction. */
     struct Handles
@@ -121,6 +128,7 @@ class BranchPredictorUnit
     YagsPredictor yags_;
     CascadedIndirectPredictor indirect_;
     ReturnAddressStack ras_;
+    fault::Injector *injector_ = nullptr;
     StatGroup stats_;
     Handles s_;
 };

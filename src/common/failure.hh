@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Structured failure handling on top of the panic()/fatal() reporting
+ * in common/logging.hh — the pieces that make a sweep crash-resilient:
+ *
+ *  - SimError: a typed exception carrying the failure kind (Panic,
+ *    Fatal, Timeout) and the formatted message.
+ *  - ScopedThrowErrors: while installed on a thread, SS_PANIC/SS_FATAL
+ *    on that thread throw SimError instead of killing the process.
+ *    sim::JobPool installs one around every settled job, so one bad
+ *    configuration no longer takes down a 24-run sweep.
+ *  - ScopedCancelFlag / cancelRequested(): a cooperative cancellation
+ *    token. Long-running simulation loops poll cancelRequested() (one
+ *    relaxed load) and throw SimError{Timeout} when it fires; the
+ *    JobPool deadline monitor raises the flag when a job exceeds its
+ *    wall-clock budget.
+ *  - ScopedCrashDump: registers a callback the *dying* path of
+ *    panic()/fatal() runs before the process exits, so a crashed run
+ *    still flushes its observability artifacts (Chrome trace, interval
+ *    partials) for post-mortem. Not run when the error is thrown as a
+ *    SimError — the catch site owns the artifacts then.
+ */
+
+#ifndef SPECSLICE_COMMON_FAILURE_HH
+#define SPECSLICE_COMMON_FAILURE_HH
+
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace specslice
+{
+
+/** A simulation failure turned into an exception (see above). */
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        Panic,    ///< internal invariant violation (SS_PANIC)
+        Fatal,    ///< user/config error (SS_FATAL)
+        Timeout,  ///< cooperative cancellation (deadline exceeded)
+    };
+
+    SimError(Kind kind, const std::string &msg)
+        : std::runtime_error(msg), kind_(kind)
+    {}
+
+    Kind kind() const { return kind_; }
+
+    static const char *kindName(Kind kind);
+
+  private:
+    Kind kind_;
+};
+
+/**
+ * While alive, SS_PANIC/SS_FATAL on this thread throw SimError
+ * (Panic/Fatal) instead of aborting/exiting. Nests; thread-local.
+ */
+class ScopedThrowErrors
+{
+  public:
+    ScopedThrowErrors();
+    ~ScopedThrowErrors();
+
+    ScopedThrowErrors(const ScopedThrowErrors &) = delete;
+    ScopedThrowErrors &operator=(const ScopedThrowErrors &) = delete;
+
+    /** Is throw-mode active on the calling thread? */
+    static bool active();
+};
+
+/**
+ * Install a cancellation flag for the current thread. The flag is
+ * owned by the caller (typically the JobPool deadline machinery) and
+ * must outlive the scope; cancelRequested() reads it.
+ */
+class ScopedCancelFlag
+{
+  public:
+    explicit ScopedCancelFlag(const std::atomic<bool> *flag);
+    ~ScopedCancelFlag();
+
+    ScopedCancelFlag(const ScopedCancelFlag &) = delete;
+    ScopedCancelFlag &operator=(const ScopedCancelFlag &) = delete;
+};
+
+/** Has the current thread's cancellation flag been raised? Cheap
+ *  (one relaxed load); false when no flag is installed. */
+bool cancelRequested();
+
+/** Throw SimError{Timeout} if the thread's cancel flag is raised. */
+void throwIfCancelled(const char *what);
+
+/**
+ * Register a crash-dump callback for the lifetime of this object.
+ * panic()/fatal() run all registered callbacks (once; the registry is
+ * drained first so a callback that itself fails cannot recurse) right
+ * before the process dies.
+ */
+class ScopedCrashDump
+{
+  public:
+    explicit ScopedCrashDump(std::function<void()> fn);
+    ~ScopedCrashDump();
+
+    ScopedCrashDump(const ScopedCrashDump &) = delete;
+    ScopedCrashDump &operator=(const ScopedCrashDump &) = delete;
+
+  private:
+    std::uint64_t id_;
+};
+
+namespace failure_detail
+{
+
+/** Drain and run every registered crash dump (dying path only). */
+void runCrashDumps();
+
+/** Throw the SimError for a panic/fatal in throw-mode. */
+[[noreturn]] void throwError(SimError::Kind kind, const char *file,
+                             int line, const std::string &msg);
+
+} // namespace failure_detail
+
+} // namespace specslice
+
+#endif // SPECSLICE_COMMON_FAILURE_HH

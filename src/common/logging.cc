@@ -1,5 +1,7 @@
 #include "common/logging.hh"
 
+#include "common/failure.hh"
+
 namespace specslice
 {
 namespace logging_detail
@@ -65,7 +67,14 @@ emitLine(const char *tag, const std::string &msg)
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedThrowErrors::active())
+        failure_detail::throwError(SimError::Kind::Panic, file, line,
+                                   msg);
     dumpCaptureOnExit();
+    // Dying for real: flush registered observability artifacts
+    // (Chrome trace, interval partials) so the crash leaves a usable
+    // post-mortem record.
+    failure_detail::runCrashDumps();
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -73,7 +82,11 @@ panicImpl(const char *file, int line, const std::string &msg)
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedThrowErrors::active())
+        failure_detail::throwError(SimError::Kind::Fatal, file, line,
+                                   msg);
     dumpCaptureOnExit();
+    failure_detail::runCrashDumps();
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

@@ -5,11 +5,39 @@
 #include <cstdlib>
 
 #include "check/checker.hh"
+#include "common/failure.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 
 namespace specslice::core
 {
+
+const char *
+outcomeName(SimOutcome outcome)
+{
+    switch (outcome) {
+      case SimOutcome::Completed:
+        return "completed";
+      case SimOutcome::CycleLimit:
+        return "cycle_limit";
+      case SimOutcome::Watchdog:
+        return "watchdog";
+      case SimOutcome::CheckerDivergence:
+        return "checker_divergence";
+      case SimOutcome::Fault:
+        return "fault";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Far beyond any legitimate stall (worst-case memory chains are a
+ *  few thousand cycles), far below the 50x cycle budget. */
+constexpr Cycle defaultWatchdogCycles = 250'000;
+
+} // namespace
 
 SmtCore::Handles::Handles(StatGroup &g)
     : fetchWindowStalls(g.scalar("fetch_window_stalls")),
@@ -153,6 +181,15 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     events_ = opts.events;
     checker_ = opts.checker;
     correlator_.setEventSink(events_);
+
+    // Fault injection: one deterministic per-run instance. Units get a
+    // null pointer when no plan is armed, so disabled runs pay exactly
+    // one null check per tap.
+    injector_ = fault::Injector(opts.faults);
+    fault::Injector *inj = injector_.enabled() ? &injector_ : nullptr;
+    hierarchy_.setInjector(inj);
+    bpu_.setInjector(inj);
+    correlator_.setInjector(inj);
     if (profileEnabled_) {
         // One bucket per static instruction avoids rehash-and-move
         // churn as the profile fills in.
@@ -178,9 +215,25 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
 
     const Cycle iv_cycles = opts.intervalCycles;
     IntervalState iv;
-    std::vector<obs::IntervalRecord> intervals;
+    // When the caller provides a sink, accumulate directly into it so
+    // partial windows are visible to crash-dump handlers mid-run.
+    std::vector<obs::IntervalRecord> local_intervals;
+    std::vector<obs::IntervalRecord> &intervals =
+        opts.intervalSink ? *opts.intervalSink : local_intervals;
+    intervals.clear();
     if (iv_cycles)
         restartIntervals(iv, iv_cycles);
+
+    const Cycle watchdog =
+        opts.watchdogEnabled
+            ? (opts.watchdogCycles ? opts.watchdogCycles
+                                   : defaultWatchdogCycles)
+            : 0;
+    Cycle last_progress = cycle_;
+    std::uint64_t last_retired = mainRetired_;
+
+    SimOutcome outcome = SimOutcome::Completed;
+    std::string diagnosis;
 
     while (cycle_ < max_cycles) {
         ++cycle_;
@@ -191,6 +244,20 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
         issueStage();
         fetchStage();
         retireStage();
+
+        if (mainRetired_ != last_retired) {
+            last_retired = mainRetired_;
+            last_progress = cycle_;
+        } else if (watchdog && cycle_ - last_progress >= watchdog) {
+            diagnosis = diagnoseStall(cycle_ - last_progress);
+            SS_WARN(diagnosis);
+            outcome = SimOutcome::Watchdog;
+            break;
+        }
+        // Cooperative cancellation (JobPool deadlines): one TLS load
+        // every 8K cycles.
+        if ((cycle_ & 0x1fff) == 0)
+            throwIfCancelled("core run");
 
         if (!warm && mainRetired_ >= opts.warmupInstructions) {
             warm = true;
@@ -219,8 +286,22 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     if (events_)
         correlator_.drainEvents();
 
+    // A run that stopped at the hard cycle limit with its budget unmet
+    // and the program still running was truncated, not completed.
+    if (outcome == SimOutcome::Completed && cycle_ >= max_cycles &&
+        mainRetired_ < budget &&
+        !(mainHalted_ && threads_[0].rob.empty()))
+        outcome = SimOutcome::CycleLimit;
+
     RunResult res;
-    res.intervals = std::move(intervals);
+    res.outcome = outcome;
+    res.diagnosis = std::move(diagnosis);
+    res.faultsInjected = injector_.firedTotal();
+    res.faultSummary = injector_.firedSummary();
+    if (opts.intervalSink)
+        res.intervals = *opts.intervalSink;
+    else
+        res.intervals = std::move(local_intervals);
     res.cycles = cycle_ - measure_start;
     res.mainRetired = mainRetired_ - measured_base;
     res.mainFetched = s_.mainFetched;
@@ -701,6 +782,11 @@ SmtCore::retireStage()
             releaseSliceThread(tid);
     }
 
+    // slice.kill injection: forcibly terminate slices whose armed
+    // kill cycle has arrived.
+    if (injector_.armed(fault::Site::SliceKill))
+        applyInjectedSliceKills();
+
     // Stop slices whose every branch-queue entry has been killed by a
     // retired (non-speculative) slice kill: none of their remaining
     // work can be consumed, so squash them to free the shared window.
@@ -726,6 +812,123 @@ SmtCore::retireStage()
     correlator_.retireUpTo(bound > 0 ? bound - 1 : 0);
     while (!storeUndoLog_.empty() && storeUndoLog_.front().seq < bound)
         storeUndoLog_.pop_front();
+}
+
+void
+SmtCore::applyInjectedSliceKills()
+{
+    // Same termination sequence as a dead-slice stop: discard the
+    // slice's in-flight work and its not-yet-computed correlator
+    // slots, then release the thread. Slices never store, so no
+    // architectural state is touched — the checker must stay green.
+    for (ThreadId tid = 1; tid < threads_.size(); ++tid) {
+        ThreadCtx &t = threads_[tid];
+        if (!t.isSlice || !t.active || t.fetchEnded ||
+            t.killAtCycle == 0 || cycle_ < t.killAtCycle)
+            continue;
+        squashThread(tid, invalidSeqNum, false);
+        correlator_.squashSlice(t.forkSeq, invalidSeqNum);
+        t.fetchEnded = true;
+        t.killAtCycle = 0;
+        SS_DTRACE(Slice, "injected kill tid=", int{tid},
+                  " forkSeq=", t.forkSeq, " cyc=", cycle_);
+        releaseSliceThread(tid);
+    }
+}
+
+std::string
+SmtCore::diagnoseStall(Cycle stalled_for)
+{
+    ThreadCtx &main = threads_[0];
+    std::string d = "watchdog: main thread retired nothing for " +
+                    std::to_string(stalled_for) + " cycles (cycle " +
+                    std::to_string(cycle_) + ", retired " +
+                    std::to_string(mainRetired_) + ")";
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n  fetch: pc=0x%llx wrong_path=%d ended=%d "
+                  "stall_until=%llu halted=%d",
+                  static_cast<unsigned long long>(main.fetchPc),
+                  int{main.onWrongPath}, int{main.fetchEnded},
+                  static_cast<unsigned long long>(main.fetchStallUntil),
+                  int{mainHalted_});
+    d += buf;
+
+    // Stalled-stage breakdown of the main-thread ROB.
+    std::size_t wait_src = 0, wait_issue = 0, in_flight = 0, done = 0;
+    for (SeqNum seq : main.rob) {
+        DynInst *di = inst(seq);
+        if (!di)
+            continue;
+        if (di->completed)
+            ++done;
+        else if (di->issued)
+            ++in_flight;
+        else if (di->pendingSrcs > 0)
+            ++wait_src;
+        else
+            ++wait_issue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\n  rob: %zu entries (%zu completed, %zu executing, "
+                  "%zu waiting-srcs, %zu waiting-issue), window %u/%u",
+                  main.rob.size(), done, in_flight, wait_src,
+                  wait_issue, windowOccupancy_, cfg_.windowSize);
+    d += buf;
+
+    if (!main.rob.empty()) {
+        if (DynInst *h = inst(main.rob.front())) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "\n  rob head: seq=%llu pc=0x%llx [%s] issued=%d "
+                "completed=%d pending_srcs=%u eligible_at=%llu "
+                "complete_at=%llu",
+                static_cast<unsigned long long>(h->seq),
+                static_cast<unsigned long long>(h->pc),
+                h->si->disassemble().c_str(), int{h->issued},
+                int{h->completed}, h->pendingSrcs,
+                static_cast<unsigned long long>(h->eligibleAt),
+                static_cast<unsigned long long>(h->completeAt));
+            d += buf;
+        }
+    }
+
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n  mem: %zu outstanding fills, write buffer %zu/%u, "
+        "retire_wb_stalls=%llu",
+        hierarchy_.outstandingFills(cycle_),
+        hierarchy_.writeBufferOccupancy(), cfg_.memory.writeBufEntries,
+        static_cast<unsigned long long>(s_.retireWbStalls.value()));
+    d += buf;
+
+    unsigned live_slices = 0;
+    for (ThreadId tid = 1; tid < threads_.size(); ++tid) {
+        ThreadCtx &t = threads_[tid];
+        if (!t.active)
+            continue;
+        ++live_slices;
+        std::snprintf(buf, sizeof(buf),
+                      "\n  slice tid=%u: idx=%d forkSeq=%llu rob=%zu "
+                      "fetch_ended=%d iters=%u",
+                      unsigned{tid}, t.sliceIdx,
+                      static_cast<unsigned long long>(t.forkSeq),
+                      t.rob.size(), int{t.fetchEnded}, t.loopIters);
+        d += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\n  threads: %u live slices, ready queue %zu, "
+                  "correlator entries %zu",
+                  live_slices, ready_.size(),
+                  correlator_.liveEntries());
+    d += buf;
+    if (injector_.enabled()) {
+        d += "\n  injection: ";
+        std::string fired = injector_.firedSummary();
+        d += fired.empty() ? "(armed, none fired)" : fired;
+    }
+    return d;
 }
 
 void

@@ -33,6 +33,7 @@
 #include "core/config.hh"
 #include "core/dyninst.hh"
 #include "core/perfect.hh"
+#include "fault/fault.hh"
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
 #include "obs/events.hh"
@@ -63,6 +64,24 @@ struct PcProfile
     std::unordered_map<Addr, Counts> perPc;
 };
 
+/**
+ * How a simulation run ended. Anything but Completed means the
+ * reported stats cover a truncated or perturbed run; tools surface
+ * the outcome in --stats/--json and exit non-zero unless explicitly
+ * told a partial result is acceptable.
+ */
+enum class SimOutcome
+{
+    Completed,          ///< budget retired or program halted
+    CycleLimit,         ///< hard cycle limit hit before the budget
+    Watchdog,           ///< no forward progress for watchdogCycles
+    CheckerDivergence,  ///< retirement checker latched a divergence
+    Fault,              ///< run died with a SimError (tools only)
+};
+
+/** Stable lower-case name for JSON/stats output. */
+const char *outcomeName(SimOutcome outcome);
+
 /** Options for one simulation run. */
 struct RunOptions
 {
@@ -70,6 +89,23 @@ struct RunOptions
     std::uint64_t maxMainInstructions = 1'000'000;
     /** Hard cycle limit (deadlock guard). */
     Cycle maxCycles = 0;  ///< 0 = 50x instruction budget
+    /**
+     * Forward-progress watchdog: if the main thread retires nothing
+     * for this many cycles the run terminates with SimOutcome::Watchdog
+     * and a structured diagnosis in RunResult::diagnosis.
+     * 0 = default (250k cycles, far beyond any legitimate stall).
+     */
+    Cycle watchdogCycles = 0;
+    bool watchdogEnabled = true;
+    /** Fault-injection plan for this run (empty = no injection). */
+    fault::FaultPlan faults;
+    /**
+     * When set, the interval time-series is accumulated directly into
+     * this caller-owned vector instead of run()-local storage, so a
+     * crash-dump handler can flush the partial series even if run()
+     * never returns. RunResult::intervals is still populated.
+     */
+    std::vector<obs::IntervalRecord> *intervalSink = nullptr;
     /** Run this many main-thread instructions before resetting stats
      *  (cache/predictor warm-up, Section 6). */
     std::uint64_t warmupInstructions = 0;
@@ -118,6 +154,15 @@ struct RunOptions
 /** Aggregated results of a run. */
 struct RunResult
 {
+    /** How the run ended (sim::Simulator upgrades Completed to
+     *  CheckerDivergence when a divergence was latched). */
+    SimOutcome outcome = SimOutcome::Completed;
+    /** Watchdog stall diagnosis (empty unless outcome == Watchdog). */
+    std::string diagnosis;
+    /** Total injected-fault firings (0 when injection is off). */
+    std::uint64_t faultsInjected = 0;
+    /** Per-site firing counts, "site=n,site=n" ("" when none). */
+    std::string faultSummary;
     Cycle cycles = 0;
     std::uint64_t mainRetired = 0;
     std::uint64_t mainFetched = 0;       ///< correct + wrong path
@@ -195,6 +240,8 @@ class SmtCore
         int sliceIdx = -1;
         SeqNum forkSeq = invalidSeqNum;
         unsigned loopIters = 0;
+        /** slice.kill injection: cycle at which to kill (0 = none). */
+        Cycle killAtCycle = 0;
     };
 
     struct StoreUndo
@@ -239,6 +286,10 @@ class SmtCore
     void handleLateResult(
         const slice::PredictionCorrelator::LateResult &late);
     SeqNum oldestInFlight() const;
+    /** Kill slice threads whose injected killAtCycle has passed. */
+    void applyInjectedSliceKills();
+    /** Structured no-forward-progress report for the watchdog. */
+    std::string diagnoseStall(Cycle stalled_for);
     void resetStats();
     void recordBranchProfile(const DynInst &di, bool mispredicted);
     /** Report one main-thread retirement to the attached checker. */
@@ -270,6 +321,9 @@ class SmtCore
     slice::SliceTable sliceTable_;
     slice::PredictionCorrelator correlator_;
     PerfectSpec perfect_;
+    /** Per-run fault-injection state (inactive when the plan is
+     *  empty; pointers handed to the units only when enabled). */
+    fault::Injector injector_;
     bool profileEnabled_ = false;
     /** Structured-event sink for this run (null = off). */
     obs::EventBuffer *events_ = nullptr;

@@ -75,6 +75,20 @@ AccessResult
 MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
                             Cycle now)
 {
+    AccessResult res = accessDataTimed(addr, is_store, is_slice_thread,
+                                       now);
+    // mem.latency: stretch this access. Applied on top of the real
+    // timing so cache/prefetcher state is exactly what an uninjected
+    // run would have — only the scheduler-visible latency changes.
+    if (injector_ && injector_->fire(fault::Site::MemLatency))
+        res.latency += injector_->arg(fault::Site::MemLatency);
+    return res;
+}
+
+AccessResult
+MemoryHierarchy::accessDataTimed(Addr addr, bool is_store,
+                                 bool is_slice_thread, Cycle now)
+{
     AccessResult res;
     bool is_main = !is_slice_thread;
     ++(is_store ? s_.stores : s_.loads);
@@ -282,6 +296,11 @@ MemoryHierarchy::accessStore(Addr addr, Cycle now)
 bool
 MemoryHierarchy::retireStore(Addr addr, Cycle now)
 {
+    // mem.wbstall: reject the write-back outright; retirement retries
+    // next cycle. With @p1 nothing ever retires past the first store
+    // miss — the watchdog's livelock generator.
+    if (injector_ && injector_->fire(fault::Site::MemWbStall))
+        return false;
     // Store hits were already handled at execute; misses retire into
     // the write buffer so they never stall the pipeline.
     if (l1d_.peek(addr))
@@ -313,6 +332,17 @@ bool
 MemoryHierarchy::wouldHitL1(Addr addr) const
 {
     return l1d_.peek(addr) != nullptr || pvBuf_.peek(addr) != nullptr;
+}
+
+std::size_t
+MemoryHierarchy::outstandingFills(Cycle now) const
+{
+    std::size_t n = 0;
+    for (const auto &[line, fill] : pendingFills_) {
+        if (fill.readyAt > now)
+            ++n;
+    }
+    return n;
 }
 
 } // namespace specslice::mem

@@ -17,6 +17,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "mem/cache.hh"
 #include "mem/stream_prefetcher.hh"
 #include "mem/victim_buffer.hh"
@@ -103,11 +104,30 @@ class MemoryHierarchy
     /** Would a load of addr hit (no state change)? For profiling. */
     bool wouldHitL1(Addr addr) const;
 
+    /**
+     * Attach a fault injector (null detaches). Tap points:
+     * `mem.latency` adds cycles to a data access, `mem.wbstall`
+     * rejects a store write-back at retirement.
+     */
+    void setInjector(fault::Injector *inj) { injector_ = inj; }
+
+    /** Fills still in flight at `now` (watchdog diagnosis). */
+    std::size_t outstandingFills(Cycle now) const;
+
+    /** Occupancy of the retirement write buffer (watchdog diagnosis). */
+    std::size_t writeBufferOccupancy() const
+    {
+        return writeBuf_.occupancy();
+    }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
     const MemConfig &config() const { return cfg_; }
 
   private:
+    /** accessData() minus the injection tap. */
+    AccessResult accessDataTimed(Addr addr, bool is_store,
+                                 bool is_slice_thread, Cycle now);
     /** Fetch a line into L2 (+ account bus occupancy). */
     Cycle missToMemory(Cycle now);
     void launchPrefetches(Addr miss_addr, Cycle now);
@@ -161,6 +181,7 @@ class MemoryHierarchy
     StreamPrefetcher prefetcher_;
     Cycle memBusFreeAt_ = 0;
     std::unordered_map<Addr, PendingFill> pendingFills_;
+    fault::Injector *injector_ = nullptr;
     StatGroup stats_;
     Handles s_;
 };

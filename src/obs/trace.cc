@@ -52,6 +52,14 @@ TraceSink::disableAll()
 void
 TraceSink::setFlags(const std::string &csv)
 {
+    std::string err;
+    if (!trySetFlags(csv, err))
+        SS_FATAL(err);
+}
+
+bool
+TraceSink::trySetFlags(const std::string &csv, std::string &err)
+{
     std::stringstream ss(csv);
     std::string name;
     while (std::getline(ss, name, ',')) {
@@ -72,10 +80,13 @@ TraceSink::setFlags(const std::string &csv)
                 break;
             }
         }
-        if (!found)
-            SS_FATAL("unknown trace flag '", name,
-                     "' (valid: fetch,smt,corr,slice,mem,pred,all)");
+        if (!found) {
+            err = "unknown trace flag '" + name +
+                  "' (valid: fetch,smt,corr,slice,mem,pred,all)";
+            return false;
+        }
     }
+    return true;
 }
 
 void

@@ -69,6 +69,14 @@ class TraceSink
      */
     void setFlags(const std::string &csv);
 
+    /**
+     * Non-fatal variant of setFlags() for CLI validation: on an
+     * unknown name, arms nothing further, fills `err` with a message
+     * listing the valid names, and returns false. Flags named before
+     * the bad token stay armed.
+     */
+    bool trySetFlags(const std::string &csv, std::string &err);
+
     void enable(TraceFlag f);
     void disable(TraceFlag f);
     void disableAll();

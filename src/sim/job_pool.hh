@@ -20,6 +20,14 @@
  *  - a pool with one job runs tasks inline on the submitting thread,
  *    so `--jobs 1` is exactly the serial execution.
  *
+ * mapSettled() is the crash-resilient variant for sweeps: each job
+ * runs under ScopedThrowErrors (panic()/fatal() in simulation code
+ * become catchable SimError), failures are isolated per job and
+ * reported in a JobStatus instead of being rethrown, and an optional
+ * wall-clock deadline cancels runaway jobs cooperatively (one retry
+ * by default). One bad configuration no longer takes down a 24-run
+ * sweep.
+ *
  * The job count comes from (in priority order) an explicit
  * constructor argument (the `--jobs N` flag of the bench drivers and
  * specslice_run), the SS_JOBS environment variable, and
@@ -45,6 +53,64 @@
 
 namespace specslice::sim
 {
+
+/** Terminal state of one settled job. */
+enum class JobState
+{
+    Ok,        ///< ran to completion, value present
+    Failed,    ///< threw (SimError from panic/fatal, or any exception)
+    TimedOut,  ///< exceeded the wall-clock deadline on every attempt
+};
+
+/** Stable lower-case name for JSON/summary output. */
+const char *jobStateName(JobState state);
+
+/** What happened to one settled job. */
+struct JobStatus
+{
+    JobState state = JobState::Ok;
+    /** Exception message (empty when Ok). */
+    std::string error;
+    /** Total wall time across all attempts, in seconds. */
+    double wallSeconds = 0.0;
+    /** Attempts made (> 1 only after a timeout retry). */
+    unsigned attempts = 0;
+};
+
+/** Per-batch settings for mapSettled(). */
+struct SettleOptions
+{
+    /** Per-job wall-clock deadline in seconds (0 = none). Cancellation
+     *  is cooperative: the job must poll cancelRequested() /
+     *  throwIfCancelled() (the core's run loop does). */
+    double deadlineSeconds = 0.0;
+    /** Extra attempts after a timeout (failures never retry). */
+    unsigned timeoutRetries = 1;
+};
+
+/** Result slot of one mapSettled() item: the value when the job
+ *  succeeded, plus its status either way. */
+template <typename R>
+struct Settled
+{
+    std::optional<R> value;
+    JobStatus status;
+
+    bool ok() const { return status.state == JobState::Ok; }
+};
+
+namespace settle_detail
+{
+
+/**
+ * Run `body` with per-job isolation: ScopedThrowErrors (panic/fatal
+ * throw), an optional deadline-armed cancellation flag, and retry on
+ * timeout per `opts`. Never throws; the outcome lands in `status`.
+ */
+void runSettled(const SettleOptions &opts, JobStatus &status,
+                const std::function<void()> &body);
+
+} // namespace settle_detail
 
 class JobPool
 {
@@ -112,6 +178,42 @@ class JobPool
         out.reserve(slots.size());
         for (auto &s : slots)
             out.push_back(std::move(*s));
+        return out;
+    }
+
+    /**
+     * Crash-resilient map: like map(), but each job is isolated — a
+     * job that panics, throws, or exceeds the deadline yields a slot
+     * with state Failed/TimedOut instead of poisoning the batch. The
+     * slot order matches the item order; output-ordering guarantees
+     * are the same as map()'s.
+     *
+     * A job that ignores its cancellation flag can still block the
+     * batch past its deadline — the deadline relies on the job
+     * polling (simulation runs do; see core::SmtCore::run).
+     */
+    template <typename Item, typename Fn>
+    auto
+    mapSettled(const std::vector<Item> &items, Fn fn,
+               const SettleOptions &opts = {})
+        -> std::vector<Settled<std::invoke_result_t<Fn &, const Item &>>>
+    {
+        using R = std::invoke_result_t<Fn &, const Item &>;
+        std::vector<Settled<R>> out(items.size());
+        std::vector<std::future<void>> done;
+        done.reserve(items.size());
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            done.push_back(submit([&out, &items, &fn, &opts, i] {
+                Settled<R> &slot = out[i];
+                settle_detail::runSettled(opts, slot.status, [&] {
+                    slot.value.emplace(fn(items[i]));
+                });
+                if (slot.status.state != JobState::Ok)
+                    slot.value.reset();
+            }));
+        }
+        for (auto &f : done)
+            f.get();  // the settle wrapper never throws
         return out;
     }
 

@@ -47,14 +47,26 @@ Simulator::run(const Workload &wl, const RunOptions &opts,
     RunOptions run_opts = opts;
     std::unique_ptr<check::RetireChecker> checker;
     bool want_check = opts.check || checkForcedByEnv();
+
+    // The check.* injection sites are the fault-registry spelling of
+    // the two legacy checker knobs: corrupt the Nth observed register
+    // writeback / store before comparison (@nN, one-shot semantics).
+    std::uint64_t inject_reg = opts.checkInjectRegFault;
+    std::uint64_t inject_store = opts.checkInjectStoreFault;
+    for (const fault::FaultSpec &spec : opts.faults.specs) {
+        if (spec.site == fault::Site::CheckReg)
+            inject_reg = spec.period;
+        else if (spec.site == fault::Site::CheckStore)
+            inject_store = spec.period;
+    }
+
 #ifndef SS_CHECK_DISABLED
     if (want_check) {
         check::RetireChecker::Config ccfg;
         ccfg.panicOnDivergence = opts.checkFatal &&
-                                 opts.checkInjectRegFault == 0 &&
-                                 opts.checkInjectStoreFault == 0;
-        ccfg.injectRegFaultAt = opts.checkInjectRegFault;
-        ccfg.injectStoreFaultAt = opts.checkInjectStoreFault;
+                                 inject_reg == 0 && inject_store == 0;
+        ccfg.injectRegFaultAt = inject_reg;
+        ccfg.injectStoreFaultAt = inject_store;
         checker = std::make_unique<check::RetireChecker>(
             wl.program, wl.entry, wl.initMemory, ccfg);
         run_opts.checker = checker.get();
@@ -87,12 +99,13 @@ Simulator::run(const Workload &wl, const RunOptions &opts,
         res.checkDiverged = checker->diverged();
         if (checker->diverged()) {
             res.checkReport = checker->report();
+            res.outcome = SimOutcome::CheckerDivergence;
             // panicOnDivergence aborts at the divergence point; ending
             // up here means the caller opted into latching (fault
             // injection or checkFatal=false) — still fail loudly when
             // a *real* run was supposed to be fatal.
-            if (opts.checkFatal && opts.checkInjectRegFault == 0 &&
-                opts.checkInjectStoreFault == 0)
+            if (opts.checkFatal && inject_reg == 0 &&
+                inject_store == 0)
                 SS_FATAL("workload '", wl.name,
                          "' diverged from the architectural "
                          "reference:\n",

@@ -8,6 +8,7 @@
 #ifndef SPECSLICE_SIM_SIMULATOR_HH
 #define SPECSLICE_SIM_SIMULATOR_HH
 
+#include "common/failure.hh"
 #include "core/smt_core.hh"
 #include "sim/workload.hh"
 
@@ -17,6 +18,12 @@ namespace specslice::sim
 using MachineConfig = core::CoreConfig;
 using RunOptions = core::RunOptions;
 using RunResult = core::RunResult;
+using SimOutcome = core::SimOutcome;
+using core::outcomeName;
+/** The typed exception panic()/fatal() raise under ScopedThrowErrors
+ *  (defined in common/failure.hh; aliased here as the sim-facade
+ *  name tools catch around Simulator::run). */
+using SimError = specslice::SimError;
 
 class Simulator
 {

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/failure.hh"
+#include "common/logging.hh"
 #include "sim/experiments.hh"
 #include "sim/job_pool.hh"
 
@@ -156,4 +158,108 @@ TEST(JobPool, Figure11SweepIsIdenticalAcrossJobCounts)
     std::string parallel = runSweep(4);
     EXPECT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------
+// mapSettled: crash-resilient sweeps
+// ---------------------------------------------------------------
+
+TEST(JobPoolSettled, ThrowingJobIsIsolated)
+{
+    sim::JobPool pool(4);
+    const std::vector<int> items = {0, 1, 2, 3, 4, 5, 6, 7};
+    auto out = pool.mapSettled(items, [](int v) -> int {
+        if (v == 3)
+            throw std::runtime_error("boom");
+        return v * 2;
+    });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i == 3) {
+            EXPECT_FALSE(out[i].ok());
+            EXPECT_EQ(out[i].status.state, sim::JobState::Failed);
+            EXPECT_EQ(out[i].status.error, "boom");
+            EXPECT_FALSE(out[i].value.has_value());
+        } else {
+            ASSERT_TRUE(out[i].ok()) << i;
+            EXPECT_EQ(*out[i].value, static_cast<int>(i) * 2);
+        }
+    }
+}
+
+TEST(JobPoolSettled, PanicBecomesCatchableSimError)
+{
+    // SS_PANIC inside a settled job must land in the slot, not kill
+    // the process — that is the whole point of the throw-mode layer.
+    sim::JobPool pool(2);
+    const std::vector<int> items = {0, 1, 2};
+    auto out = pool.mapSettled(items, [](int v) -> int {
+        if (v == 1)
+            SS_PANIC("injected panic in job ", v);
+        return v;
+    });
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_TRUE(out[0].ok());
+    EXPECT_TRUE(out[2].ok());
+    EXPECT_FALSE(out[1].ok());
+    EXPECT_EQ(out[1].status.state, sim::JobState::Failed);
+    EXPECT_NE(out[1].status.error.find("panic"), std::string::npos);
+    EXPECT_NE(out[1].status.error.find("injected panic in job 1"),
+              std::string::npos);
+}
+
+TEST(JobPoolSettled, DeadlineCancelsCooperativeJobWithOneRetry)
+{
+    sim::JobPool pool(2);
+    sim::SettleOptions opts;
+    opts.deadlineSeconds = 0.05;
+    opts.timeoutRetries = 1;
+
+    const std::vector<int> items = {0, 1};
+    auto out = pool.mapSettled(
+        items,
+        [](int v) -> int {
+            if (v == 1) {
+                // Cooperative spin: polls its cancellation flag the
+                // way SmtCore::run does, forever.
+                for (;;)
+                    throwIfCancelled("settled test spin");
+            }
+            return v;
+        },
+        opts);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].ok());
+    EXPECT_FALSE(out[1].ok());
+    EXPECT_EQ(out[1].status.state, sim::JobState::TimedOut);
+    EXPECT_EQ(out[1].status.attempts, 2u);  // one retry after timeout
+    EXPECT_NE(out[1].status.error.find("deadline exceeded"),
+              std::string::npos);
+    EXPECT_GE(out[1].status.wallSeconds, 0.05);
+}
+
+TEST(JobPoolSettled, SweepSurvivesOneFatalConfiguration)
+{
+    // The acceptance shape: an 8-job sweep where one configuration
+    // dies must complete the other seven and report the failure.
+    sim::JobPool pool(8);
+    std::vector<int> items;
+    for (int i = 0; i < 8; ++i)
+        items.push_back(i);
+    auto out = pool.mapSettled(items, [](int v) -> int {
+        if (v == 5)
+            SS_FATAL("bad configuration ", v);
+        return v + 100;
+    });
+    unsigned ok = 0, failed = 0;
+    for (const auto &slot : out)
+        slot.ok() ? ++ok : ++failed;
+    EXPECT_EQ(ok, 7u);
+    EXPECT_EQ(failed, 1u);
+    EXPECT_EQ(out[5].status.state, sim::JobState::Failed);
+    EXPECT_NE(out[5].status.error.find("fatal"), std::string::npos);
+
+    // The pool stays usable after the failures.
+    auto again = pool.map(items, [](int v) { return v; });
+    EXPECT_EQ(again.size(), items.size());
 }

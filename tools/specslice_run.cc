@@ -6,8 +6,18 @@
  *   specslice_run --workload vpr --insts 200000 --warmup 50000
  *   specslice_run --workload mcf --width 8 --no-slices --stats
  *   specslice_run --workload twolf --limit        # constrained limit
+ *   specslice_run --workload gcc --check --inject slice.kill@n5
  *   specslice_run --workload vpr --disasm         # dump the code
  *   specslice_run --list
+ *
+ * Exit codes (scripts and CI depend on these):
+ *   0  run completed (or --allow-partial was given)
+ *   1  retirement checker latched a divergence
+ *   2  usage error (unknown flag/workload/trace flag/inject spec)
+ *   3  run did not complete (cycle limit / watchdog) without
+ *      --allow-partial
+ *   4  simulation error (panic/fatal/timeout); with --json a
+ *      machine-readable error document is still emitted on stdout
  */
 
 #include <chrono>
@@ -20,6 +30,8 @@
 #include <string>
 
 #include "bench_common.hh"
+#include "common/failure.hh"
+#include "fault/fault.hh"
 #include "obs/events.hh"
 #include "obs/interval.hh"
 #include "obs/trace.hh"
@@ -51,6 +63,11 @@ struct Options
     bool list = false;
     bool compare = false;   // run baseline AND slices, print speedup
     unsigned jobs = 0;      // --compare parallelism (0: pool default)
+    std::string inject;         // --inject fault spec (adds to SS_INJECT)
+    Cycle watchdog = 0;         // --watchdog threshold (0: default)
+    bool noWatchdog = false;
+    Cycle maxCycles = 0;        // --max-cycles (0: 50x inst budget)
+    bool allowPartial = false;  // exit 0 even on a truncated run
     std::string trace;          // --trace flag list (adds to SS_TRACE)
     std::string intervalsPath;  // --intervals CSV destination
     std::uint64_t intervalCycles = 10'000;
@@ -67,8 +84,9 @@ usage(int code)
         "  --width 4|8       Table 1 machine width (default 4)\n"
         "  --insts N         measured instructions (default 300000)\n"
         "  --warmup N        warm-up instructions (default 100000)\n"
-        "  --seed N          workload construction seed\n"
-        "  --threads N       SMT contexts (default 4)\n"
+        "  --seed N          workload construction seed (also seeds\n"
+        "                    fault injection)\n"
+        "  --threads N       SMT contexts, 1..64 (default 4)\n"
         "  --bias N          ICOUNT main-thread fetch bias\n"
         "  --no-slices       baseline run (helper threads idle)\n"
         "  --check           co-simulate the in-order architectural\n"
@@ -78,6 +96,16 @@ usage(int code)
         "  --compare         run baseline and slices, print speedup\n"
         "  --jobs N          simulations run in parallel for --compare\n"
         "                    (default: SS_JOBS or the core count)\n"
+        "  --inject SPEC     seeded deterministic fault injection\n"
+        "                    (merged with SS_INJECT from the\n"
+        "                    environment; --help-inject for grammar)\n"
+        "  --watchdog N      forward-progress watchdog: terminate when\n"
+        "                    the main thread retires nothing for N\n"
+        "                    cycles (default 250000)\n"
+        "  --no-watchdog     disable the forward-progress watchdog\n"
+        "  --max-cycles N    hard cycle limit (default 50x --insts)\n"
+        "  --allow-partial   exit 0 even when the run was cut short by\n"
+        "                    the watchdog or cycle limit\n"
         "  --limit           constrained limit study instead of slices\n"
         "  --profile         print the problem-instruction profile\n"
         "  --stats           dump all detail counters\n"
@@ -90,7 +118,10 @@ usage(int code)
         "  --chrome-trace FILE  write pipeline/slice events as Chrome\n"
         "                    trace JSON (chrome://tracing, Perfetto)\n"
         "  --disasm          print the program and slice disassembly\n"
-        "  --list            list available workloads\n");
+        "  --list            list available workloads\n"
+        "exit codes: 0 completed, 1 checker divergence, 2 usage,\n"
+        "            3 incomplete run (no --allow-partial), 4 sim "
+        "error\n");
     std::exit(code);
 }
 
@@ -99,7 +130,7 @@ parseNum(const char *s)
 {
     char *end = nullptr;
     std::uint64_t v = std::strtoull(s, &end, 10);
-    if (!end || *end != '\0')
+    if (!end || *end != '\0' || *s == '\0' || *s == '-')
         usage(2);
     return v;
 }
@@ -140,6 +171,22 @@ parseArgs(int argc, char **argv)
             if (o.jobs == 0 || o.jobs > 4096)
                 usage(2);
         }
+        else if (a == "--inject")
+            o.inject = next();
+        else if (a.rfind("--inject=", 0) == 0)
+            o.inject = a.substr(9);
+        else if (a == "--help-inject") {
+            std::printf("%s", fault::FaultPlan::grammarHelp().c_str());
+            std::exit(0);
+        }
+        else if (a == "--watchdog")
+            o.watchdog = parseNum(next());
+        else if (a == "--no-watchdog")
+            o.noWatchdog = true;
+        else if (a == "--max-cycles")
+            o.maxCycles = parseNum(next());
+        else if (a == "--allow-partial")
+            o.allowPartial = true;
         else if (a == "--trace")
             o.trace = next();
         else if (a.rfind("--trace=", 0) == 0)
@@ -170,8 +217,11 @@ parseArgs(int argc, char **argv)
             o.list = true;
         else if (a == "--help" || a == "-h")
             usage(0);
-        else
+        else {
+            std::fprintf(stderr, "error: unknown option '%s'\n",
+                         a.c_str());
             usage(2);
+        }
     }
     return o;
 }
@@ -205,7 +255,28 @@ printResult(const char *tag, const sim::RunResult &r)
                     static_cast<unsigned long long>(r.forks),
                     static_cast<unsigned long long>(r.correlatorUsed),
                     static_cast<unsigned long long>(r.correlatorWrong));
+    if (r.outcome != sim::SimOutcome::Completed)
+        std::printf("  [%s]", sim::outcomeName(r.outcome));
     std::printf("\n");
+}
+
+/** Rank outcomes by severity so a --compare pair reports the worst. */
+int
+outcomeSeverity(sim::SimOutcome oc)
+{
+    switch (oc) {
+      case sim::SimOutcome::Completed:
+        return 0;
+      case sim::SimOutcome::CycleLimit:
+        return 1;
+      case sim::SimOutcome::Watchdog:
+        return 2;
+      case sim::SimOutcome::CheckerDivergence:
+        return 3;
+      case sim::SimOutcome::Fault:
+        return 4;
+    }
+    return 4;
 }
 
 } // namespace
@@ -216,14 +287,64 @@ main(int argc, char **argv)
     Options o = parseArgs(argc, argv);
 
     obs::TraceSink::instance().initFromEnv();
-    if (!o.trace.empty())
-        obs::TraceSink::instance().setFlags(o.trace);
+    if (!o.trace.empty()) {
+        std::string terr;
+        if (!obs::TraceSink::instance().trySetFlags(o.trace, terr)) {
+            std::fprintf(stderr, "error: %s\n", terr.c_str());
+            return 2;
+        }
+    }
 
     if (o.list) {
         for (const auto &n : workloads::allWorkloadNames())
             std::printf("%s\n", n.c_str());
         return 0;
     }
+
+    if (o.width != 4 && o.width != 8) {
+        std::fprintf(stderr,
+                     "error: --width %u is not a Table 1 machine "
+                     "width (valid: 4, 8)\n",
+                     o.width);
+        return 2;
+    }
+    if (o.threads == 0 || o.threads > 64) {
+        std::fprintf(stderr,
+                     "error: --threads %u out of range (valid: "
+                     "1..64)\n",
+                     o.threads);
+        return 2;
+    }
+
+    const std::vector<std::string> &all = workloads::allWorkloadNames();
+    if (std::find(all.begin(), all.end(), o.workload) == all.end()) {
+        std::string valid;
+        for (const auto &n : all)
+            valid += (valid.empty() ? "" : " ") + n;
+        std::fprintf(stderr,
+                     "error: unknown workload '%s' (valid: %s)\n",
+                     o.workload.c_str(), valid.c_str());
+        return 2;
+    }
+
+    // Injection spec: SS_INJECT from the environment plus --inject,
+    // merged (duplicate sites are rejected by the parser, so the two
+    // sources cannot silently override each other).
+    std::string inject_spec;
+    if (const char *env = std::getenv("SS_INJECT"))
+        inject_spec = env;
+    if (!o.inject.empty())
+        inject_spec += (inject_spec.empty() ? "" : ",") + o.inject;
+    fault::FaultPlan plan;
+    {
+        std::string perr;
+        if (!fault::FaultPlan::parse(inject_spec, plan, perr)) {
+            std::fprintf(stderr, "error: %s\n%s", perr.c_str(),
+                         fault::FaultPlan::grammarHelp().c_str());
+            return 2;
+        }
+    }
+    plan.seed = o.seed;
 
     workloads::Params params;
     params.scale = (o.insts + o.warmup) * 2;
@@ -246,6 +367,10 @@ main(int argc, char **argv)
     sim::RunOptions opts;
     opts.maxMainInstructions = o.insts;
     opts.warmupInstructions = o.warmup;
+    opts.maxCycles = o.maxCycles;
+    opts.watchdogCycles = o.watchdog;
+    opts.watchdogEnabled = !o.noWatchdog;
+    opts.faults = plan;
     opts.profile = o.profile;
     opts.check = o.check;
     if (o.json || o.intervalsRequested)
@@ -257,6 +382,49 @@ main(int argc, char **argv)
     std::unique_ptr<obs::EventBuffer> events;
     if (!o.chromeTracePath.empty())
         events = std::make_unique<obs::EventBuffer>();
+
+    // Crash resilience: intervals accumulate into a caller-owned sink
+    // (single-run paths only — --compare runs would race on it) and a
+    // crash-dump handler flushes whatever artifacts exist if a run
+    // dies through the non-throwing panic/fatal path.
+    std::vector<obs::IntervalRecord> interval_live;
+    if (!o.compare)
+        opts.intervalSink = &interval_live;
+
+    auto writePartialArtifacts = [&]() {
+        if (!o.intervalsPath.empty() && !interval_live.empty()) {
+            std::ofstream os(o.intervalsPath);
+            if (os)
+                obs::writeIntervalsCsv(os, interval_live);
+        }
+        if (events && events->size()) {
+            std::ofstream os(o.chromeTracePath);
+            if (os)
+                events->writeChromeTrace(os);
+        }
+    };
+    ScopedCrashDump crash_dump(writePartialArtifacts);
+
+    // A failed run still produces a machine-readable record: with
+    // --json an {"error": {...}} document goes to stdout, and partial
+    // observability artifacts are flushed either way.
+    auto simFailure = [&](const std::string &kind,
+                          const std::string &message) -> int {
+        writePartialArtifacts();
+        if (o.json) {
+            bench::JsonObject err;
+            err.field("kind", kind).field("message", message);
+            bench::JsonObject doc;
+            doc.field("schema_version", bench::benchSchemaVersion)
+                .field("workload", wl.name)
+                .field("seed", o.seed)
+                .raw("error", err.str());
+            std::printf("%s\n", doc.str().c_str());
+        }
+        std::fprintf(stderr, "error: simulation failed (%s): %s\n",
+                     kind.c_str(), message.c_str());
+        return 4;
+    };
 
     if (!o.json)
         std::printf("%s on the %u-wide machine (%llu measured insts, "
@@ -275,15 +443,26 @@ main(int argc, char **argv)
         auto lo = sim::limitOptions(wl, ecfg);
         lo.profile = o.profile;
         lo.check = o.check;
+        lo.maxCycles = opts.maxCycles;
+        lo.watchdogCycles = opts.watchdogCycles;
+        lo.watchdogEnabled = opts.watchdogEnabled;
+        lo.faults = opts.faults;
         lo.intervalCycles = opts.intervalCycles;
+        lo.intervalSink = opts.intervalSink;
         lo.events = events.get();
-        runs.push_back(timedRun("limit", machine, wl, lo, false));
+        try {
+            ScopedThrowErrors throwing;
+            runs.push_back(timedRun("limit", machine, wl, lo, false));
+        } catch (const SimError &e) {
+            return simFailure(SimError::kindName(e.kind()), e.what());
+        }
         result = runs.back().result;
     } else if (o.compare) {
         // The two runs are independent (each gets its own simulator
         // instance; wl is shared read-only), so they overlap on a
-        // multicore host. Results land in submission order, keeping
-        // the output identical to the serial path.
+        // multicore host. mapSettled isolates a failing configuration:
+        // the surviving run's numbers are still printed before the
+        // error is reported.
         struct RunSpec
         {
             const char *tag;
@@ -292,24 +471,42 @@ main(int argc, char **argv)
         const std::vector<RunSpec> specs = {{"baseline", false},
                                             {"slices", true}};
         sim::JobPool pool(o.jobs);
-        runs = pool.map(specs, [&](const RunSpec &s) {
+        auto settled = pool.mapSettled(specs, [&](const RunSpec &s) {
             sim::Simulator m(cfg);
             sim::RunOptions ro = opts;
             if (s.slices)
                 ro.events = events.get();
             return timedRun(s.tag, m, wl, ro, s.slices);
         });
+        for (auto &slot : settled) {
+            if (!slot.ok())
+                return simFailure(
+                    slot.status.state == sim::JobState::TimedOut
+                        ? "timeout"
+                        : "failed",
+                    slot.status.error);
+            runs.push_back(std::move(*slot.value));
+        }
         result = runs.back().result;
     } else {
         opts.events = events.get();
-        runs.push_back(timedRun(o.slices ? "slices" : "baseline",
-                                machine, wl, opts, o.slices));
+        try {
+            ScopedThrowErrors throwing;
+            runs.push_back(timedRun(o.slices ? "slices" : "baseline",
+                                    machine, wl, opts, o.slices));
+        } catch (const SimError &e) {
+            return simFailure(SimError::kindName(e.kind()), e.what());
+        }
         result = runs.back().result;
     }
 
     std::uint64_t checked = 0;
-    for (const auto &p : runs)
+    sim::SimOutcome worst = sim::SimOutcome::Completed;
+    for (const auto &p : runs) {
         checked += p.result.checkedRetired;
+        if (outcomeSeverity(p.result.outcome) > outcomeSeverity(worst))
+            worst = p.result.outcome;
+    }
 
     if (o.json) {
         std::vector<std::string> elems;
@@ -322,7 +519,10 @@ main(int argc, char **argv)
             .field("insts", o.insts)
             .field("warmup", o.warmup)
             .field("seed", o.seed)
+            .field("outcome", std::string(sim::outcomeName(worst)))
             .raw("runs", bench::jsonArray(elems));
+        if (!plan.empty())
+            doc.field("inject", plan.describe());
         if (o.compare)
             doc.field("speedup_pct",
                       sim::speedupPct(runs[0].result, runs[1].result));
@@ -336,12 +536,27 @@ main(int argc, char **argv)
             std::printf("speedup: %+.1f%%\n",
                         sim::speedupPct(runs[0].result,
                                         runs[1].result));
-        // Reaching this point with checking on means every compared
-        // retirement matched (divergence would have been fatal).
-        if (checked)
-            std::printf("checker: %llu retirements matched the "
-                        "architectural reference\n",
-                        static_cast<unsigned long long>(checked));
+        if (!plan.empty()) {
+            for (const auto &p : runs)
+                std::printf("faults[%s]: %s\n", p.name.c_str(),
+                            p.result.faultsInjected
+                                ? p.result.faultSummary.c_str()
+                                : "(armed, none fired)");
+        }
+        if (checked) {
+            if (worst == sim::SimOutcome::CheckerDivergence)
+                std::printf("checker: DIVERGED after %llu matched "
+                            "retirements\n",
+                            static_cast<unsigned long long>(checked));
+            else
+                std::printf("checker: %llu retirements matched the "
+                            "architectural reference\n",
+                            static_cast<unsigned long long>(checked));
+        }
+        if (worst != sim::SimOutcome::Completed)
+            std::printf("outcome: %s%s\n", sim::outcomeName(worst),
+                        o.allowPartial ? " (partial result accepted)"
+                                       : "");
     }
 
     if (!o.intervalsPath.empty()) {
@@ -394,11 +609,17 @@ main(int argc, char **argv)
     if (o.stats) {
         if (o.json) {
             // Keep stdout pure JSON; detail goes to stderr.
+            std::cerr << "outcome: " << sim::outcomeName(worst) << "\n";
             result.detail.dump(std::cerr);
         } else {
-            std::printf("\n");
+            std::printf("\noutcome: %s\n", sim::outcomeName(worst));
             result.detail.dump(std::cout);
         }
     }
+
+    if (worst == sim::SimOutcome::CheckerDivergence)
+        return 1;
+    if (worst != sim::SimOutcome::Completed && !o.allowPartial)
+        return 3;
     return 0;
 }
