@@ -47,8 +47,10 @@ namespace specslice::bench
  *       checker_divergence/fault), optional "faults_injected"/
  *       "fault_summary" fields, top-level "error" document on a
  *       failed specslice_run (additive)
+ *   4 — optional per-run "fast_forwarded"/"sampled_regions" fields on
+ *       sampled runs (additive; absent means a full run)
  */
-constexpr std::uint64_t benchSchemaVersion = 3;
+constexpr std::uint64_t benchSchemaVersion = 4;
 
 /**
  * Arm debug tracing for a bench/driver binary: SS_TRACE from the
@@ -377,6 +379,11 @@ perfRecord(const WorkloadPerf &p)
     if (p.result.faultsInjected) {
         o.field("faults_injected", p.result.faultsInjected)
             .field("fault_summary", p.result.faultSummary);
+    }
+    if (p.result.sampledRegions) {
+        o.field("fast_forwarded", p.result.fastForwarded)
+            .field("sampled_regions",
+                   std::uint64_t{p.result.sampledRegions});
     }
     if (!p.result.intervals.empty())
         o.raw("intervals", obs::intervalsToJson(p.result.intervals));

@@ -1,0 +1,260 @@
+#include "arch/checkpoint.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace specslice::arch
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'S', 'S', 'C', 'K', 'P', 'T', '0', '\n'};
+
+// All scalars are serialized little-endian byte by byte, so the format
+// is identical on any host.
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (unsigned i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>(v >> (8 * i));
+    os.write(buf, 8);
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    char buf[4];
+    for (unsigned i = 0; i < 4; ++i)
+        buf[i] = static_cast<char>(v >> (8 * i));
+    os.write(buf, 4);
+}
+
+bool
+getU64(std::istream &is, std::uint64_t &v)
+{
+    char buf[8];
+    if (!is.read(buf, 8))
+        return false;
+    v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return true;
+}
+
+bool
+getU32(std::istream &is, std::uint32_t &v)
+{
+    char buf[4];
+    if (!is.read(buf, 4))
+        return false;
+    v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return true;
+}
+
+bool
+pageIsZero(const std::uint8_t *p)
+{
+    for (std::size_t i = 0; i < MemoryImage::pageSize; ++i)
+        if (p[i])
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintProgram(const isa::Program &program)
+{
+    constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ull;
+    constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+    std::uint64_t hash = fnvOffset;
+    auto mix = [&](std::uint64_t v) {
+        for (unsigned b = 0; b < 8; ++b) {
+            hash ^= (v >> (8 * b)) & 0xff;
+            hash *= fnvPrime;
+        }
+    };
+    for (const isa::CodeSection &sec : program.sections()) {
+        mix(sec.base);
+        mix(sec.code.size());
+        for (const isa::Instruction &i : sec.code) {
+            mix(static_cast<std::uint64_t>(i.op) |
+                (std::uint64_t{i.ra} << 16) |
+                (std::uint64_t{i.rb} << 24) |
+                (std::uint64_t{i.rc} << 32));
+            mix(static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(i.imm)));
+            mix(i.target);
+        }
+    }
+    return hash;
+}
+
+bool
+saveCheckpoint(const Checkpoint &c, std::ostream &os)
+{
+    os.write(magic, sizeof(magic));
+    putU32(os, c.version);
+    putU64(os, c.programFingerprint);
+    putU64(os, c.instCount);
+    putU64(os, c.pc);
+
+    for (unsigned r = 0; r < isa::numRegs; ++r)
+        putU64(os, c.regs.read(static_cast<RegIndex>(r)));
+
+    putU64(os, c.warmth.size());
+    for (const BranchWarmthRecord &w : c.warmth) {
+        putU64(os, w.pc);
+        putU64(os, w.target);
+        putU32(os, (static_cast<std::uint32_t>(w.kind) << 1) |
+                       (w.taken ? 1u : 0u));
+    }
+
+    putU64(os, c.memWarmth.size());
+    for (const MemWarmthRecord &m : c.memWarmth) {
+        putU64(os, m.addr);
+        putU32(os, m.isStore ? 1u : 0u);
+    }
+
+    // All-zero pages are dropped: restoring without them is
+    // architecturally identical (absent pages read as zero).
+    std::vector<Addr> pages;
+    for (Addr pnum : c.mem.pageNumbers())
+        if (!pageIsZero(c.mem.pageData(pnum)))
+            pages.push_back(pnum);
+    putU64(os, pages.size());
+    for (Addr pnum : pages) {
+        putU64(os, pnum);
+        os.write(reinterpret_cast<const char *>(c.mem.pageData(pnum)),
+                 static_cast<std::streamsize>(MemoryImage::pageSize));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+saveCheckpointFile(const Checkpoint &c, const std::string &path,
+                   std::string &error)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    if (!saveCheckpoint(c, os) || !(os.flush())) {
+        error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+std::optional<Checkpoint>
+loadCheckpoint(std::istream &is, std::string &error)
+{
+    auto fail = [&](const std::string &msg) {
+        error = msg;
+        return std::nullopt;
+    };
+
+    char m[sizeof(magic)];
+    if (!is.read(m, sizeof(m)) ||
+        std::memcmp(m, magic, sizeof(magic)) != 0)
+        return fail("not a specslice checkpoint (bad magic)");
+
+    Checkpoint c;
+    if (!getU32(is, c.version))
+        return fail("truncated header");
+    if (c.version != checkpointVersion)
+        return fail("unsupported checkpoint version " +
+                    std::to_string(c.version) + " (supported: " +
+                    std::to_string(checkpointVersion) + ")");
+    if (!getU64(is, c.programFingerprint) ||
+        !getU64(is, c.instCount) || !getU64(is, c.pc))
+        return fail("truncated header");
+
+    for (unsigned r = 0; r < isa::numRegs; ++r) {
+        std::uint64_t v;
+        if (!getU64(is, v))
+            return fail("truncated register file");
+        c.regs.write(static_cast<RegIndex>(r), v);
+    }
+
+    std::uint64_t warmth_count;
+    if (!getU64(is, warmth_count))
+        return fail("truncated warmth log");
+    // A corrupt count must not drive a multi-gigabyte allocation.
+    constexpr std::uint64_t maxWarmth = 1u << 24;
+    if (warmth_count > maxWarmth)
+        return fail("implausible warmth record count " +
+                    std::to_string(warmth_count));
+    c.warmth.resize(warmth_count);
+    for (BranchWarmthRecord &w : c.warmth) {
+        std::uint32_t flags;
+        if (!getU64(is, w.pc) || !getU64(is, w.target) ||
+            !getU32(is, flags))
+            return fail("truncated warmth log");
+        w.taken = flags & 1;
+        std::uint32_t kind = flags >> 1;
+        if (kind > static_cast<std::uint32_t>(WarmthKind::Indirect))
+            return fail("bad warmth record kind " +
+                        std::to_string(kind));
+        w.kind = static_cast<WarmthKind>(kind);
+    }
+
+    std::uint64_t mem_warmth_count;
+    if (!getU64(is, mem_warmth_count))
+        return fail("truncated memory warmth log");
+    if (mem_warmth_count > maxWarmth)
+        return fail("implausible memory warmth record count " +
+                    std::to_string(mem_warmth_count));
+    c.memWarmth.resize(mem_warmth_count);
+    for (MemWarmthRecord &m : c.memWarmth) {
+        std::uint32_t flags;
+        if (!getU64(is, m.addr) || !getU32(is, flags))
+            return fail("truncated memory warmth log");
+        if (flags > 1)
+            return fail("bad memory warmth record flags " +
+                        std::to_string(flags));
+        m.isStore = flags != 0;
+    }
+
+    std::uint64_t page_count;
+    if (!getU64(is, page_count))
+        return fail("truncated page table");
+    std::vector<std::uint8_t> page(MemoryImage::pageSize);
+    for (std::uint64_t i = 0; i < page_count; ++i) {
+        std::uint64_t pnum;
+        if (!getU64(is, pnum))
+            return fail("truncated page table");
+        if (pnum == 0)
+            return fail("checkpoint maps the null page");
+        if (!is.read(reinterpret_cast<char *>(page.data()),
+                     static_cast<std::streamsize>(page.size())))
+            return fail("truncated page data");
+        c.mem.importPage(pnum, page.data());
+    }
+    return c;
+}
+
+std::optional<Checkpoint>
+loadCheckpointFile(const std::string &path, std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open checkpoint '" + path + "'";
+        return std::nullopt;
+    }
+    return loadCheckpoint(is, error);
+}
+
+} // namespace specslice::arch

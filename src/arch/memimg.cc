@@ -1,5 +1,6 @@
 #include "arch/memimg.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -79,6 +80,76 @@ MemoryImage::write(Addr addr, std::uint64_t value, unsigned n)
         touchPage(a)[a & (pageSize - 1)] =
             static_cast<std::uint8_t>(value >> (8 * i));
     }
+}
+
+MemoryImage
+MemoryImage::clone() const
+{
+    MemoryImage copy;
+    copy.pages_.reserve(pages_.size());
+    for (const auto &[pnum, page] : pages_)
+        copy.pages_.emplace(pnum, std::make_unique<Page>(*page));
+    return copy;
+}
+
+std::vector<Addr>
+MemoryImage::pageNumbers() const
+{
+    std::vector<Addr> nums;
+    nums.reserve(pages_.size());
+    for (const auto &[pnum, page] : pages_)
+        nums.push_back(pnum);
+    std::sort(nums.begin(), nums.end());
+    return nums;
+}
+
+const std::uint8_t *
+MemoryImage::pageData(Addr page_num) const
+{
+    auto it = pages_.find(page_num);
+    return it != pages_.end() ? it->second->data() : nullptr;
+}
+
+void
+MemoryImage::importPage(Addr page_num, const std::uint8_t *data)
+{
+    SS_ASSERT(page_num != 0, "cannot map the null page");
+    auto &slot = pages_[page_num];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    std::memcpy(slot->data(), data, pageSize);
+    // The translation cache may point at a page this import replaced.
+    cachedPageNum_ = ~Addr{0};
+    cachedPage_ = nullptr;
+}
+
+std::uint64_t
+MemoryImage::contentHash() const
+{
+    constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ull;
+    constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+    std::uint64_t hash = fnvOffset;
+    for (Addr pnum : pageNumbers()) {
+        const std::uint8_t *p = pageData(pnum);
+        bool all_zero = true;
+        for (std::size_t i = 0; i < pageSize; ++i) {
+            if (p[i]) {
+                all_zero = false;
+                break;
+            }
+        }
+        if (all_zero)
+            continue;
+        for (unsigned b = 0; b < 8; ++b) {
+            hash ^= (pnum >> (8 * b)) & 0xff;
+            hash *= fnvPrime;
+        }
+        for (std::size_t i = 0; i < pageSize; ++i) {
+            hash ^= p[i];
+            hash *= fnvPrime;
+        }
+    }
+    return hash;
 }
 
 void

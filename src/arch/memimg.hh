@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -64,6 +65,31 @@ class MemoryImage
 
     /** Number of pages currently allocated. */
     std::size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Deep copy of the image (fast-forward region snapshots, parallel
+     * sampled runs). Explicit rather than a copy constructor so the
+     * expensive page duplication never happens by accident.
+     */
+    MemoryImage clone() const;
+
+    /** Allocated page numbers, sorted (checkpoint serialization). */
+    std::vector<Addr> pageNumbers() const;
+
+    /** Raw bytes of an allocated page (null if not allocated). */
+    const std::uint8_t *pageData(Addr page_num) const;
+
+    /** Install a whole page's bytes (checkpoint restore). */
+    void importPage(Addr page_num, const std::uint8_t *data);
+
+    /**
+     * Order-independent FNV-1a hash of the written contents. Pages
+     * that are entirely zero are skipped, so an image where a page was
+     * allocated but only ever held zeros hashes identically to one
+     * where it was never touched (reads of absent pages return zero —
+     * the two are architecturally indistinguishable).
+     */
+    std::uint64_t contentHash() const;
 
   private:
     using Page = std::array<std::uint8_t, pageSize>;

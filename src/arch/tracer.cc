@@ -5,32 +5,69 @@
 namespace specslice::arch
 {
 
-std::uint64_t
-trace(const isa::Program &program, Addr entry_pc, MemoryImage &mem,
-      std::uint64_t max_insts,
+const char *
+traceStopName(TraceStop stop)
+{
+    switch (stop) {
+      case TraceStop::MaxInsts:
+        return "max_insts";
+      case TraceStop::Halted:
+        return "halted";
+      case TraceStop::Fault:
+        return "fault";
+      case TraceStop::UnmappedPc:
+        return "unmapped_pc";
+    }
+    return "unknown";
+}
+
+TraceResult
+trace(const isa::Program &program, Addr entry_pc, RegFile &regs,
+      MemoryImage &mem, std::uint64_t max_insts,
       const std::function<void(const TraceEvent &)> &on_event)
 {
-    RegFile regs;
     Addr pc = entry_pc;
-    std::uint64_t count = 0;
+    TraceResult res;
 
-    while (count < max_insts) {
+    while (res.count < max_insts) {
         const isa::Instruction *inst = program.fetch(pc);
-        if (!inst)
-            break;
+        if (!inst) {
+            res.reason = TraceStop::UnmappedPc;
+            res.finalPc = pc;
+            return res;
+        }
 
         TraceEvent ev;
         ev.pc = pc;
         ev.inst = inst;
         ev.result = execute(*inst, pc, regs, mem, true);
-        ++count;
+        ++res.count;
         on_event(ev);
 
-        if (ev.result.halted || ev.result.fault)
-            break;
+        if (ev.result.halted) {
+            res.reason = TraceStop::Halted;
+            res.finalPc = pc;
+            return res;
+        }
+        if (ev.result.fault) {
+            res.reason = TraceStop::Fault;
+            res.finalPc = pc;
+            return res;
+        }
         pc = ev.result.nextPc;
     }
-    return count;
+    res.reason = TraceStop::MaxInsts;
+    res.finalPc = pc;
+    return res;
+}
+
+TraceResult
+trace(const isa::Program &program, Addr entry_pc, MemoryImage &mem,
+      std::uint64_t max_insts,
+      const std::function<void(const TraceEvent &)> &on_event)
+{
+    RegFile regs;
+    return trace(program, entry_pc, regs, mem, max_insts, on_event);
 }
 
 } // namespace specslice::arch

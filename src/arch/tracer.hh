@@ -30,15 +30,49 @@ struct TraceEvent
 };
 
 /**
+ * Why a functional execution stopped. Callers used to infer this from
+ * the instruction count alone, which cannot distinguish a program that
+ * halted exactly at the budget from one that was cut off by it.
+ */
+enum class TraceStop
+{
+    MaxInsts,    ///< instruction budget exhausted, program still live
+    Halted,      ///< executed a Halt
+    Fault,       ///< architectural fault (e.g. null-page access)
+    UnmappedPc,  ///< control flow left the program image
+};
+
+/** Stable lower-case name for diagnostics. */
+const char *traceStopName(TraceStop stop);
+
+/** How a functional execution ended. */
+struct TraceResult
+{
+    std::uint64_t count = 0;          ///< instructions executed
+    TraceStop reason = TraceStop::MaxInsts;
+    /**
+     * The next PC the program would execute (MaxInsts/UnmappedPc), or
+     * the PC of the halting/faulting instruction itself.
+     */
+    Addr finalPc = invalidAddr;
+};
+
+/**
  * Functionally execute program from entry_pc, invoking on_event per
  * instruction, until Halt, a fault, an unmapped PC, or max_insts.
- *
- * @return the number of instructions executed.
  */
-std::uint64_t trace(const isa::Program &program, Addr entry_pc,
-                    MemoryImage &mem, std::uint64_t max_insts,
-                    const std::function<void(const TraceEvent &)> &
-                        on_event);
+TraceResult trace(const isa::Program &program, Addr entry_pc,
+                  MemoryImage &mem, std::uint64_t max_insts,
+                  const std::function<void(const TraceEvent &)> &
+                      on_event);
+
+/** As above, but stepping a caller-owned register file (so the final
+ *  architectural state is inspectable after the run). */
+TraceResult trace(const isa::Program &program, Addr entry_pc,
+                  RegFile &regs, MemoryImage &mem,
+                  std::uint64_t max_insts,
+                  const std::function<void(const TraceEvent &)> &
+                      on_event);
 
 } // namespace specslice::arch
 

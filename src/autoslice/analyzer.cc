@@ -201,8 +201,9 @@ analyzeProblemInstruction(const isa::Program &program, Addr entry_pc,
     std::map<unsigned, DistanceAgg> agg;
     std::uint64_t slice_len_sum = 0, height_sum = 0, window_sum = 0;
 
-    arch::trace(program, entry_pc, mem, opts.traceInsts,
-                [&](const arch::TraceEvent &ev) {
+    arch::TraceResult traced =
+        arch::trace(program, entry_pc, mem, opts.traceInsts,
+                    [&](const arch::TraceEvent &ev) {
         Rec r;
         r.pc = ev.pc;
         r.inst = ev.inst;
@@ -234,6 +235,17 @@ analyzeProblemInstruction(const isa::Program &program, Addr entry_pc,
             ++d.samples;
         }
     });
+    out.traceInsts = traced.count;
+    out.traceStop = traced.reason;
+    // Halting early is normal (short programs); dying early is not —
+    // the candidates below would be computed from a truncated trace.
+    if (traced.reason == arch::TraceStop::Fault ||
+        traced.reason == arch::TraceStop::UnmappedPc)
+        SS_WARN("slice analysis trace of pc 0x", std::hex, problem_pc,
+                std::dec, " ended abnormally (",
+                arch::traceStopName(traced.reason), " after ",
+                traced.count, " insts at pc 0x", std::hex,
+                traced.finalPc, std::dec, ")");
 
     if (out.instancesAnalyzed == 0)
         return out;

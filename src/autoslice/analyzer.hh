@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arch/memimg.hh"
+#include "arch/tracer.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
 
@@ -65,6 +66,13 @@ struct SliceAnalysis
 {
     Addr problemPc = invalidAddr;
     unsigned instancesAnalyzed = 0;
+
+    /** Dynamic instructions the functional trace covered. */
+    std::uint64_t traceInsts = 0;
+    /** Why the trace ended. A Fault/UnmappedPc stop means the program
+     *  died before the requested budget and the analysis below covers
+     *  a truncated trace. */
+    arch::TraceStop traceStop = arch::TraceStop::MaxInsts;
 
     /** Static PCs that appeared in any instance's backward slice. */
     std::set<Addr> staticSlice;

@@ -110,4 +110,23 @@ BranchPredictorUnit::updateIndirect(Addr pc, const PredictContext &ctx,
               " target=0x", target, std::dec);
 }
 
+void
+BranchPredictorUnit::warmCond(Addr pc, bool taken)
+{
+    // Mirror a correctly-predicted branch's lifecycle: train against
+    // the history the prediction would have been made under, then
+    // shift the outcome in — exactly predictCond + updateCond minus
+    // the stats and injector taps.
+    yags_.update(pc, ghist_.value(), taken);
+    ghist_.shift(taken);
+}
+
+void
+BranchPredictorUnit::warmIndirect(Addr pc, Addr target)
+{
+    indirect_.update(pc, phist_.value(), target);
+    if (target != invalidAddr)
+        phist_.shift(target);
+}
+
 } // namespace specslice::branch

@@ -96,6 +96,18 @@ class BranchPredictorUnit
     /** Train the indirect predictor (resolved, correct-path). */
     void updateIndirect(Addr pc, const PredictContext &ctx, Addr target);
 
+    /**
+     * Replay a known conditional-branch outcome into the predictor
+     * (checkpoint warm-up). Equivalent to a predict/update pair for a
+     * correctly-predicted branch — tables train and history shifts —
+     * but no prediction is consumed and no stats move, so a warmed
+     * run's measured counters stay comparable to an unwarmed one's.
+     */
+    void warmCond(Addr pc, bool taken);
+
+    /** Replay a known indirect-branch target (checkpoint warm-up). */
+    void warmIndirect(Addr pc, Addr target);
+
     /** What would YAGS say, with no side effects? (profiling) */
     bool
     peekCond(Addr pc) const

@@ -42,6 +42,15 @@ RetireChecker::RetireChecker(
         init_mem(mem_);
 }
 
+RetireChecker::RetireChecker(const isa::Program &program, Addr start_pc,
+                             const arch::RegFile &regs,
+                             arch::MemoryImage mem, Config cfg)
+    : program_(program), cfg_(cfg), refPc_(start_pc), regs_(regs),
+      mem_(std::move(mem))
+{
+    SS_ASSERT(cfg_.historyDepth >= 1, "need at least one ring entry");
+}
+
 void
 RetireChecker::diverge(DivergenceKind kind, const RetireRecord &rec,
                        std::uint64_t expected, std::uint64_t actual)

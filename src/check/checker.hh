@@ -114,6 +114,15 @@ class RetireChecker
                   const std::function<void(arch::MemoryImage &)> &init_mem,
                   Config cfg = {});
 
+    /**
+     * Start the reference mid-program from an architectural snapshot
+     * (sampled/checkpointed runs): the timing core being checked must
+     * begin from the same pc/registers/memory.
+     */
+    RetireChecker(const isa::Program &program, Addr start_pc,
+                  const arch::RegFile &regs, arch::MemoryImage mem,
+                  Config cfg = {});
+
     /** Check one main-thread retirement against the reference. */
     void onRetire(const RetireRecord &observed);
 

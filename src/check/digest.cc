@@ -75,6 +75,14 @@ formatDigest(const Digest &d)
     os << "seed " << d.seed << "\n";
     os << "width " << d.width << "\n";
     os << "threads " << d.threads << "\n";
+    // Sampling keys are optional: omitted for full runs so the
+    // committed full-run corpus round-trips byte-identically.
+    if (d.fastforward)
+        os << "fastforward " << d.fastforward << "\n";
+    if (d.regions)
+        os << "regions " << d.regions << "\n";
+    if (d.stride)
+        os << "stride " << d.stride << "\n";
     for (const Digest::Section &s : d.sections) {
         os << "config " << s.config << "\n";
         for (const auto &[k, v] : s.counters)
@@ -143,6 +151,15 @@ parseDigest(std::istream &in, std::string &error)
             if (!headerU64(v))
                 return fail("bad threads value");
             d.threads = static_cast<unsigned>(v);
+        } else if (key == "fastforward") {
+            if (!headerU64(d.fastforward))
+                return fail("bad fastforward value");
+        } else if (key == "regions") {
+            if (!headerU64(d.regions))
+                return fail("bad regions value");
+        } else if (key == "stride") {
+            if (!headerU64(d.stride))
+                return fail("bad stride value");
         } else if (key == "config") {
             if (has_b || a.empty())
                 return fail("bad config name");
@@ -253,6 +270,33 @@ diffDigests(const Digest &golden, const Digest &live, double ratio_eps)
     cmpU64("seed", golden.seed, live.seed);
     cmpU64("width", golden.width, live.width);
     cmpU64("threads", golden.threads, live.threads);
+
+    // Sampling config is part of a run's identity: a sampled run's
+    // counters cover only its regions, so comparing them against a
+    // full run (or a differently-sampled one) produces nothing but
+    // noise. Say that once, clearly, instead.
+    const bool sampling_mismatch = golden.fastforward != live.fastforward ||
+                                   golden.regions != live.regions ||
+                                   golden.stride != live.stride;
+    if (sampling_mismatch) {
+        auto desc = [](const Digest &d) {
+            if (!d.fastforward && !d.regions && !d.stride)
+                return std::string("full run");
+            std::ostringstream os;
+            os << "sampled (fastforward " << d.fastforward
+               << ", regions " << d.regions << ", stride " << d.stride
+               << ")";
+            return os.str();
+        };
+        mism("sampling config mismatch: golden is " + desc(golden) +
+             ", live is " + desc(live) +
+             "; counters cover different regions and are not "
+             "comparable — regenerate the golden digest with the "
+             "same sampling configuration");
+        // Per-counter diffs between differently-sampled runs are pure
+        // noise; stop at the real problem.
+        return out;
+    }
 
     for (const Digest::Section &gs : golden.sections) {
         const Digest::Section *ls = live.findSection(gs.config);

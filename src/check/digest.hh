@@ -62,6 +62,18 @@ struct Digest
     std::uint64_t seed = 0;
     unsigned width = 0;
     unsigned threads = 0;
+    /**
+     * Sampling configuration (all 0 for a full run). Optional keys:
+     * written only when non-zero, absent keys parse as 0, so digests
+     * from full runs — including the whole pre-sampling corpus —
+     * round-trip unchanged. A sampled digest's counters cover only
+     * the sampled regions and are NOT comparable to a full run's;
+     * diffDigests reports that as a sampling-config mismatch instead
+     * of a wall of counter diffs.
+     */
+    std::uint64_t fastforward = 0;  ///< insts skipped before region 1
+    std::uint64_t regions = 0;      ///< sampled regions (0 = full run)
+    std::uint64_t stride = 0;       ///< insts between region starts
 
     struct Section
     {

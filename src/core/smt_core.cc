@@ -39,6 +39,20 @@ constexpr Cycle defaultWatchdogCycles = 250'000;
 
 } // namespace
 
+Cycle
+defaultCycleLimit(std::uint64_t max_main_instructions,
+                  std::uint64_t warmup_instructions)
+{
+    const std::uint64_t budget =
+        max_main_instructions + warmup_instructions;
+    // Slack scales with the total budget (warm-up included) so a run
+    // with a large warm-up gets proportionally as much headroom as one
+    // with a large measured region; the floor keeps small smoke runs
+    // from a uselessly tight limit.
+    const Cycle slack = std::max<Cycle>(100'000, budget / 4);
+    return 50 * budget + slack;
+}
+
 SmtCore::Handles::Handles(StatGroup &g)
     : fetchWindowStalls(g.scalar("fetch_window_stalls")),
       icacheStallCycles(g.scalar("icache_stall_cycles")),
@@ -201,11 +215,28 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     main.isSlice = false;
     main.fetchPc = entry_pc;
     main.funcPc = entry_pc;
+    // Mid-program (checkpointed/sampled) starts inject the snapshot's
+    // architectural registers and replay its recent branch outcomes so
+    // the front end doesn't start artificially cold.
+    if (opts.initialRegs)
+        main.regs = *opts.initialRegs;
+    if (opts.branchWarmth) {
+        for (const arch::BranchWarmthRecord &w : *opts.branchWarmth) {
+            if (w.kind == arch::WarmthKind::CondBranch)
+                bpu_.warmCond(w.pc, w.taken);
+            else
+                bpu_.warmIndirect(w.pc, w.target);
+        }
+    }
+    if (opts.memWarmth) {
+        for (const arch::MemWarmthRecord &m : *opts.memWarmth)
+            hierarchy_.warmData(m.addr, m.isStore);
+    }
 
-    Cycle max_cycles = opts.maxCycles
-                           ? opts.maxCycles
-                           : 50 * (opts.maxMainInstructions +
-                                   opts.warmupInstructions) + 100'000;
+    Cycle max_cycles =
+        opts.maxCycles ? opts.maxCycles
+                       : defaultCycleLimit(opts.maxMainInstructions,
+                                           opts.warmupInstructions);
     std::uint64_t budget =
         opts.maxMainInstructions + opts.warmupInstructions;
 

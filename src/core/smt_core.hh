@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "arch/checkpoint.hh"
 #include "arch/memimg.hh"
 #include "arch/regfile.hh"
 #include "common/bitutils.hh"
@@ -81,6 +82,18 @@ enum class SimOutcome
 
 /** Stable lower-case name for JSON/stats output. */
 const char *outcomeName(SimOutcome outcome);
+
+/**
+ * The hard cycle limit used when RunOptions::maxCycles is 0: 50 cycles
+ * per budgeted instruction (an IPC floor of 0.02, far below anything a
+ * live run produces) plus slack that scales with the budget so short
+ * and long runs get the same proportional headroom. The old fixed
+ * 100k-cycle slack starved runs whose warm-up dwarfed the measured
+ * region; the floor keeps tiny smoke runs from getting a uselessly
+ * tight limit.
+ */
+Cycle defaultCycleLimit(std::uint64_t max_main_instructions,
+                        std::uint64_t warmup_instructions);
 
 /** Options for one simulation run. */
 struct RunOptions
@@ -149,6 +162,53 @@ struct RunOptions
      *  register writeback / store before comparison. 0 = off. */
     std::uint64_t checkInjectRegFault = 0;
     std::uint64_t checkInjectStoreFault = 0;
+
+    // ---- architectural-state injection (checkpoint/sampled runs;
+    //      sim::Simulator fills these from a FastForward snapshot) ----
+    /** Start the main thread's registers from this file instead of
+     *  zeros. Must outlive the run. */
+    const arch::RegFile *initialRegs = nullptr;
+    /** Replay these branch outcomes into the predictor before the
+     *  first fetch, so a mid-program start doesn't begin with a cold
+     *  front end. Must outlive the run. */
+    const std::vector<arch::BranchWarmthRecord> *branchWarmth = nullptr;
+    /** Replay these data accesses into the cache hierarchy before the
+     *  first fetch (oldest first), so a mid-program start doesn't
+     *  begin with a cold L1D/L2. Must outlive the run. */
+    const std::vector<arch::MemWarmthRecord> *memWarmth = nullptr;
+
+    // ---- sampling knobs (interpreted by sim::Simulator::run, which
+    //      owns the fast-forward engine and region orchestration) ----
+    /**
+     * Functionally fast-forward to this absolute instruction count
+     * (from the workload entry) before the first timing region.
+     * Warm-up (warmupInstructions) and measurement
+     * (maxMainInstructions) then run in detail from that point.
+     */
+    std::uint64_t fastForwardInstructions = 0;
+    /**
+     * Number of detailed timing regions to sample and aggregate
+     * (0 or 1 = a single region). Each region runs warm-up + measure
+     * instructions on a snapshot of the architectural state; between
+     * regions the fast-forward engine advances sampleStride
+     * instructions along the pristine architectural stream.
+     */
+    unsigned sampleRegions = 0;
+    /** Instructions between region starts (0 = contiguous: warm-up +
+     *  measure, i.e. the next region starts where this one ended). */
+    std::uint64_t sampleStride = 0;
+    /** Replay fast-forward branch history into each region's predictor
+     *  (disable to measure cold-start bias). */
+    bool warmPredictors = true;
+    /** Replay fast-forward data accesses into each region's cache
+     *  hierarchy (disable to measure cold-cache bias). */
+    bool warmCaches = true;
+    /** Load the starting architectural state from this checkpoint file
+     *  ("" = start at the workload entry). */
+    std::string restoreCheckpoint;
+    /** After fast-forwarding, save the pre-region architectural state
+     *  here ("" = don't). */
+    std::string saveCheckpoint;
 };
 
 /** Aggregated results of a run. */
@@ -186,6 +246,12 @@ struct RunResult
     StatGroup detail;                    ///< everything else
     /** Interval time-series (empty unless RunOptions.intervalCycles). */
     std::vector<obs::IntervalRecord> intervals;
+
+    // Sampling provenance (filled by sim::Simulator for sampled runs).
+    /** Instructions skipped functionally before the first region. */
+    std::uint64_t fastForwarded = 0;
+    /** Timing regions aggregated into this result (0 = unsampled). */
+    unsigned sampledRegions = 0;
 
     // Retirement-checker outcome (RunOptions.check runs only).
     /** Main-thread retirements the checker compared (warm-up included;

@@ -71,6 +71,56 @@ MemoryHierarchy::launchPrefetches(Addr miss_addr, Cycle now)
     }
 }
 
+void
+MemoryHierarchy::warmData(Addr addr, bool is_store)
+{
+    // Mirrors accessDataTimed structurally — L1 probe, pvBuf probe
+    // with promotion, prefetcher training, L2 fill only on a true
+    // miss — with no stats, latency, or bandwidth accounting. The
+    // structural fidelity matters: an L1 hit must not refresh the
+    // L2's LRU, and a line promoted out of the pvBuf never enters
+    // the L2, so a warmed hierarchy whose prefetcher covered a line
+    // stays exactly as L2-cold as a naturally warmed one.
+    if (CacheLine *line = l1d_.access(addr, true)) {
+        if (is_store)
+            line->dirty = true;
+        return;
+    }
+    if (auto *entry = pvBuf_.lookup(addr, 0)) {
+        Addr promoted = entry->lineAddr;
+        bool was_prefetch = entry->fromPrefetch;
+        pvBuf_.remove(promoted);
+        Eviction ev = l1d_.fill(promoted, is_store, false);
+        if (ev.valid)
+            pvBuf_.insert(ev.lineAddr, false, 0);
+        l1d_.access(addr, true);
+        if (was_prefetch)
+            warmPrefetches(addr);
+        return;
+    }
+    warmPrefetches(addr);
+    if (!l2_.access(addr, true))
+        l2_.fill(addr, false, false);
+    Eviction ev = l1d_.fill(addr, is_store, false);
+    if (ev.valid)
+        pvBuf_.insert(ev.lineAddr, false, 0);
+}
+
+void
+MemoryHierarchy::warmPrefetches(Addr miss_addr)
+{
+    if (!cfg_.prefetcherEnabled)
+        return;
+    // Same stream-training and insertion as launchPrefetches, minus
+    // missToMemory: warm-up prefetches happened "in the past", so
+    // they arrive ready and cost no request bandwidth.
+    for (Addr line : prefetcher_.onMiss(miss_addr)) {
+        if (l1d_.peek(line) || pvBuf_.peek(line))
+            continue;
+        pvBuf_.insert(line, true, 0);
+    }
+}
+
 AccessResult
 MemoryHierarchy::accessData(Addr addr, bool is_store, bool is_slice_thread,
                             Cycle now)

@@ -105,6 +105,17 @@ class MemoryHierarchy
     bool wouldHitL1(Addr addr) const;
 
     /**
+     * Functional cache warm-up: install the line containing addr into
+     * the L1D and L2 as if an access in the (fast-forwarded) past had
+     * brought it in. Touches tags/LRU/dirty state only — no stats, no
+     * latency or bandwidth model, no prefetcher training — so a
+     * warmed hierarchy's counters stay comparable to a naturally
+     * warmed one. Replay accesses oldest-first to approximate LRU
+     * order.
+     */
+    void warmData(Addr addr, bool is_store);
+
+    /**
      * Attach a fault injector (null detaches). Tap points:
      * `mem.latency` adds cycles to a data access, `mem.wbstall`
      * rejects a store write-back at retirement.
@@ -128,6 +139,9 @@ class MemoryHierarchy
     /** accessData() minus the injection tap. */
     AccessResult accessDataTimed(Addr addr, bool is_store,
                                  bool is_slice_thread, Cycle now);
+    /** launchPrefetches() for warmData(): trains the stream
+     *  prefetcher and fills the pvBuf, but costs no bandwidth. */
+    void warmPrefetches(Addr miss_addr);
     /** Fetch a line into L2 (+ account bus occupancy). */
     Cycle missToMemory(Cycle now);
     void launchPrefetches(Addr miss_addr, Cycle now);

@@ -36,11 +36,13 @@ TEST(Tracer, ExecutesAndStopsAtHalt)
 
     arch::MemoryImage mem;
     std::vector<Addr> pcs;
-    auto n = arch::trace(prog, codeBase, mem, 1000,
-                         [&](const arch::TraceEvent &ev) {
-                             pcs.push_back(ev.pc);
-                         });
-    EXPECT_EQ(n, 3u);
+    auto res = arch::trace(prog, codeBase, mem, 1000,
+                           [&](const arch::TraceEvent &ev) {
+                               pcs.push_back(ev.pc);
+                           });
+    EXPECT_EQ(res.count, 3u);
+    EXPECT_EQ(res.reason, arch::TraceStop::Halted);
+    EXPECT_EQ(res.finalPc, codeBase + 16);
     ASSERT_EQ(pcs.size(), 3u);
     EXPECT_EQ(pcs[2], codeBase + 16);
 }
@@ -58,10 +60,11 @@ TEST(Tracer, FollowsControlFlowAndBudget)
 
     arch::MemoryImage mem;
     std::uint64_t count = 0;
-    auto n = arch::trace(prog, codeBase, mem, 5000,
-                         [&](const arch::TraceEvent &) { ++count; });
-    EXPECT_EQ(n, 5000u);  // budget, not completion
-    EXPECT_EQ(count, n);
+    auto res = arch::trace(prog, codeBase, mem, 5000,
+                           [&](const arch::TraceEvent &) { ++count; });
+    EXPECT_EQ(res.count, 5000u);  // budget, not completion
+    EXPECT_EQ(res.reason, arch::TraceStop::MaxInsts);
+    EXPECT_EQ(count, res.count);
 }
 
 namespace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Checkpoint tests: the versioned on-disk format round-trips the full
+ * architectural state (registers, memory, both warmth logs), rejects
+ * corrupt or mismatched inputs with diagnostics instead of garbage
+ * state, and — the property everything rests on — a run restored from
+ * a checkpoint produces byte-identical results to one that never
+ * stopped, for both the baseline and slice configurations.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arch/checkpoint.hh"
+#include "arch/fastfwd.hh"
+#include "common/failure.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+workloads::Params
+smallParams()
+{
+    workloads::Params p;
+    p.scale = 400'000;
+    return p;
+}
+
+/** A fast-forwarded engine with warm logs, ready to snapshot. */
+arch::FastForward
+advancedEngine(const sim::Workload &wl, std::uint64_t insts)
+{
+    arch::FastForward ff(wl.program);
+    ff.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(ff.mem());
+    ff.advanceTo(insts);
+    return ff;
+}
+
+/** Unique temp path; removed by the caller. */
+std::string
+tempPath(const std::string &tag)
+{
+    auto dir = std::filesystem::temp_directory_path();
+    return (dir / ("ss_ckpt_test_" + tag + "_" +
+                   std::to_string(::getpid()) + ".ckpt"))
+        .string();
+}
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag) : path_(tempPath(tag)) {}
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(CheckpointTest, StreamRoundTripPreservesEverything)
+{
+    auto wl = workloads::buildWorkload("vpr", smallParams());
+    arch::FastForward ff = advancedEngine(wl, 50'000);
+    arch::Checkpoint before = ff.makeCheckpoint();
+    ASSERT_FALSE(before.warmth.empty());
+    ASSERT_FALSE(before.memWarmth.empty());
+
+    std::stringstream ss;
+    ASSERT_TRUE(arch::saveCheckpoint(before, ss));
+    std::string error;
+    auto after = arch::loadCheckpoint(ss, error);
+    ASSERT_TRUE(after.has_value()) << error;
+
+    EXPECT_EQ(after->version, arch::checkpointVersion);
+    EXPECT_EQ(after->programFingerprint, before.programFingerprint);
+    EXPECT_EQ(after->instCount, before.instCount);
+    EXPECT_EQ(after->pc, before.pc);
+    for (unsigned r = 0; r < isa::numRegs; ++r)
+        ASSERT_EQ(after->regs.read(static_cast<RegIndex>(r)),
+                  before.regs.read(static_cast<RegIndex>(r)));
+
+    ASSERT_EQ(after->warmth.size(), before.warmth.size());
+    for (std::size_t i = 0; i < before.warmth.size(); ++i) {
+        EXPECT_EQ(after->warmth[i].pc, before.warmth[i].pc);
+        EXPECT_EQ(after->warmth[i].target, before.warmth[i].target);
+        EXPECT_EQ(after->warmth[i].kind, before.warmth[i].kind);
+        EXPECT_EQ(after->warmth[i].taken, before.warmth[i].taken);
+    }
+    ASSERT_EQ(after->memWarmth.size(), before.memWarmth.size());
+    for (std::size_t i = 0; i < before.memWarmth.size(); ++i) {
+        EXPECT_EQ(after->memWarmth[i].addr, before.memWarmth[i].addr);
+        EXPECT_EQ(after->memWarmth[i].isStore,
+                  before.memWarmth[i].isStore);
+    }
+    EXPECT_EQ(after->mem.contentHash(), before.mem.contentHash());
+}
+
+TEST(CheckpointTest, RestoreResumesTheExactStream)
+{
+    // save at N, restore, run to M  ==  run straight to M.
+    auto wl = workloads::buildWorkload("mcf", smallParams());
+    arch::FastForward straight = advancedEngine(wl, 80'000);
+
+    arch::FastForward ff = advancedEngine(wl, 30'000);
+    std::stringstream ss;
+    ASSERT_TRUE(arch::saveCheckpoint(ff.makeCheckpoint(), ss));
+    std::string error;
+    auto ckpt = arch::loadCheckpoint(ss, error);
+    ASSERT_TRUE(ckpt.has_value()) << error;
+
+    arch::FastForward resumed(wl.program);
+    resumed.restore(*ckpt);
+    EXPECT_EQ(resumed.executed(), 30'000u);
+    resumed.advanceTo(80'000);
+
+    EXPECT_EQ(resumed.executed(), straight.executed());
+    EXPECT_EQ(resumed.pc(), straight.pc());
+    EXPECT_EQ(resumed.mem().contentHash(), straight.mem().contentHash());
+    auto a = resumed.warmth(), b = straight.warmth();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i].pc, b[i].pc);
+}
+
+TEST(CheckpointTest, RejectsBadMagic)
+{
+    std::stringstream ss("definitely not a checkpoint file");
+    std::string error;
+    EXPECT_FALSE(arch::loadCheckpoint(ss, error).has_value());
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, RejectsWrongVersion)
+{
+    auto wl = workloads::buildWorkload("vpr", smallParams());
+    arch::FastForward ff = advancedEngine(wl, 1'000);
+    arch::Checkpoint c = ff.makeCheckpoint();
+    c.version = arch::checkpointVersion + 1;
+    std::stringstream ss;
+    ASSERT_TRUE(arch::saveCheckpoint(c, ss));
+    std::string error;
+    EXPECT_FALSE(arch::loadCheckpoint(ss, error).has_value());
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, RejectsTruncation)
+{
+    auto wl = workloads::buildWorkload("vpr", smallParams());
+    arch::FastForward ff = advancedEngine(wl, 10'000);
+    std::stringstream ss;
+    ASSERT_TRUE(arch::saveCheckpoint(ff.makeCheckpoint(), ss));
+    std::string full = ss.str();
+
+    // Cutting the stream anywhere must produce an error, not state.
+    for (std::size_t cut : {std::size_t{4}, full.size() / 2,
+                            full.size() - 1}) {
+        std::stringstream trunc(full.substr(0, cut));
+        std::string error;
+        EXPECT_FALSE(arch::loadCheckpoint(trunc, error).has_value())
+            << "cut at " << cut << " loaded anyway";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(CheckpointTest, RestoreIntoWrongProgramIsFatal)
+{
+    auto vpr = workloads::buildWorkload("vpr", smallParams());
+    auto mcf = workloads::buildWorkload("mcf", smallParams());
+    arch::FastForward ff = advancedEngine(vpr, 1'000);
+    arch::Checkpoint c = ff.makeCheckpoint();
+
+    arch::FastForward other(mcf.program);
+    ScopedThrowErrors throwing;
+    EXPECT_THROW(other.restore(c), SimError);
+}
+
+TEST(CheckpointTest, MissingFileReportsError)
+{
+    std::string error;
+    EXPECT_FALSE(
+        arch::loadCheckpointFile("/nonexistent/nowhere.ckpt", error)
+            .has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+// ---- end-to-end: checkpointed runs are byte-identical -------------
+
+class CheckpointRunSuite : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(CheckpointRunSuite, SaveRestoreRunMatchesUninterrupted)
+{
+    const bool with_slices = GetParam();
+    auto wl = workloads::buildWorkload("vpr", smallParams());
+    sim::Simulator machine(sim::MachineConfig::fourWide());
+
+    sim::RunOptions opts;
+    opts.fastForwardInstructions = 60'000;
+    opts.sampleRegions = 2;
+    opts.warmupInstructions = 5'000;
+    opts.maxMainInstructions = 10'000;
+
+    TempFile ckpt(with_slices ? "slices" : "baseline");
+    sim::RunOptions save = opts;
+    save.saveCheckpoint = ckpt.path();
+    sim::RunResult saved = machine.run(wl, save, with_slices);
+    ASSERT_TRUE(std::filesystem::exists(ckpt.path()));
+
+    sim::RunOptions load = opts;
+    load.restoreCheckpoint = ckpt.path();
+    sim::RunResult restored = machine.run(wl, load, with_slices);
+
+    // Byte-identical timing, not merely similar: the checkpoint must
+    // reproduce the exact architectural state and warmth logs.
+    EXPECT_EQ(restored.cycles, saved.cycles);
+    EXPECT_EQ(restored.mainRetired, saved.mainRetired);
+    EXPECT_EQ(restored.mainFetched, saved.mainFetched);
+    EXPECT_EQ(restored.mispredictions, saved.mispredictions);
+    EXPECT_EQ(restored.l1dMissesMain, saved.l1dMissesMain);
+    EXPECT_EQ(restored.coveredMisses, saved.coveredMisses);
+    EXPECT_EQ(restored.forks, saved.forks);
+    EXPECT_EQ(restored.fastForwarded, saved.fastForwarded);
+    EXPECT_EQ(restored.sampledRegions, saved.sampledRegions);
+
+    // Every detail counter — the same set golden digests carry — must
+    // match exactly; no subsystem may drift across a save/restore.
+    auto saved_counters = saved.detail.counters();
+    auto restored_counters = restored.detail.counters();
+    ASSERT_EQ(saved_counters.size(), restored_counters.size());
+    for (const auto &[name, stat] : saved_counters) {
+        auto it = restored_counters.find(name);
+        ASSERT_NE(it, restored_counters.end()) << name;
+        EXPECT_EQ(it->second.value(), stat.value()) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BaselineAndSlices, CheckpointRunSuite,
+                         ::testing::Bool());

@@ -238,3 +238,52 @@ TEST(CoreBasic, EightWideIsFasterOnIlp)
 
     EXPECT_LT(r8.cycles * 3, r4.cycles * 2);  // >=1.5x speedup
 }
+
+TEST(CoreBasic, DefaultCycleLimitScalesWithWarmup)
+{
+    // Regression: the limit's slack used to be a fixed 100k cycles
+    // regardless of the budget, so a run whose warm-up dwarfed its
+    // measured region could hit the limit while still healthy. The
+    // slack must scale with warm-up + measure, with a floor for tiny
+    // smoke runs.
+    const Cycle small = core::defaultCycleLimit(10'000, 0);
+    EXPECT_EQ(small, 50 * 10'000 + 100'000)  // floor applies
+        << "small runs keep the 100k-cycle slack floor";
+
+    // Same measured region, large warm-up: the limit must grow by at
+    // least 50x the added warm-up (the per-instruction budget) plus
+    // the proportional slack — not just the per-instruction part.
+    const Cycle warm = core::defaultCycleLimit(10'000, 10'000'000);
+    const std::uint64_t budget = 10'000 + 10'000'000;
+    EXPECT_EQ(warm, 50 * budget + budget / 4);
+    EXPECT_GT(warm - small, 50 * std::uint64_t{10'000'000})
+        << "warm-up instructions must add more than their bare "
+           "50-cycle budget";
+
+    // Symmetry: slack depends on the total budget, not on how it is
+    // split between warm-up and measurement.
+    EXPECT_EQ(core::defaultCycleLimit(1'000'000, 4'000'000),
+              core::defaultCycleLimit(4'000'000, 1'000'000));
+}
+
+TEST(CoreBasic, LongWarmupRunCompletesWithinDefaultLimit)
+{
+    // The behavioural half of the regression: a run that is almost
+    // all warm-up must complete, not die at the cycle limit.
+    isa::Assembler as(codeBase);
+    as.ldi(1, 0);
+    as.label("loop");
+    as.addi(1, 1, 1);
+    as.br("loop");
+    isa::Program prog;
+    prog.addSection(as.finish());
+
+    arch::MemoryImage mem;
+    core::SmtCore machine(core::CoreConfig::fourWide(), prog, mem);
+    core::RunOptions o;
+    o.maxMainInstructions = 1'000;
+    o.warmupInstructions = 200'000;
+    auto res = machine.run(codeBase, o);
+    EXPECT_EQ(res.outcome, core::SimOutcome::Completed);
+    EXPECT_EQ(res.mainRetired, 1'000u);
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Fast-forward engine tests: the pre-decoded interpreter must be
+ * bit-identical to the reference tracer on every workload (count, PC,
+ * registers, memory contents), report the same stop reasons, honor
+ * absolute positioning (advanceTo), keep sticky stops sticky, and
+ * record branch/memory warmth for region warm-up replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/fastfwd.hh"
+#include "arch/memimg.hh"
+#include "arch/tracer.hh"
+#include "isa/assembler.hh"
+#include "isa/program.hh"
+#include "sim/workload.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+constexpr Addr codeBase = 0x10000;
+
+workloads::Params
+smallParams()
+{
+    workloads::Params p;
+    p.scale = 200'000;
+    return p;
+}
+
+/** The tracer-side reference state after max_insts instructions. */
+struct Reference
+{
+    arch::TraceResult result;
+    arch::RegFile regs;
+    arch::MemoryImage mem;
+};
+
+Reference
+traceReference(const sim::Workload &wl, std::uint64_t max_insts)
+{
+    Reference ref;
+    if (wl.initMemory)
+        wl.initMemory(ref.mem);
+    ref.result = arch::trace(wl.program, wl.entry, ref.regs, ref.mem,
+                             max_insts,
+                             [](const arch::TraceEvent &) {});
+    return ref;
+}
+
+arch::FfStop
+expectedStop(arch::TraceStop reason)
+{
+    switch (reason) {
+      case arch::TraceStop::MaxInsts:
+        return arch::FfStop::Budget;
+      case arch::TraceStop::Halted:
+        return arch::FfStop::Halted;
+      case arch::TraceStop::Fault:
+        return arch::FfStop::Fault;
+      case arch::TraceStop::UnmappedPc:
+        return arch::FfStop::UnmappedPc;
+    }
+    return arch::FfStop::Budget;
+}
+
+} // namespace
+
+class FastForwardSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FastForwardSuite, BitIdenticalToTracer)
+{
+    auto wl = workloads::buildWorkload(GetParam(), smallParams());
+    constexpr std::uint64_t budget = 150'000;
+    Reference ref = traceReference(wl, budget);
+
+    arch::FastForward ff(wl.program);
+    ff.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(ff.mem());
+    arch::FfStop stop = ff.advance(budget);
+
+    EXPECT_EQ(stop, expectedStop(ref.result.reason));
+    EXPECT_EQ(ff.executed(), ref.result.count);
+    EXPECT_EQ(ff.pc(), ref.result.finalPc);
+    for (unsigned r = 0; r < isa::numRegs; ++r)
+        ASSERT_EQ(ff.regs().read(static_cast<RegIndex>(r)),
+                  ref.regs.read(static_cast<RegIndex>(r)))
+            << "register " << r << " diverged on " << GetParam();
+    EXPECT_EQ(ff.mem().contentHash(), ref.mem.contentHash())
+        << "memory diverged on " << GetParam();
+}
+
+TEST_P(FastForwardSuite, ChunkedAdvanceMatchesOneShot)
+{
+    // Advancing in uneven chunks must land on the identical state:
+    // the budget boundary is not allowed to influence execution.
+    auto wl = workloads::buildWorkload(GetParam(), smallParams());
+    constexpr std::uint64_t budget = 60'000;
+
+    arch::FastForward oneshot(wl.program);
+    oneshot.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(oneshot.mem());
+    oneshot.advance(budget);
+
+    arch::FastForward chunked(wl.program);
+    chunked.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(chunked.mem());
+    for (std::uint64_t step : {1ull, 7ull, 1000ull, 58'992ull})
+        chunked.advance(step);
+
+    EXPECT_EQ(chunked.executed(), oneshot.executed());
+    EXPECT_EQ(chunked.pc(), oneshot.pc());
+    EXPECT_EQ(chunked.mem().contentHash(), oneshot.mem().contentHash());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, FastForwardSuite,
+                         ::testing::Values("bzip2", "gcc", "mcf",
+                                           "twolf", "vortex", "vpr"));
+
+TEST(FastForwardTest, AdvanceToIsAbsolute)
+{
+    auto wl = workloads::buildWorkload("vpr", smallParams());
+    arch::FastForward ff(wl.program);
+    ff.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(ff.mem());
+
+    ff.advanceTo(10'000);
+    EXPECT_EQ(ff.executed(), 10'000u);
+    // Already past: no-op, never rewinds.
+    ff.advanceTo(5'000);
+    EXPECT_EQ(ff.executed(), 10'000u);
+    ff.advanceTo(25'000);
+    EXPECT_EQ(ff.executed(), 25'000u);
+}
+
+TEST(FastForwardTest, HaltIsSticky)
+{
+    isa::Assembler as(codeBase);
+    as.ldi(1, 3);
+    as.halt();
+    isa::Program prog;
+    prog.addSection(as.finish());
+
+    arch::FastForward ff(prog);
+    ff.reset(codeBase);
+    EXPECT_EQ(ff.advance(100), arch::FfStop::Halted);
+    EXPECT_EQ(ff.executed(), 2u);
+    EXPECT_FALSE(ff.runnable());
+    // Further advances return the same stop without executing.
+    EXPECT_EQ(ff.advance(100), arch::FfStop::Halted);
+    EXPECT_EQ(ff.executed(), 2u);
+    EXPECT_EQ(ff.advanceTo(50), arch::FfStop::Halted);
+    EXPECT_EQ(ff.executed(), 2u);
+}
+
+TEST(FastForwardTest, NullLoadFaults)
+{
+    isa::Assembler as(codeBase);
+    as.ldi(1, 0);
+    as.ldq(2, 1, 0);  // load from the null page
+    as.halt();
+    isa::Program prog;
+    prog.addSection(as.finish());
+
+    arch::FastForward ff(prog);
+    ff.reset(codeBase);
+    EXPECT_EQ(ff.advance(100), arch::FfStop::Fault);
+    EXPECT_EQ(ff.pc(), codeBase + isa::instBytes)
+        << "fault must report the faulting instruction's PC";
+    EXPECT_FALSE(ff.runnable());
+}
+
+TEST(FastForwardTest, UnmappedPcStops)
+{
+    isa::Assembler as(codeBase);
+    as.ldi(1, 1);
+    // Falls off the end of the section (no halt).
+    isa::Program prog;
+    prog.addSection(as.finish());
+
+    arch::FastForward ff(prog);
+    ff.reset(codeBase);
+    EXPECT_EQ(ff.advance(100), arch::FfStop::UnmappedPc);
+    EXPECT_EQ(ff.executed(), 1u);
+}
+
+TEST(FastForwardTest, StopNamesAreStable)
+{
+    EXPECT_STREQ(arch::ffStopName(arch::FfStop::Budget), "budget");
+    EXPECT_STREQ(arch::ffStopName(arch::FfStop::Halted), "halted");
+    EXPECT_STREQ(arch::ffStopName(arch::FfStop::Fault), "fault");
+    EXPECT_STREQ(arch::ffStopName(arch::FfStop::UnmappedPc),
+                 "unmapped_pc");
+}
+
+TEST(FastForwardTest, RecordsBranchAndMemoryWarmth)
+{
+    auto wl = workloads::buildWorkload("twolf", smallParams());
+    arch::FastForward ff(wl.program);
+    ff.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(ff.mem());
+    ff.advance(50'000);
+
+    auto branches = ff.warmth();
+    EXPECT_FALSE(branches.empty());
+    EXPECT_LE(branches.size(), arch::FastForward::warmthDepth);
+
+    auto mem = ff.memWarmth();
+    EXPECT_FALSE(mem.empty());
+    EXPECT_LE(mem.size(), arch::FastForward::memWarmthDepth);
+    bool saw_load = false, saw_store = false;
+    for (const auto &m : mem) {
+        EXPECT_NE(m.addr, 0u) << "null accesses cannot be warmth";
+        (m.isStore ? saw_store : saw_load) = true;
+    }
+    EXPECT_TRUE(saw_load);
+    EXPECT_TRUE(saw_store);
+
+    // reset() must drop both logs.
+    ff.reset(wl.entry);
+    EXPECT_TRUE(ff.warmth().empty());
+    EXPECT_TRUE(ff.memWarmth().empty());
+}

@@ -8,6 +8,9 @@
  *   specslice_run --workload twolf --limit        # constrained limit
  *   specslice_run --workload gcc --check --inject slice.kill@n5
  *   specslice_run --workload vpr --disasm         # dump the code
+ *   specslice_run --workload gcc --fastforward 1000000 --sample 4
+ *   specslice_run --workload gcc --fastforward 1000000 \
+ *       --save-checkpoint gcc.ckpt   # then: --load-checkpoint
  *   specslice_run --list
  *
  * Exit codes (scripts and CI depend on these):
@@ -20,6 +23,7 @@
  *      machine-readable error document is still emitted on stdout
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +67,13 @@ struct Options
     bool list = false;
     bool compare = false;   // run baseline AND slices, print speedup
     unsigned jobs = 0;      // --compare parallelism (0: pool default)
+    std::uint64_t fastforward = 0;   // insts skipped before region 1
+    unsigned sampleRegions = 0;      // --sample region count (0: off)
+    std::uint64_t sampleStride = 0;  // region spacing (0: contiguous)
+    bool noWarmPredictors = false;   // cold predictors per region
+    bool noWarmCaches = false;       // cold caches per region
+    std::string saveCheckpoint;      // write state after fast-forward
+    std::string loadCheckpoint;      // resume from a saved state
     std::string inject;         // --inject fault spec (adds to SS_INJECT)
     Cycle watchdog = 0;         // --watchdog threshold (0: default)
     bool noWatchdog = false;
@@ -89,6 +100,23 @@ usage(int code)
         "  --threads N       SMT contexts, 1..64 (default 4)\n"
         "  --bias N          ICOUNT main-thread fetch bias\n"
         "  --no-slices       baseline run (helper threads idle)\n"
+        "  --fastforward N   functionally execute N instructions (from\n"
+        "                    program entry, absolute position) before\n"
+        "                    the first timing region\n"
+        "  --sample R        measure R regions of --warmup + --insts\n"
+        "                    each and aggregate the counters\n"
+        "  --sample-stride N region starts are N instructions apart\n"
+        "                    (default: contiguous, warmup+insts)\n"
+        "  --cold-predictors do not replay branch history into the\n"
+        "                    predictors at each region start\n"
+        "  --cold-caches     do not replay data accesses into the\n"
+        "                    cache hierarchy at each region start\n"
+        "  --save-checkpoint FILE  write the architectural state at\n"
+        "                    the fast-forward point, then keep running\n"
+        "  --load-checkpoint FILE  restore state instead of executing\n"
+        "                    from entry (same workload flags required;\n"
+        "                    --fastforward N is absolute, so reaching\n"
+        "                    a checkpoint taken at N costs nothing)\n"
         "  --check           co-simulate the in-order architectural\n"
         "                    reference; divergence is fatal with a\n"
         "                    first-divergence report (SS_CHECK=1 in\n"
@@ -162,6 +190,26 @@ parseArgs(int argc, char **argv)
             o.bias = static_cast<int>(parseNum(next()));
         else if (a == "--no-slices")
             o.slices = false;
+        else if (a == "--fastforward")
+            o.fastforward = parseNum(next());
+        else if (a == "--sample") {
+            o.sampleRegions = static_cast<unsigned>(parseNum(next()));
+            if (o.sampleRegions == 0)
+                usage(2);
+        }
+        else if (a == "--sample-stride") {
+            o.sampleStride = parseNum(next());
+            if (o.sampleStride == 0)
+                usage(2);
+        }
+        else if (a == "--cold-predictors")
+            o.noWarmPredictors = true;
+        else if (a == "--cold-caches")
+            o.noWarmCaches = true;
+        else if (a == "--save-checkpoint")
+            o.saveCheckpoint = next();
+        else if (a == "--load-checkpoint")
+            o.loadCheckpoint = next();
         else if (a == "--check")
             o.check = true;
         else if (a == "--compare")
@@ -346,8 +394,27 @@ main(int argc, char **argv)
     }
     plan.seed = o.seed;
 
+    if (!o.saveCheckpoint.empty() && o.compare) {
+        std::fprintf(stderr,
+                     "error: --save-checkpoint cannot be combined "
+                     "with --compare (both runs would race writing "
+                     "the same file); save it in a single run, then "
+                     "--compare --load-checkpoint\n");
+        return 2;
+    }
+
+    // The workload must outlast the whole sampling span, not just one
+    // measurement window (regions defaults to 1 so a full run keeps
+    // the historical scale of (insts + warmup) * 2).
+    const std::uint64_t per_region = o.insts + o.warmup;
+    const std::uint64_t span =
+        o.fastforward +
+        (std::max(1u, o.sampleRegions) - 1) *
+            (o.sampleStride ? o.sampleStride : per_region) +
+        per_region;
+
     workloads::Params params;
-    params.scale = (o.insts + o.warmup) * 2;
+    params.scale = span * 2;
     params.seed = o.seed;
     sim::Workload wl = workloads::buildWorkload(o.workload, params);
 
@@ -373,6 +440,13 @@ main(int argc, char **argv)
     opts.faults = plan;
     opts.profile = o.profile;
     opts.check = o.check;
+    opts.fastForwardInstructions = o.fastforward;
+    opts.sampleRegions = o.sampleRegions;
+    opts.sampleStride = o.sampleStride;
+    opts.warmPredictors = !o.noWarmPredictors;
+    opts.warmCaches = !o.noWarmCaches;
+    opts.saveCheckpoint = o.saveCheckpoint;
+    opts.restoreCheckpoint = o.loadCheckpoint;
     if (o.json || o.intervalsRequested)
         opts.intervalCycles = o.intervalCycles;
 
@@ -449,6 +523,13 @@ main(int argc, char **argv)
         lo.faults = opts.faults;
         lo.intervalCycles = opts.intervalCycles;
         lo.intervalSink = opts.intervalSink;
+        lo.fastForwardInstructions = opts.fastForwardInstructions;
+        lo.sampleRegions = opts.sampleRegions;
+        lo.sampleStride = opts.sampleStride;
+        lo.warmPredictors = opts.warmPredictors;
+        lo.warmCaches = opts.warmCaches;
+        lo.saveCheckpoint = opts.saveCheckpoint;
+        lo.restoreCheckpoint = opts.restoreCheckpoint;
         lo.events = events.get();
         try {
             ScopedThrowErrors throwing;
@@ -523,6 +604,10 @@ main(int argc, char **argv)
             .raw("runs", bench::jsonArray(elems));
         if (!plan.empty())
             doc.field("inject", plan.describe());
+        if (result.sampledRegions)
+            doc.field("fast_forwarded", result.fastForwarded)
+                .field("sampled_regions",
+                       std::uint64_t{result.sampledRegions});
         if (o.compare)
             doc.field("speedup_pct",
                       sim::speedupPct(runs[0].result, runs[1].result));
@@ -532,6 +617,13 @@ main(int argc, char **argv)
     } else {
         for (const auto &p : runs)
             printResult(p.name.c_str(), p.result);
+        if (result.sampledRegions)
+            std::printf("sampling: fast-forwarded %llu insts, "
+                        "%u region%s measured\n",
+                        static_cast<unsigned long long>(
+                            result.fastForwarded),
+                        result.sampledRegions,
+                        result.sampledRegions == 1 ? "" : "s");
         if (o.compare)
             std::printf("speedup: %+.1f%%\n",
                         sim::speedupPct(runs[0].result,

@@ -64,6 +64,11 @@ struct RunParams
     std::uint64_t seed = 1;
     unsigned width = 4;
     unsigned threads = 4;
+    // Sampling configuration (all 0 = full run). Recorded in the
+    // digest, so a sampled corpus re-verifies with the same regions.
+    std::uint64_t fastforward = 0;
+    unsigned regions = 0;
+    std::uint64_t stride = 0;
 };
 
 struct Options
@@ -73,6 +78,9 @@ struct Options
     std::vector<std::string> workloads;  ///< empty = all (+ coverage)
     RunParams params;
     unsigned jobs = 0;  ///< 0 = SS_JOBS or hardware concurrency
+    /** Checkpoint cache dir: first run per workload saves the
+     *  fast-forward state, later runs restore it (empty = off). */
+    std::string checkpoints;
     bool check = true;
     bool verbose = false;
     bool json = false;            ///< sweep summary JSON on stdout
@@ -108,6 +116,16 @@ usage(int code)
         "                    stdout\n"
         "  --insts N         measured instructions (generate; %llu)\n"
         "  --warmup N        warm-up instructions (generate; %llu)\n"
+        "  --fastforward N   generate: skip N instructions before the\n"
+        "                    measured region(s); recorded in the\n"
+        "                    digest, so verify replays it\n"
+        "  --sample R        generate: aggregate R sampled regions of\n"
+        "                    warmup+insts each (recorded in digest)\n"
+        "  --sample-stride N generate: instructions between region\n"
+        "                    starts (default warmup+insts)\n"
+        "  --checkpoints DIR cache the fast-forward state per workload\n"
+        "                    (first run saves DIR/<name>.ckpt, later\n"
+        "                    runs restore instead of re-executing)\n"
         "  --seed N          workload seed (generate; 1)\n"
         "  --width 4|8       machine width (generate; 4)\n"
         "  --threads N       SMT contexts (generate; 4)\n"
@@ -192,6 +210,18 @@ parseArgs(int argc, char **argv)
             o.params.insts = parseNum(next());
         } else if (a == "--warmup") {
             o.params.warmup = parseNum(next());
+        } else if (a == "--fastforward") {
+            o.params.fastforward = parseNum(next());
+        } else if (a == "--sample") {
+            o.params.regions = static_cast<unsigned>(parseNum(next()));
+            if (o.params.regions == 0)
+                usage(2);
+        } else if (a == "--sample-stride") {
+            o.params.stride = parseNum(next());
+            if (o.params.stride == 0)
+                usage(2);
+        } else if (a == "--checkpoints") {
+            o.checkpoints = next();
         } else if (a == "--seed") {
             o.params.seed = parseNum(next());
         } else if (a == "--width") {
@@ -289,10 +319,20 @@ struct LiveRun
 /** Run one workload in both configurations and digest the results. */
 LiveRun
 buildLiveRun(const std::string &name, const RunParams &p, bool check,
-             const fault::FaultPlan &plan)
+             const fault::FaultPlan &plan,
+             const std::string &ckpt_dir = {})
 {
+    // The workload must outlast the whole sampling span; with no
+    // sampling this reduces to the historical (insts + warmup) * 2.
+    const std::uint64_t per_region = p.insts + p.warmup;
+    const std::uint64_t span =
+        p.fastforward +
+        (std::max(1u, p.regions) - 1) *
+            (p.stride ? p.stride : per_region) +
+        per_region;
+
     workloads::Params wp;
-    wp.scale = (p.insts + p.warmup) * 2;
+    wp.scale = span * 2;
     wp.seed = p.seed;
     sim::Workload wl = workloads::buildWorkload(name, wp);
 
@@ -311,6 +351,28 @@ buildLiveRun(const std::string &name, const RunParams &p, bool check,
     // Under injection, a divergence must latch into the result (and
     // fail the workload with a report) instead of killing the sweep.
     opts.checkFatal = plan.empty();
+    opts.fastForwardInstructions = p.fastforward;
+    opts.sampleRegions = p.regions;
+    opts.sampleStride = p.stride;
+
+    // Checkpoint cache: whoever runs this workload first pays for the
+    // fast-forward and saves the state; every later run (the second
+    // config here, or a whole future sweep) restores it. The sweep is
+    // parallel across *workloads* only, so the file is never raced.
+    std::string ckpt;
+    if (!ckpt_dir.empty())
+        ckpt = (std::filesystem::path(ckpt_dir) / (name + ".ckpt"))
+                   .string();
+    auto optsFor = [&](bool first) {
+        sim::RunOptions per = opts;
+        if (!ckpt.empty()) {
+            if (first && !std::filesystem::exists(ckpt))
+                per.saveCheckpoint = ckpt;
+            else
+                per.restoreCheckpoint = ckpt;
+        }
+        return per;
+    };
 
     LiveRun live;
     live.digest.workload = name;
@@ -319,6 +381,9 @@ buildLiveRun(const std::string &name, const RunParams &p, bool check,
     live.digest.seed = p.seed;
     live.digest.width = p.width;
     live.digest.threads = p.threads;
+    live.digest.fastforward = p.fastforward;
+    live.digest.regions = p.regions;
+    live.digest.stride = p.stride;
 
     auto absorb = [&](const char *config, const sim::RunResult &r) {
         live.digest.sections.push_back(sectionFrom(config, r));
@@ -338,8 +403,8 @@ buildLiveRun(const std::string &name, const RunParams &p, bool check,
             live.faultSummary += r.faultSummary;
         }
     };
-    absorb("baseline", machine.runBaseline(wl, opts));
-    absorb("slices", machine.run(wl, opts, true));
+    absorb("baseline", machine.runBaseline(wl, optsFor(true)));
+    absorb("slices", machine.run(wl, optsFor(false), true));
     return live;
 }
 
@@ -388,9 +453,12 @@ verifyWorkload(const std::string &name, const Options &o)
     p.seed = golden->seed;
     p.width = golden->width;
     p.threads = golden->threads;
+    p.fastforward = golden->fastforward;
+    p.regions = static_cast<unsigned>(golden->regions);
+    p.stride = golden->stride;
 
     const fault::FaultPlan &plan = planFor(name, o);
-    LiveRun live = buildLiveRun(name, p, o.check, plan);
+    LiveRun live = buildLiveRun(name, p, o.check, plan, o.checkpoints);
 
     if (plan.empty()) {
         out.messages = check::diffDigests(*golden, live.digest);
@@ -440,9 +508,9 @@ generateWorkload(const std::string &name, const Options &o)
 {
     Outcome out;
     out.name = name;
-    check::Digest d =
-        buildLiveRun(name, o.params, o.check, fault::FaultPlan{})
-            .digest;
+    check::Digest d = buildLiveRun(name, o.params, o.check,
+                                   fault::FaultPlan{}, o.checkpoints)
+                          .digest;
     for (std::string &msg : check::lintDigest(d)) {
         // A digest that fails its own lint must never reach golden/.
         out.messages.push_back("generated digest fails lint: " +
@@ -502,6 +570,8 @@ main(int argc, char **argv)
 
     if (o.generate)
         std::filesystem::create_directories(o.dir);
+    if (!o.checkpoints.empty())
+        std::filesystem::create_directories(o.checkpoints);
 
     sim::JobPool pool(o.jobs);
     sim::SettleOptions sopts;
