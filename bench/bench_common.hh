@@ -22,15 +22,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/jsonio.hh"
+#include "sim/result_cache.hh"
 #include "obs/interval.hh"
 #include "obs/trace.hh"
 #include "profile/pde_profile.hh"
 #include "sim/experiments.hh"
 #include "sim/job_pool.hh"
+#include "sim/result_json.hh"
 #include "sim/simulator.hh"
 #include "sim/table.hh"
 #include "workloads/workloads.hh"
@@ -49,8 +53,14 @@ namespace specslice::bench
  *       failed specslice_run (additive)
  *   4 — optional per-run "fast_forwarded"/"sampled_regions" fields on
  *       sampled runs (additive; absent means a full run)
+ *   5 — wall-clock fields ("wall_seconds"/"sim_insts_per_sec") become
+ *       omittable (--no-wall, sweep-service documents); optional
+ *       "cached" marker on served results (additive)
+ *
+ * The constant itself lives in sim/result_json.hh so the sweep
+ * service stamps the same version.
  */
-constexpr std::uint64_t benchSchemaVersion = 4;
+constexpr std::uint64_t benchSchemaVersion = sim::resultSchemaVersion;
 
 /**
  * Arm debug tracing for a bench/driver binary: SS_TRACE from the
@@ -189,6 +199,37 @@ jobsOption(int argc, char **argv)
 }
 
 /**
+ * Parse a `--cache DIR` / `--cache=DIR` option (any position), falling
+ * back to the SS_CACHE_DIR environment variable. Returns the opened
+ * content-addressed result store, or nullptr when neither source names
+ * a directory. Point it at the sweep service's store (.sscache by
+ * convention) and a bench rerun serves every unchanged cell from disk.
+ */
+inline std::unique_ptr<sim::ResultCache>
+openCacheOption(int argc, char **argv)
+{
+    std::string dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cache") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "error: --cache requires a directory\n");
+                std::exit(2);
+            }
+            dir = argv[i + 1];
+        } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+            dir = argv[i] + 8;
+        }
+    }
+    if (dir.empty())
+        if (const char *env = std::getenv("SS_CACHE_DIR"))
+            dir = env;
+    if (dir.empty())
+        return nullptr;
+    return std::make_unique<sim::ResultCache>(dir);
+}
+
+/**
  * The workload list a bench binary sweeps: every registered workload,
  * or the comma-separated subset named by SS_BENCH_WORKLOADS (used by
  * the sanitizer smoke test to keep instrumented runs short). Unknown
@@ -243,152 +284,17 @@ limitOpts(const sim::Workload &wl)
 // ---------------------------------------------------------------
 // Machine-readable output (BENCH_<name>.json, specslice_run --json)
 // ---------------------------------------------------------------
+//
+// The JSON builders and the per-workload record moved to
+// common/jsonio.hh and sim/result_json.hh so the sweep service and the
+// result cache emit byte-identical documents; re-exported here so the
+// bench binaries compile unchanged.
 
-/** Escape a string for embedding in a JSON document. */
-inline std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
-
-/**
- * A tiny ordered JSON object builder — enough for flat result records
- * and arrays of them; no external dependency.
- */
-class JsonObject
-{
-  public:
-    JsonObject &
-    field(const std::string &key, std::uint64_t v)
-    {
-        return raw(key, std::to_string(v));
-    }
-
-    JsonObject &
-    field(const std::string &key, double v)
-    {
-        char buf[64];
-        if (v != v) {  // NaN: JSON has no literal for it
-            return raw(key, "null");
-        }
-        std::snprintf(buf, sizeof(buf), "%.6g", v);
-        return raw(key, buf);
-    }
-
-    JsonObject &
-    field(const std::string &key, const std::string &v)
-    {
-        return raw(key, "\"" + jsonEscape(v) + "\"");
-    }
-
-    /** Insert a pre-rendered JSON value (object, array, number). */
-    JsonObject &
-    raw(const std::string &key, const std::string &json)
-    {
-        fields_.emplace_back(key, json);
-        return *this;
-    }
-
-    std::string
-    str() const
-    {
-        std::ostringstream os;
-        os << "{";
-        for (std::size_t i = 0; i < fields_.size(); ++i) {
-            os << (i ? ", " : "")
-               << '"' << jsonEscape(fields_[i].first) << "\": "
-               << fields_[i].second;
-        }
-        os << "}";
-        return os.str();
-    }
-
-  private:
-    std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-/** Render a JSON array from pre-rendered element strings. */
-inline std::string
-jsonArray(const std::vector<std::string> &elems)
-{
-    std::ostringstream os;
-    os << "[";
-    for (std::size_t i = 0; i < elems.size(); ++i)
-        os << (i ? ", " : "") << elems[i];
-    os << "]";
-    return os.str();
-}
-
-/** One workload's timed simulation, as recorded by a bench binary. */
-struct WorkloadPerf
-{
-    std::string name;
-    sim::RunResult result;
-    double wallSeconds = 0.0;
-
-    double
-    instsPerSec() const
-    {
-        return wallSeconds > 0.0
-                   ? static_cast<double>(result.mainRetired) /
-                         wallSeconds
-                   : 0.0;
-    }
-};
-
-/** The per-workload record shared by --json and BENCH_*.json. */
-inline JsonObject
-perfRecord(const WorkloadPerf &p)
-{
-    JsonObject o;
-    o.field("name", p.name)
-        .field("cycles", p.result.cycles)
-        .field("main_retired", p.result.mainRetired)
-        .field("ipc", p.result.ipc())
-        .field("wall_seconds", p.wallSeconds)
-        .field("sim_insts_per_sec", p.instsPerSec())
-        .field("cond_branches", p.result.condBranches)
-        .field("mispredictions", p.result.mispredictions)
-        .field("loads", p.result.loads)
-        .field("l1d_misses_main", p.result.l1dMissesMain)
-        .field("covered_misses", p.result.coveredMisses)
-        .field("forks", p.result.forks)
-        .field("correlator_used", p.result.correlatorUsed)
-        .field("outcome",
-               std::string(sim::outcomeName(p.result.outcome)));
-    if (p.result.faultsInjected) {
-        o.field("faults_injected", p.result.faultsInjected)
-            .field("fault_summary", p.result.faultSummary);
-    }
-    if (p.result.sampledRegions) {
-        o.field("fast_forwarded", p.result.fastForwarded)
-            .field("sampled_regions",
-                   std::uint64_t{p.result.sampledRegions});
-    }
-    if (!p.result.intervals.empty())
-        o.raw("intervals", obs::intervalsToJson(p.result.intervals));
-    return o;
-}
+using json::JsonObject;
+using json::jsonArray;
+using json::jsonEscape;
+using sim::WorkloadPerf;
+using sim::perfRecord;
 
 /**
  * Write BENCH_<bench_name>.json into the current directory: the

@@ -33,6 +33,8 @@ main(int argc, char **argv)
 {
     bench::initObservability(argc, argv);
     sim::ExperimentConfig cfg = bench::experimentConfig();
+    auto cache = bench::openCacheOption(argc, argv);
+    cfg.cache = cache.get();
     sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Figure 1: IPC of baseline vs problem-instructions-"
                 "perfect vs all-perfect\n");

@@ -20,6 +20,8 @@ main(int argc, char **argv)
 {
     bench::initObservability(argc, argv);
     sim::ExperimentConfig cfg = bench::experimentConfig();
+    auto cache = bench::openCacheOption(argc, argv);
+    cfg.cache = cache.get();
     sim::JobPool pool(bench::jobsOption(argc, argv));
     std::printf("Table 2: coverage of performance degrading events by "
                 "problem instructions\n");

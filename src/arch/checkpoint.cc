@@ -139,6 +139,12 @@ saveCheckpoint(const Checkpoint &c, std::ostream &os)
         os.write(reinterpret_cast<const char *>(c.mem.pageData(pnum)),
                  static_cast<std::streamsize>(MemoryImage::pageSize));
     }
+
+    // v3: instruction-line warmth, appended after the page section so
+    // the v2 prefix layout is unchanged.
+    putU64(os, c.instWarmth.size());
+    for (Addr pc : c.instWarmth)
+        putU64(os, pc);
     return static_cast<bool>(os);
 }
 
@@ -174,9 +180,11 @@ loadCheckpoint(std::istream &is, std::string &error)
     Checkpoint c;
     if (!getU32(is, c.version))
         return fail("truncated header");
-    if (c.version != checkpointVersion)
+    if (c.version < minCheckpointVersion ||
+        c.version > checkpointVersion)
         return fail("unsupported checkpoint version " +
                     std::to_string(c.version) + " (supported: " +
+                    std::to_string(minCheckpointVersion) + ".." +
                     std::to_string(checkpointVersion) + ")");
     if (!getU64(is, c.programFingerprint) ||
         !getU64(is, c.instCount) || !getU64(is, c.pc))
@@ -242,6 +250,21 @@ loadCheckpoint(std::istream &is, std::string &error)
                      static_cast<std::streamsize>(page.size())))
             return fail("truncated page data");
         c.mem.importPage(pnum, page.data());
+    }
+
+    if (c.version >= 3) {
+        std::uint64_t inst_warmth_count;
+        if (!getU64(is, inst_warmth_count))
+            return fail("truncated instruction warmth log");
+        if (inst_warmth_count > maxWarmth)
+            return fail("implausible instruction warmth record "
+                        "count " +
+                        std::to_string(inst_warmth_count));
+        c.instWarmth.resize(inst_warmth_count);
+        for (Addr &pc : c.instWarmth) {
+            if (!getU64(is, pc))
+                return fail("truncated instruction warmth log");
+        }
     }
     return c;
 }

@@ -32,8 +32,14 @@ namespace specslice::arch
 {
 
 /** On-disk format version; bump on any layout change.
- *  v2: appended the memory-access warmth log (cache warm-up replay). */
-constexpr std::uint32_t checkpointVersion = 2;
+ *  v2: appended the memory-access warmth log (cache warm-up replay).
+ *  v3: appended the instruction-line warmth log (I-cache warm-up
+ *      replay) after the page section. v2 files still load — they
+ *      simply carry no I-side warmth, matching their old behavior. */
+constexpr std::uint32_t checkpointVersion = 3;
+
+/** Oldest on-disk version loadCheckpoint still accepts. */
+constexpr std::uint32_t minCheckpointVersion = 2;
 
 /** Which predictor a warmth record trains. */
 enum class WarmthKind : std::uint8_t
@@ -75,6 +81,9 @@ struct Checkpoint
     std::vector<BranchWarmthRecord> warmth;
     /** Recent data accesses, oldest first (bounded ring). */
     std::vector<MemWarmthRecord> memWarmth;
+    /** Recent executed instruction addresses, line-deduplicated,
+     *  oldest first (bounded ring; v3+, empty when loaded from v2). */
+    std::vector<Addr> instWarmth;
     MemoryImage mem;
 };
 

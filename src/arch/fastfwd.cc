@@ -52,7 +52,8 @@ ffStopName(FfStop stop)
 
 FastForward::FastForward(const isa::Program &program)
     : program_(program), fingerprint_(fingerprintProgram(program)),
-      warmthRing_(warmthDepth), memRing_(memWarmthDepth)
+      warmthRing_(warmthDepth), memRing_(memWarmthDepth),
+      instRing_(instWarmthDepth)
 {
     predecode();
 }
@@ -128,6 +129,8 @@ FastForward::reset(Addr entry_pc)
     last_ = FfStop::Budget;
     warmthCount_ = 0;
     memCount_ = 0;
+    instCount_ = 0;
+    lastInstLine_ = invalidAddr;
 }
 
 FfStop
@@ -192,6 +195,18 @@ FastForward::memWarmth() const
     return out;
 }
 
+std::vector<Addr>
+FastForward::instWarmth() const
+{
+    const std::uint64_t cnt =
+        std::min<std::uint64_t>(instCount_, instWarmthDepth);
+    std::vector<Addr> out;
+    out.reserve(cnt);
+    for (std::uint64_t i = instCount_ - cnt; i < instCount_; ++i)
+        out.push_back(instRing_[i & (instWarmthDepth - 1)]);
+    return out;
+}
+
 Checkpoint
 FastForward::makeCheckpoint() const
 {
@@ -202,6 +217,7 @@ FastForward::makeCheckpoint() const
     c.regs = regs_;
     c.warmth = warmth();
     c.memWarmth = memWarmth();
+    c.instWarmth = instWarmth();
     c.mem = mem_.clone();
     return c;
 }
@@ -224,6 +240,10 @@ FastForward::restore(const Checkpoint &ckpt)
     memCount_ = 0;
     for (const MemWarmthRecord &m : ckpt.memWarmth)
         memRing_[memCount_++ & (memWarmthDepth - 1)] = m;
+    instCount_ = 0;
+    lastInstLine_ = invalidAddr;
+    for (Addr pc : ckpt.instWarmth)
+        recordInstLine(pc);
 }
 
 /*
@@ -264,6 +284,7 @@ FastForward::restore(const Checkpoint &ckpt)
     do {                                                              \
         if (n >= max_insts)                                           \
             SS_FF_STOP(FfStop::Budget, pcOf(idx));                    \
+        recordInstLine(pcOf(idx));                                    \
         goto *jumpTable[code[idx].op];                                \
     } while (0)
 #else
@@ -384,6 +405,7 @@ FastForward::run(std::uint64_t max_insts)
   dispatch:
     if (n >= max_insts)
         SS_FF_STOP(FfStop::Budget, pcOf(idx));
+    recordInstLine(pcOf(idx));
     switch (static_cast<Opcode>(code[idx].op))
 #endif
     {
@@ -649,6 +671,7 @@ FastForward::runSparse(std::uint64_t max_insts)
         }
         const ExecResult res = execute(*inst, pc_, regs_, mem_, true);
         ++n;
+        recordInstLine(pc_);
         if (inst->isCondBranch())
             recordCond(pc_, res.taken);
         else if (inst->traits().isIndirect)

@@ -64,6 +64,16 @@ class FastForward
      *  re-reference of one line. */
     static constexpr std::size_t memWarmthDepth = std::size_t{1} << 17;
 
+    /** Executed-instruction lines retained for I-cache warm-up
+     *  (power of 2). 4096 distinct 64-byte lines cover 256KB of code,
+     *  4x the 64KB L1I. */
+    static constexpr std::size_t instWarmthDepth = 4096;
+
+    /** I-side recording granularity. Fixed rather than taken from
+     *  MemConfig: the replay consumer maps the recorded PCs onto its
+     *  own line size, so this only controls dedup density. */
+    static constexpr Addr instLineBytes = 64;
+
     /** Pre-decodes the program (which must outlive the engine). */
     explicit FastForward(const isa::Program &program);
 
@@ -103,6 +113,10 @@ class FastForward
 
     /** The retained data-access log, oldest first. */
     std::vector<MemWarmthRecord> memWarmth() const;
+
+    /** The retained executed-instruction-line log (one PC per line
+     *  transition), oldest first. */
+    std::vector<Addr> instWarmth() const;
 
     /** Snapshot the complete architectural state. */
     Checkpoint makeCheckpoint() const;
@@ -158,6 +172,19 @@ class FastForward
         m.isStore = is_store;
     }
 
+    /** Hot path (every instruction): one shift + compare when the
+     *  fetch stream stays on its current line, a ring store when it
+     *  leaves it. */
+    void
+    recordInstLine(Addr pc)
+    {
+        const Addr line = pc / instLineBytes;
+        if (line == lastInstLine_)
+            return;
+        lastInstLine_ = line;
+        instRing_[instCount_++ & (instWarmthDepth - 1)] = pc;
+    }
+
     const isa::Program &program_;
     std::uint64_t fingerprint_;
     std::vector<Decoded> ops_;
@@ -177,6 +204,11 @@ class FastForward
     // Data-access ring (bounded; index masked by memWarmthDepth-1).
     std::vector<MemWarmthRecord> memRing_;
     std::uint64_t memCount_ = 0;
+
+    // Instruction-line ring (bounded; masked by instWarmthDepth-1).
+    std::vector<Addr> instRing_;
+    std::uint64_t instCount_ = 0;
+    Addr lastInstLine_ = invalidAddr;
 };
 
 } // namespace specslice::arch

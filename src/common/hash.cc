@@ -1,0 +1,197 @@
+#include "common/hash.hh"
+
+#include <cstring>
+#include <fstream>
+
+namespace specslice
+{
+
+namespace
+{
+
+constexpr std::uint32_t k[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t
+rotr(std::uint32_t x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+} // namespace
+
+void
+Sha256::reset()
+{
+    h_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+          0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    bufLen_ = 0;
+    total_ = 0;
+}
+
+void
+Sha256::compress(const std::uint8_t *p)
+{
+    std::uint32_t w[64];
+    for (unsigned i = 0; i < 16; ++i)
+        w[i] = (std::uint32_t{p[4 * i]} << 24) |
+               (std::uint32_t{p[4 * i + 1]} << 16) |
+               (std::uint32_t{p[4 * i + 2]} << 8) |
+               std::uint32_t{p[4 * i + 3]};
+    for (unsigned i = 16; i < 64; ++i) {
+        std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                           (w[i - 15] >> 3);
+        std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                           (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+    std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+    for (unsigned i = 0; i < 64; ++i) {
+        std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        std::uint32_t ch = (e & f) ^ (~e & g);
+        std::uint32_t t1 = h + s1 + ch + k[i] + w[i];
+        std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        std::uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+    h_[5] += f;
+    h_[6] += g;
+    h_[7] += h;
+}
+
+void
+Sha256::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    total_ += len;
+    if (bufLen_) {
+        std::size_t take = std::min(len, sizeof(buf_) - bufLen_);
+        std::memcpy(buf_ + bufLen_, p, take);
+        bufLen_ += take;
+        p += take;
+        len -= take;
+        if (bufLen_ == sizeof(buf_)) {
+            compress(buf_);
+            bufLen_ = 0;
+        }
+    }
+    while (len >= sizeof(buf_)) {
+        compress(p);
+        p += sizeof(buf_);
+        len -= sizeof(buf_);
+    }
+    if (len) {
+        std::memcpy(buf_, p, len);
+        bufLen_ = len;
+    }
+}
+
+std::array<std::uint8_t, 32>
+Sha256::digest()
+{
+    std::uint64_t bits = total_ * 8;
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    std::uint8_t zero = 0;
+    while (bufLen_ != 56)
+        update(&zero, 1);
+    std::uint8_t len_be[8];
+    for (unsigned i = 0; i < 8; ++i)
+        len_be[i] = static_cast<std::uint8_t>(bits >> (8 * (7 - i)));
+    // Bypass update(): total_ must not count the length field.
+    std::memcpy(buf_ + 56, len_be, 8);
+    compress(buf_);
+    bufLen_ = 0;
+
+    std::array<std::uint8_t, 32> out;
+    for (unsigned i = 0; i < 8; ++i) {
+        out[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
+        out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+        out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+        out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+    }
+    return out;
+}
+
+std::string
+Sha256::hex()
+{
+    static const char digits[] = "0123456789abcdef";
+    auto d = digest();
+    std::string out;
+    out.reserve(64);
+    for (std::uint8_t b : d) {
+        out += digits[b >> 4];
+        out += digits[b & 0xf];
+    }
+    return out;
+}
+
+std::string
+sha256Hex(const std::string &data)
+{
+    Sha256 h;
+    h.update(data);
+    return h.hex();
+}
+
+std::string
+sha256FileHex(const std::string &path, std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return "";
+    }
+    Sha256 h;
+    char buf[1 << 16];
+    while (is.read(buf, sizeof(buf)) || is.gcount() > 0) {
+        h.update(buf, static_cast<std::size_t>(is.gcount()));
+        if (!is)
+            break;
+    }
+    if (is.bad()) {
+        error = "read error on '" + path + "'";
+        return "";
+    }
+    return h.hex();
+}
+
+const std::string &
+binaryFingerprint()
+{
+    static const std::string fp = [] {
+        std::string err;
+        return sha256FileHex("/proc/self/exe", err);
+    }();
+    return fp;
+}
+
+} // namespace specslice

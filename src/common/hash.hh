@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Content hashing for the result cache and cache-key layer: a
+ * dependency-free SHA-256 (the content address — collisions must be
+ * cryptographically implausible, because a collision silently serves
+ * the wrong experiment's numbers) plus streaming helpers for hashing
+ * strings and whole files (the running binary's fingerprint).
+ */
+
+#ifndef SPECSLICE_COMMON_HASH_HH
+#define SPECSLICE_COMMON_HASH_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace specslice
+{
+
+/** Incremental SHA-256 (FIPS 180-4). */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, std::size_t len);
+
+    void
+    update(const std::string &s)
+    {
+        update(s.data(), s.size());
+    }
+
+    /** Finalize and return the 32-byte digest. The object must be
+     *  reset() before further use. */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finalize and return the digest as 64 lowercase hex chars. */
+    std::string hex();
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> h_;
+    std::uint8_t buf_[64];
+    std::size_t bufLen_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** One-shot hex SHA-256 of a byte string. */
+std::string sha256Hex(const std::string &data);
+
+/**
+ * Hex SHA-256 of a file's contents. @return "" (and sets error) when
+ * the file cannot be read.
+ */
+std::string sha256FileHex(const std::string &path, std::string &error);
+
+/**
+ * Hex SHA-256 of the running executable (/proc/self/exe), computed
+ * once and cached. This is the "binary fingerprint" component of every
+ * cache key: any rebuild that changes the binary's bytes invalidates
+ * all cached results and checkpoints derived from it. Falls back to
+ * the empty string (never caches across binaries) if the executable
+ * cannot be read.
+ */
+const std::string &binaryFingerprint();
+
+} // namespace specslice
+
+#endif // SPECSLICE_COMMON_HASH_HH

@@ -1,0 +1,302 @@
+#include "common/jsonio.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace specslice::json
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : s_(text), err_(error)
+    {
+    }
+
+    std::optional<Value>
+    run()
+    {
+        Value v;
+        if (!parseValue(v, 0))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != s_.size()) {
+            fail("trailing garbage after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    static constexpr unsigned maxDepth = 64;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err_.empty())
+            err_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, unsigned depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        char c = s_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = Value::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out, unsigned depth)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            Value v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out, unsigned depth)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            Value v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_;  // '"'
+        out.clear();
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            char e = s_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (unsigned i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs are not recombined;
+                // our emitters only produce \u00xx control escapes).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        std::string tok = s_.substr(start, pos_ - start);
+        errno = 0;
+        char *end = nullptr;
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0' || errno == ERANGE) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        if (integral) {
+            errno = 0;
+            long long iv = std::strtoll(tok.c_str(), &end, 10);
+            if (end && *end == '\0' && errno != ERANGE) {
+                out.isInt = true;
+                out.intval = iv;
+            }
+        }
+        return true;
+    }
+
+    const std::string &s_;
+    std::string &err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Value>
+parse(const std::string &text, std::string &error)
+{
+    error.clear();
+    Parser p(text, error);
+    return p.run();
+}
+
+} // namespace specslice::json

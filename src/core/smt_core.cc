@@ -232,6 +232,10 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
         for (const arch::MemWarmthRecord &m : *opts.memWarmth)
             hierarchy_.warmData(m.addr, m.isStore);
     }
+    if (opts.instWarmth) {
+        for (Addr pc : *opts.instWarmth)
+            hierarchy_.warmInst(pc);
+    }
 
     Cycle max_cycles =
         opts.maxCycles ? opts.maxCycles

@@ -176,6 +176,11 @@ struct RunOptions
      *  first fetch (oldest first), so a mid-program start doesn't
      *  begin with a cold L1D/L2. Must outlive the run. */
     const std::vector<arch::MemWarmthRecord> *memWarmth = nullptr;
+    /** Replay these executed instruction addresses into the I-side of
+     *  the hierarchy before the first fetch (oldest first), so a
+     *  mid-program start doesn't begin with a cold L1I. Must outlive
+     *  the run. */
+    const std::vector<Addr> *instWarmth = nullptr;
 
     // ---- sampling knobs (interpreted by sim::Simulator::run, which
     //      owns the fast-forward engine and region orchestration) ----
@@ -203,6 +208,10 @@ struct RunOptions
     /** Replay fast-forward data accesses into each region's cache
      *  hierarchy (disable to measure cold-cache bias). */
     bool warmCaches = true;
+    /** Replay fast-forward instruction lines into each region's L1I
+     *  (--cold-icache disables it, the i-side analogue of the two
+     *  flags above). */
+    bool warmInstCache = true;
     /** Load the starting architectural state from this checkpoint file
      *  ("" = start at the workload entry). */
     std::string restoreCheckpoint;

@@ -107,6 +107,35 @@ MemoryHierarchy::warmData(Addr addr, bool is_store)
 }
 
 void
+MemoryHierarchy::warmInst(Addr pc)
+{
+    // Mirrors accessInst structurally — L1I probe, pvBuf probe with
+    // promotion, L2 fill only on a true miss, i-side sequential
+    // next-line prefetch — with no stats, latency, or bandwidth
+    // accounting (prefetched lines arrive "already ready", as in
+    // warmPrefetches).
+    if (l1i_.access(pc, true))
+        return;
+    if (auto *entry = pvBuf_.lookup(pc, 0)) {
+        pvBuf_.remove(entry->lineAddr);
+        l1i_.fill(pc, false, false);
+        return;
+    }
+    if (!l2_.access(pc, true))
+        l2_.fill(pc, false, false);
+    l1i_.fill(pc, false, false);
+    if (cfg_.prefetcherEnabled) {
+        Addr line = l1i_.lineAddr(pc);
+        for (unsigned d = 1; d <= 2 + cfg_.prefetchDegree; ++d) {
+            Addr next = line + d * cfg_.l1iLineSize;
+            if (l1i_.peek(next) || pvBuf_.peek(next))
+                continue;
+            pvBuf_.insert(next, true, 0);
+        }
+    }
+}
+
+void
 MemoryHierarchy::warmPrefetches(Addr miss_addr)
 {
     if (!cfg_.prefetcherEnabled)

@@ -116,6 +116,15 @@ class MemoryHierarchy
     void warmData(Addr addr, bool is_store);
 
     /**
+     * Functional I-cache warm-up: install the line containing pc into
+     * the L1I and L2 as if the (fast-forwarded) fetch stream had
+     * brought it in, including the i-side sequential next-line
+     * prefetches into the pvBuf. Same contract as warmData: tags/LRU
+     * only, no stats, latency, or bandwidth.
+     */
+    void warmInst(Addr pc);
+
+    /**
      * Attach a fault injector (null detaches). Tap points:
      * `mem.latency` adds cycles to a data access, `mem.wbstall`
      * rejects a store write-back at retirement.

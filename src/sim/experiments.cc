@@ -2,6 +2,10 @@
 
 #include <limits>
 
+#include "common/jsonio.hh"
+#include "sim/result_cache.hh"
+#include "sim/result_json.hh"
+#include "sim/run_key.hh"
 #include "workloads/workloads.hh"
 
 namespace specslice::sim
@@ -19,6 +23,40 @@ speedupPct(const RunResult &base, const RunResult &other)
                     1.0);
 }
 
+RunResult
+cachedRun(const MachineConfig &machine, Simulator &simr,
+          const Workload &wl, const ExperimentConfig &cfg,
+          const RunOptions &opts, bool with_slices)
+{
+    auto simulate = [&] {
+        return with_slices ? simr.run(wl, opts, true)
+                           : simr.runBaseline(wl, opts);
+    };
+    if (!cfg.cache)
+        return simulate();
+
+    RunKeyInputs in;
+    in.workload = &wl;
+    in.dataSeed = cfg.seed;
+    in.config = &machine;
+    in.options = &opts;
+    in.withSlices = with_slices;
+    const std::string key = runCacheKey(in);
+
+    if (auto payload = cfg.cache->lookup(key)) {
+        std::string err;
+        auto doc = json::parse(*payload, err);
+        RunResult r;
+        if (doc && resultFromJson(*doc, r, err))
+            return r;
+        // Unreadable payload: treat as a miss and recompute below.
+    }
+    RunResult r = simulate();
+    std::string err;
+    cfg.cache->store(key, resultToJson(r), err);
+    return r;
+}
+
 Workload
 buildBenchWorkload(const std::string &name, const ExperimentConfig &cfg)
 {
@@ -34,7 +72,8 @@ runTable2Row(const MachineConfig &machine, const std::string &benchmark,
 {
     Workload wl = buildBenchWorkload(benchmark, cfg);
     Simulator simr(machine);
-    RunResult res = simr.runBaseline(wl, cfg.runOptions(true));
+    RunResult res =
+        cachedRun(machine, simr, wl, cfg, cfg.runOptions(true), false);
 
     Table2Row row;
     row.program = benchmark;
@@ -52,18 +91,19 @@ runFigure1Row(const MachineConfig &machine, const std::string &benchmark,
 
     // Baseline doubles as the profiling run that identifies the
     // problem instructions (Section 2.2).
-    RunResult base = simr.runBaseline(wl, cfg.runOptions(true));
+    RunResult base =
+        cachedRun(machine, simr, wl, cfg, cfg.runOptions(true), false);
     auto prob = profile::classifyProblemInstructions(base.profile);
 
     RunOptions pp = cfg.runOptions();
     pp.perfect.branchPcs = prob.problemBranches;
     pp.perfect.loadPcs = prob.problemLoads;
-    RunResult prob_perfect = simr.runBaseline(wl, pp);
+    RunResult prob_perfect = cachedRun(machine, simr, wl, cfg, pp, false);
 
     RunOptions ap = cfg.runOptions();
     ap.perfect.allBranchesPerfect = true;
     ap.perfect.allLoadsPerfect = true;
-    RunResult all_perfect = simr.runBaseline(wl, ap);
+    RunResult all_perfect = cachedRun(machine, simr, wl, cfg, ap, false);
 
     Figure1Row row;
     row.program = benchmark;
@@ -105,9 +145,12 @@ runFigure11Row(const MachineConfig &machine,
 
     Figure11Row row;
     row.program = benchmark;
-    row.base = simr.runBaseline(wl, cfg.runOptions());
-    row.sliced = simr.run(wl, cfg.runOptions(), true);
-    row.limit = simr.runBaseline(wl, limitOptions(wl, cfg));
+    row.base =
+        cachedRun(machine, simr, wl, cfg, cfg.runOptions(), false);
+    row.sliced =
+        cachedRun(machine, simr, wl, cfg, cfg.runOptions(), true);
+    row.limit = cachedRun(machine, simr, wl, cfg,
+                          limitOptions(wl, cfg), false);
     return row;
 }
 
@@ -122,8 +165,10 @@ runTable4Row(const MachineConfig &machine, const std::string &benchmark,
     Simulator simr(machine);
     Table4Row row;
     row.program = benchmark;
-    row.base = simr.runBaseline(wl, cfg.runOptions());
-    row.sliced = simr.run(wl, cfg.runOptions(), true);
+    row.base =
+        cachedRun(machine, simr, wl, cfg, cfg.runOptions(), false);
+    row.sliced =
+        cachedRun(machine, simr, wl, cfg, cfg.runOptions(), true);
     row.speedupPercent = speedupPct(row.base, row.sliced);
     if (row.speedupPercent < min_speedup_pct)
         return std::nullopt;
@@ -155,8 +200,10 @@ runTable4Row(const MachineConfig &machine, const std::string &benchmark,
     RunOptions bo = cfg.runOptions();
     for (Addr pc : wl.coveredBranchPcs())
         bo.perfect.branchPcs.insert(pc);
-    double ld = speedupPct(row.base, simr.runBaseline(wl, lo));
-    double br = speedupPct(row.base, simr.runBaseline(wl, bo));
+    double ld = speedupPct(row.base,
+                           cachedRun(machine, simr, wl, cfg, lo, false));
+    double br = speedupPct(row.base,
+                           cachedRun(machine, simr, wl, cfg, bo, false));
     row.loadFraction = (ld + br) > 0.01 ? ld / (ld + br) : 0.0;
 
     return row;

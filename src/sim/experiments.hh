@@ -20,12 +20,22 @@
 namespace specslice::sim
 {
 
+class ResultCache;
+
 /** Common run-length knobs for all experiments. */
 struct ExperimentConfig
 {
     std::uint64_t measureInsts = 300'000;
     std::uint64_t warmupInsts = 100'000;
     std::uint64_t seed = 1;
+    /**
+     * Optional content-addressed result store (bench --cache DIR,
+     * shared with the sweep service's .sscache). When set, every
+     * experiment-library simulation goes through cachedRun: a hit
+     * restores the full RunResult without simulating, a miss runs and
+     * commits. Not owned.
+     */
+    ResultCache *cache = nullptr;
 
     std::uint64_t
     workloadScale() const
@@ -46,6 +56,16 @@ struct ExperimentConfig
 
 /** Percent speedup of `other` over `base` (by cycle count). */
 double speedupPct(const RunResult &base, const RunResult &other);
+
+/**
+ * Run `wl` on `simr` (built from `machine`) — or serve the result from
+ * cfg.cache when an entry keyed by (workload, machine, opts, slices,
+ * binary) exists. A corrupt cached payload is re-simulated, never
+ * served. With cfg.cache unset this is exactly simr.run/runBaseline.
+ */
+RunResult cachedRun(const MachineConfig &machine, Simulator &simr,
+                    const Workload &wl, const ExperimentConfig &cfg,
+                    const RunOptions &opts, bool with_slices);
 
 /** Build the named workload at the experiment's scale/seed. */
 Workload buildBenchWorkload(const std::string &name,

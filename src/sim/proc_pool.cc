@@ -1,0 +1,608 @@
+#include "sim/proc_pool.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <ctime>
+#include <exception>
+#include <new>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+#include "common/failure.hh"
+#include "common/logging.hh"
+
+namespace specslice::sim
+{
+
+namespace proc_detail
+{
+
+enum SlotState : std::uint32_t
+{
+    SlotFree = 0,
+    SlotQueued = 1,
+};
+
+struct Slot
+{
+    std::uint32_t state = SlotFree;
+    std::uint32_t len = 0;
+    std::uint64_t ticket = 0;
+    char payload[ProcPool::maxPayloadBytes];
+};
+
+struct WorkerRecord
+{
+    std::uint64_t ticket = 0;  ///< job being executed right now
+    std::uint32_t active = 0;  ///< 1 while executing
+    std::uint32_t pad = 0;
+};
+
+constexpr unsigned numSlots = 64;
+constexpr unsigned maxWorkers = 64;
+
+struct SharedRegion
+{
+    pthread_mutex_t mu;
+    pthread_cond_t cv;
+    std::uint32_t stop;
+    Slot slots[numSlots];
+    WorkerRecord workers[maxWorkers];
+};
+
+namespace
+{
+
+/** Lock handling EOWNERDEAD: a worker died mid-section; mark the
+ *  mutex consistent and carry on (slot states are each written with
+ *  a single store, so the protected data is always usable). */
+void
+lockRobust(pthread_mutex_t *mu)
+{
+    int rc = pthread_mutex_lock(mu);
+    if (rc == EOWNERDEAD)
+        pthread_mutex_consistent(mu);
+    else if (rc != 0)
+        SS_FATAL("proc pool mutex lock failed: ", std::strerror(rc));
+}
+
+void
+initShared(SharedRegion *shm)
+{
+    pthread_mutexattr_t ma;
+    pthread_mutexattr_init(&ma);
+    pthread_mutexattr_setpshared(&ma, PTHREAD_PROCESS_SHARED);
+    pthread_mutexattr_setrobust(&ma, PTHREAD_MUTEX_ROBUST);
+    pthread_mutex_init(&shm->mu, &ma);
+    pthread_mutexattr_destroy(&ma);
+
+    pthread_condattr_t ca;
+    pthread_condattr_init(&ca);
+    pthread_condattr_setpshared(&ca, PTHREAD_PROCESS_SHARED);
+    pthread_condattr_setclock(&ca, CLOCK_MONOTONIC);
+    pthread_cond_init(&shm->cv, &ca);
+    pthread_condattr_destroy(&ca);
+
+    shm->stop = 0;
+}
+
+/** cv wait with a bounded sleep, so waiters re-check liveness even
+ *  if a wakeup is lost to a crashing worker. */
+void
+waitABit(SharedRegion *shm)
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    ts.tv_nsec += 100 * 1000 * 1000;
+    if (ts.tv_nsec >= 1'000'000'000) {
+        ts.tv_nsec -= 1'000'000'000;
+        ++ts.tv_sec;
+    }
+    int rc = pthread_cond_timedwait(&shm->cv, &shm->mu, &ts);
+    if (rc == EOWNERDEAD)
+        pthread_mutex_consistent(&shm->mu);
+}
+
+void
+putFrame(std::string &out, std::uint64_t ticket, std::uint32_t status,
+         const std::string &payload)
+{
+    auto putU = [&out](const void *p, std::size_t n) {
+        out.append(static_cast<const char *>(p), n);
+    };
+    std::uint64_t len = payload.size();
+    putU(&ticket, sizeof(ticket));
+    putU(&status, sizeof(status));
+    putU(&len, sizeof(len));
+    out += payload;
+}
+
+/** Write fully, retrying on EINTR/short writes. */
+bool
+writeAll(int fd, const char *p, std::size_t n)
+{
+    while (n) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+} // namespace proc_detail
+
+using namespace proc_detail;
+
+ProcPool::ProcPool(unsigned workers, JobFn fn) : fn_(std::move(fn))
+{
+    unsigned n = std::max(1u, std::min(workers, maxWorkers));
+
+    void *mem =
+        ::mmap(nullptr, sizeof(SharedRegion), PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    SS_ASSERT(mem != MAP_FAILED, "proc pool shared mmap failed");
+    shm_ = new (mem) SharedRegion;
+    initShared(shm_);
+    for (Slot &s : shm_->slots) {
+        s.state = SlotFree;
+        s.len = 0;
+        s.ticket = 0;
+    }
+    for (WorkerRecord &w : shm_->workers)
+        w = WorkerRecord{};
+
+    // A worker's death must not kill the parent via SIGPIPE when the
+    // parent later writes... the parent never writes to the pipes,
+    // but a worker writing after the parent died would. Workers set
+    // PDEATHSIG instead; the parent just ignores SIGPIPE defensively
+    // around its own sockets elsewhere.
+    workers_.resize(n);
+    for (unsigned i = 0; i < n; ++i)
+        spawnWorker(i);
+}
+
+ProcPool::~ProcPool()
+{
+    if (!shm_)
+        return;
+    lockRobust(&shm_->mu);
+    shm_->stop = 1;
+    pthread_cond_broadcast(&shm_->cv);
+    pthread_mutex_unlock(&shm_->mu);
+
+    for (Worker &w : workers_) {
+        if (w.pid > 0) {
+            int status = 0;
+            // Give the worker a moment to exit cleanly, then insist.
+            for (int spin = 0; spin < 200; ++spin) {
+                pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+                if (r == w.pid) {
+                    w.pid = -1;
+                    break;
+                }
+                ::usleep(2000);
+            }
+            if (w.pid > 0) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, &status, 0);
+                w.pid = -1;
+            }
+        }
+        if (w.pipeFd >= 0) {
+            ::close(w.pipeFd);
+            w.pipeFd = -1;
+        }
+    }
+    ::munmap(shm_, sizeof(SharedRegion));
+    shm_ = nullptr;
+}
+
+void
+ProcPool::spawnWorker(unsigned index)
+{
+    int fds[2];
+    SS_ASSERT(::pipe(fds) == 0, "proc pool pipe failed");
+
+    pid_t pid = ::fork();
+    SS_ASSERT(pid >= 0, "proc pool fork failed");
+    if (pid == 0) {
+        // Child: drop every parent-side fd we inherited except our
+        // own write end, then serve jobs forever.
+        ::close(fds[0]);
+        for (Worker &w : workers_) {
+            if (w.pipeFd >= 0)
+                ::close(w.pipeFd);
+        }
+#if defined(__linux__)
+        ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+#endif
+        workerMain(index, fds[1]);
+    }
+
+    ::close(fds[1]);
+    // Non-blocking read end: drain loops must never hang the parent.
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    shm_->workers[index] = WorkerRecord{};
+    workers_[index].pid = pid;
+    workers_[index].pipeFd = fds[0];
+    workers_[index].buf.clear();
+}
+
+void
+ProcPool::workerMain(unsigned index, int write_fd)
+{
+    WorkerRecord &me = shm_->workers[index];
+    for (;;) {
+        std::string payload;
+        std::uint64_t ticket = 0;
+
+        lockRobust(&shm_->mu);
+        for (;;) {
+            if (shm_->stop)
+                break;
+            // Lowest-ticket queued slot first: near-FIFO service.
+            Slot *pick = nullptr;
+            for (Slot &s : shm_->slots) {
+                if (s.state == SlotQueued &&
+                    (!pick || s.ticket < pick->ticket))
+                    pick = &s;
+            }
+            if (pick) {
+                ticket = pick->ticket;
+                payload.assign(pick->payload, pick->len);
+                pick->state = SlotFree;
+                me.ticket = ticket;
+                me.active = 1;
+                // A submitter may be waiting for a free slot.
+                pthread_cond_broadcast(&shm_->cv);
+                break;
+            }
+            waitABit(shm_);
+        }
+        bool stopping = shm_->stop != 0;
+        pthread_mutex_unlock(&shm_->mu);
+        if (stopping)
+            ::_exit(0);
+
+        std::uint32_t status =
+            static_cast<std::uint32_t>(JobStatus::Done);
+        std::string result;
+        try {
+            result = fn_(payload);
+        } catch (const std::exception &e) {
+            status = static_cast<std::uint32_t>(JobStatus::Failed);
+            result = e.what();
+        } catch (...) {
+            status = static_cast<std::uint32_t>(JobStatus::Failed);
+            result = "unknown exception in proc pool job";
+        }
+
+        std::string frame;
+        putFrame(frame, ticket, status, result);
+        if (!writeAll(write_fd, frame.data(), frame.size()))
+            ::_exit(3);  // parent gone
+
+        lockRobust(&shm_->mu);
+        me.active = 0;
+        me.ticket = 0;
+        pthread_mutex_unlock(&shm_->mu);
+    }
+}
+
+std::uint64_t
+ProcPool::submit(const std::string &payload, std::string &error)
+{
+    if (payload.size() > maxPayloadBytes) {
+        error = "job payload of " + std::to_string(payload.size()) +
+                " bytes exceeds the " +
+                std::to_string(maxPayloadBytes) + "-byte slot size";
+        return 0;
+    }
+    if (stopped_ || !shm_) {
+        error = "proc pool is shut down";
+        return 0;
+    }
+
+    lockRobust(&shm_->mu);
+    Slot *slot = nullptr;
+    while (!slot) {
+        for (Slot &s : shm_->slots) {
+            if (s.state == SlotFree) {
+                slot = &s;
+                break;
+            }
+        }
+        if (!slot)
+            waitABit(shm_);
+    }
+    const std::uint64_t ticket = nextTicket_++;
+    slot->ticket = ticket;
+    slot->len = static_cast<std::uint32_t>(payload.size());
+    std::memcpy(slot->payload, payload.data(), payload.size());
+    slot->state = SlotQueued;
+    pthread_cond_broadcast(&shm_->cv);
+    pthread_mutex_unlock(&shm_->mu);
+    ++inFlight_;
+    return ticket;
+}
+
+void
+ProcPool::drainFrames(Worker &w, std::vector<Result> &out)
+{
+    constexpr std::size_t headerBytes = 8 + 4 + 8;
+    for (;;) {
+        if (w.buf.size() < headerBytes)
+            return;
+        std::uint64_t ticket, len;
+        std::uint32_t status;
+        std::memcpy(&ticket, w.buf.data(), 8);
+        std::memcpy(&status, w.buf.data() + 8, 4);
+        std::memcpy(&len, w.buf.data() + 12, 8);
+        if (w.buf.size() < headerBytes + len)
+            return;
+        Result r;
+        r.ticket = ticket;
+        r.status = static_cast<JobStatus>(status);
+        r.payload = w.buf.substr(headerBytes, len);
+        w.buf.erase(0, headerBytes + len);
+        out.push_back(std::move(r));
+        if (inFlight_)
+            --inFlight_;
+    }
+}
+
+void
+ProcPool::reapAndRespawn(std::vector<Result> &out)
+{
+    for (unsigned i = 0; i < workers_.size(); ++i) {
+        Worker &w = workers_[i];
+        if (w.pid <= 0)
+            continue;
+        int status = 0;
+        pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+        if (r != w.pid)
+            continue;
+
+        // Salvage complete frames already in the pipe, then close it.
+        if (w.pipeFd >= 0) {
+            char buf[4096];
+            ssize_t n;
+            while ((n = ::read(w.pipeFd, buf, sizeof(buf))) > 0)
+                w.buf.append(buf, static_cast<std::size_t>(n));
+            drainFrames(w, out);
+            ::close(w.pipeFd);
+            w.pipeFd = -1;
+        }
+        w.pid = -1;
+
+        // If it died mid-job, the shared record still names the
+        // ticket: surface one typed crashed result for it.
+        lockRobust(&shm_->mu);
+        WorkerRecord rec = shm_->workers[i];
+        shm_->workers[i] = WorkerRecord{};
+        pthread_mutex_unlock(&shm_->mu);
+        if (rec.active) {
+            Result crashed;
+            crashed.ticket = rec.ticket;
+            crashed.status = JobStatus::Crashed;
+            if (WIFSIGNALED(status)) {
+                crashed.payload =
+                    "worker killed by signal " +
+                    std::to_string(WTERMSIG(status)) + " (respawned)";
+            } else {
+                crashed.payload =
+                    "worker exited with status " +
+                    std::to_string(WEXITSTATUS(status)) +
+                    " mid-job (respawned)";
+            }
+            out.push_back(std::move(crashed));
+            if (inFlight_)
+                --inFlight_;
+        }
+
+        if (!stopped_) {
+            spawnWorker(i);
+            ++respawns_;
+            SS_WARN("proc pool worker ", i,
+                    " died; respawned as pid ", workers_[i].pid);
+        }
+    }
+}
+
+std::vector<ProcPool::Result>
+ProcPool::poll(int timeout_ms)
+{
+    std::vector<Result> out;
+    if (!shm_)
+        return out;
+
+    auto nowMs = [] {
+        timespec ts{};
+        ::clock_gettime(CLOCK_MONOTONIC, &ts);
+        return static_cast<std::int64_t>(ts.tv_sec) * 1000 +
+               ts.tv_nsec / 1000000;
+    };
+    const std::int64_t deadline =
+        timeout_ms > 0 ? nowMs() + timeout_ms : 0;
+
+    for (;;) {
+        std::vector<pollfd> fds;
+        std::vector<unsigned> owner;
+        // A worker whose pipe already hit EOF but whose pid has not
+        // been reaped yet: signal delivery can lag the pipe HUP, so
+        // the death is only observable via waitpid a beat later.
+        bool awaitingReap = false;
+        for (unsigned i = 0; i < workers_.size(); ++i) {
+            if (workers_[i].pipeFd >= 0) {
+                fds.push_back(
+                    {workers_[i].pipeFd, POLLIN, 0});
+                owner.push_back(i);
+            } else if (workers_[i].pid > 0) {
+                awaitingReap = true;
+            }
+        }
+        if (fds.empty() && !awaitingReap) {
+            reapAndRespawn(out);
+            return out;
+        }
+
+        // Bounded poll even in "forever" mode so worker deaths
+        // (observed via waitpid, not the pipe) are noticed promptly.
+        int remaining = 200;
+        if (timeout_ms == 0) {
+            remaining = 0;
+        } else if (timeout_ms > 0) {
+            std::int64_t left = deadline - nowMs();
+            remaining = left > 0 ? static_cast<int>(
+                                       std::min<std::int64_t>(left, 200))
+                                 : 0;
+        }
+
+        if (!fds.empty()) {
+            int rc = ::poll(fds.data(), fds.size(), remaining);
+            if (rc > 0) {
+                for (std::size_t k = 0; k < fds.size(); ++k) {
+                    if (!(fds[k].revents &
+                          (POLLIN | POLLHUP | POLLERR)))
+                        continue;
+                    Worker &w = workers_[owner[k]];
+                    char buf[16 * 1024];
+                    bool eof = false;
+                    for (;;) {
+                        ssize_t n =
+                            ::read(w.pipeFd, buf, sizeof(buf));
+                        if (n > 0) {
+                            w.buf.append(
+                                buf, static_cast<std::size_t>(n));
+                            continue;
+                        }
+                        eof = (n == 0);
+                        break;
+                    }
+                    drainFrames(w, out);
+                    // EOF means the worker is gone (or going): close
+                    // now so this fd can't wake ::poll again and burn
+                    // the caller's timeout budget spinning on HUPs.
+                    if (eof) {
+                        ::close(w.pipeFd);
+                        w.pipeFd = -1;
+                    }
+                }
+            }
+        } else if (remaining > 0) {
+            // Only EOF'd-but-unreaped workers remain: wait in short
+            // beats for the kernel to finish the death, rather than
+            // returning early or spinning on waitpid.
+            ::poll(nullptr, 0, std::min(remaining, 10));
+        }
+        reapAndRespawn(out);
+
+        if (!out.empty() || timeout_ms == 0)
+            return out;
+        if (timeout_ms > 0 && nowMs() >= deadline)
+            return out;
+    }
+}
+
+std::vector<ProcPool::Result>
+ProcPool::runBatch(const std::vector<std::string> &payloads)
+{
+    std::vector<std::uint64_t> tickets;
+    tickets.reserve(payloads.size());
+    for (const std::string &p : payloads) {
+        std::string err;
+        std::uint64_t t = submit(p, err);
+        if (!t) {
+            Result r;
+            r.status = JobStatus::Failed;
+            r.payload = err;
+            tickets.push_back(0);
+            continue;
+        }
+        tickets.push_back(t);
+    }
+
+    std::vector<Result> got;
+    std::size_t want = 0;
+    for (std::uint64_t t : tickets)
+        if (t)
+            ++want;
+    while (got.size() < want) {
+        std::vector<Result> batch = poll(-1);
+        if (batch.empty() && workerCount() == 0)
+            break;  // everything dead and nothing respawnable
+        for (Result &r : batch)
+            got.push_back(std::move(r));
+    }
+
+    // Submission order; failed submissions resolve inline.
+    std::vector<Result> ordered;
+    ordered.reserve(payloads.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+        Result r;
+        if (!tickets[i]) {
+            r.status = JobStatus::Failed;
+            r.payload = "submit failed";
+        } else {
+            for (Result &g : got) {
+                if (g.ticket == tickets[i]) {
+                    r = std::move(g);
+                    break;
+                }
+            }
+        }
+        ordered.push_back(std::move(r));
+    }
+    return ordered;
+}
+
+std::vector<int>
+ProcPool::resultFds() const
+{
+    std::vector<int> fds;
+    for (const Worker &w : workers_)
+        if (w.pipeFd >= 0)
+            fds.push_back(w.pipeFd);
+    return fds;
+}
+
+std::vector<int>
+ProcPool::workerPids() const
+{
+    std::vector<int> pids;
+    for (const Worker &w : workers_)
+        if (w.pid > 0)
+            pids.push_back(w.pid);
+    return pids;
+}
+
+unsigned
+ProcPool::workerCount() const
+{
+    unsigned n = 0;
+    for (const Worker &w : workers_)
+        if (w.pid > 0)
+            ++n;
+    return n;
+}
+
+} // namespace specslice::sim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ProcPool: a pool of forked worker *processes* pulling jobs from a
+ * shared-memory queue. It extends the crash-resilience ladder one rung
+ * past JobPool::mapSettled — a thread that dies from a SIGSEGV or a
+ * SIGKILL takes the whole process with it, while a worker process
+ * that dies is observed via waitpid, reported as one typed crashed
+ * result, and replaced with a fresh fork, with the rest of the batch
+ * unaffected. The resident experiment server runs every simulation
+ * under this tier so no request, however broken, can kill the daemon.
+ *
+ * Mechanics:
+ *  - Jobs are byte strings (bounded; the server passes JSON request
+ *    lines). They are copied into a slot ring in an anonymous shared
+ *    mmap guarded by a process-shared ROBUST pthread mutex + condvar.
+ *    Workers BLOCK in pthread_cond_wait when the ring is empty — an
+ *    idle pool consumes ~0% CPU (verified by test) — and the robust
+ *    mutex means a worker dying mid-critical-section wakes the next
+ *    locker with EOWNERDEAD instead of deadlocking the pool.
+ *  - Each worker reports results over its own pipe as length-prefixed
+ *    frames (single writer per pipe, no cross-worker interleaving).
+ *    The parent never blocks on a worker: it polls the pipe fds —
+ *    exposed via resultFds() so a server can fold them into its own
+ *    poll loop — and reassembles frames incrementally.
+ *  - Before running a job, a worker publishes the job's ticket in its
+ *    shared worker record; on SIGCHLD the parent reads the record of
+ *    the dead pid, synthesizes the crashed result for that ticket,
+ *    and forks a replacement.
+ *
+ * The job function runs in the child after fork(): it must not rely
+ * on parent threads (fork only carries the calling thread) and its
+ * writes to globals are invisible to the parent. Create the pool
+ * before spawning unrelated threads.
+ */
+
+#ifndef SPECSLICE_SIM_PROC_POOL_HH
+#define SPECSLICE_SIM_PROC_POOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace specslice::sim
+{
+
+namespace proc_detail
+{
+struct SharedRegion;
+}
+
+class ProcPool
+{
+  public:
+    /** Runs in the worker process; input is the submitted payload,
+     *  the returned string travels back verbatim. A thrown exception
+     *  becomes a failed (not crashed) result. */
+    using JobFn = std::function<std::string(const std::string &)>;
+
+    enum class JobStatus : std::uint32_t
+    {
+        Done = 0,     ///< fn returned; payload is its return value
+        Failed = 1,   ///< fn threw; payload is the exception text
+        Crashed = 2,  ///< worker process died; payload is a diagnosis
+    };
+
+    struct Result
+    {
+        std::uint64_t ticket = 0;
+        JobStatus status = JobStatus::Done;
+        std::string payload;
+    };
+
+    /** Largest accepted job payload (slot size in the shared ring). */
+    static constexpr std::size_t maxPayloadBytes = 64 * 1024;
+
+    /**
+     * Fork `workers` children immediately (>=1; silently clamped).
+     * fn is invoked only in the children.
+     */
+    ProcPool(unsigned workers, JobFn fn);
+
+    /** Stops workers (cooperatively, then SIGKILL) and reaps them. */
+    ~ProcPool();
+
+    ProcPool(const ProcPool &) = delete;
+    ProcPool &operator=(const ProcPool &) = delete;
+
+    /**
+     * Enqueue a job. Blocks while the slot ring is full.
+     * @return the job's ticket (>0), or 0 with error set (payload
+     *         too large, pool shut down, or no live workers left to
+     *         wake).
+     */
+    std::uint64_t submit(const std::string &payload,
+                         std::string &error);
+
+    /**
+     * Collect finished results, blocking up to timeout_ms for the
+     * first one (-1 = forever, 0 = non-blocking drain). Dead workers
+     * are detected here: their in-flight job surfaces as a Crashed
+     * result and a replacement worker is forked before returning.
+     */
+    std::vector<Result> poll(int timeout_ms);
+
+    /**
+     * Convenience batch driver: submit everything, poll until every
+     * ticket has a result, return results in submission order.
+     */
+    std::vector<Result> runBatch(
+        const std::vector<std::string> &payloads);
+
+    /** Worker-pipe read fds, for embedding in an external poll loop;
+     *  call poll(0) when any becomes readable. Invalidated by
+     *  respawns, so re-query after every poll(). */
+    std::vector<int> resultFds() const;
+
+    unsigned workerCount() const;
+
+    /** Live worker pids (test/diagnostic surface — e.g. SIGKILL one
+     *  and watch it respawn). Invalidated by respawns. */
+    std::vector<int> workerPids() const;
+
+    std::uint64_t respawns() const { return respawns_; }
+
+    /** Jobs submitted but not yet resolved. */
+    std::size_t inFlight() const { return inFlight_; }
+
+  private:
+    struct Worker
+    {
+        int pid = -1;
+        int pipeFd = -1;        ///< parent's read end
+        std::string buf;        ///< partial-frame reassembly
+    };
+
+    void spawnWorker(unsigned index);
+    [[noreturn]] void workerMain(unsigned index, int write_fd);
+    /** Parse complete frames out of w.buf into results. */
+    void drainFrames(Worker &w, std::vector<Result> &out);
+    /** waitpid sweep: synthesize Crashed results, fork replacements. */
+    void reapAndRespawn(std::vector<Result> &out);
+
+    JobFn fn_;
+    proc_detail::SharedRegion *shm_ = nullptr;
+    std::vector<Worker> workers_;
+    std::uint64_t nextTicket_ = 1;
+    std::uint64_t respawns_ = 0;
+    std::size_t inFlight_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace specslice::sim
+
+#endif // SPECSLICE_SIM_PROC_POOL_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * RunResult <-> JSON.
+ *
+ * Two kinds of documents share this file:
+ *
+ *  - The per-workload *record* (perfRecord): the stable, human-facing
+ *    row emitted by specslice_run --json and BENCH_*.json. Moved here
+ *    from bench/bench_common.hh so the sweep service renders the exact
+ *    same bytes. Wall-clock fields are omittable (includeWall=false /
+ *    --no-wall) because they are nondeterministic and would break the
+ *    byte-identity contract between served and direct runs.
+ *
+ *  - The *full* result document (resultToJson/resultFromJson): a
+ *    lossless round-trip of RunResult used as the result-cache payload
+ *    and the service's worker->parent wire format. It carries every
+ *    named counter, the detail StatGroup, intervals, the per-PC
+ *    profile, and checker/sampling provenance, so a cache hit is
+ *    indistinguishable from a fresh simulation to every consumer.
+ */
+
+#ifndef SPECSLICE_SIM_RESULT_JSON_HH
+#define SPECSLICE_SIM_RESULT_JSON_HH
+
+#include <string>
+
+#include "common/jsonio.hh"
+#include "core/smt_core.hh"
+
+namespace specslice::sim
+{
+
+// Same facade aliases simulator.hh declares (redeclaration of an
+// identical alias is well-formed), so this header stands alone.
+using RunResult = core::RunResult;
+using SimOutcome = core::SimOutcome;
+using core::outcomeName;
+
+/**
+ * Version of the machine-readable result documents (BENCH_*.json,
+ * specslice_run --json, sweep-service responses). History lives in
+ * bench/bench_common.hh next to the benchSchemaVersion alias.
+ */
+constexpr std::uint64_t resultSchemaVersion = 5;
+
+/** One workload's timed simulation, as recorded by a bench binary. */
+struct WorkloadPerf
+{
+    std::string name;
+    RunResult result;
+    double wallSeconds = 0.0;
+
+    double
+    instsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(result.mainRetired) /
+                         wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * The per-workload record shared by --json and BENCH_*.json.
+ * @param include_wall emit the wall_seconds / sim_insts_per_sec
+ *        fields; pass false for deterministic (cacheable, diffable)
+ *        documents.
+ */
+json::JsonObject perfRecord(const WorkloadPerf &p,
+                            bool include_wall = true);
+
+/** Render a RunResult as a lossless single-line JSON object. */
+std::string resultToJson(const RunResult &r);
+
+/**
+ * Rebuild a RunResult from resultToJson output. @return false (and
+ * set error) on a structurally unusable document; unknown fields are
+ * ignored so newer writers stay readable.
+ */
+bool resultFromJson(const json::Value &doc, RunResult &out,
+                    std::string &error);
+
+} // namespace specslice::sim
+
+#endif // SPECSLICE_SIM_RESULT_JSON_HH

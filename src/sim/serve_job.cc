@@ -1,0 +1,450 @@
+#include "sim/serve_job.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/failure.hh"
+#include "common/hash.hh"
+#include "fault/fault.hh"
+#include "sim/experiments.hh"
+#include "sim/run_key.hh"
+#include "workloads/workloads.hh"
+
+namespace specslice::sim
+{
+
+namespace
+{
+
+/** Field-typed extraction: a present-but-mistyped field is a hard
+ *  error (the lenient getU64-style defaults would silently run the
+ *  wrong experiment), a missing field keeps the spec default. */
+struct FieldReader
+{
+    const json::Value &doc;
+    std::string &error;
+    bool ok = true;
+
+    void
+    u64(const char *key, std::uint64_t &out)
+    {
+        const json::Value *v = doc.get(key);
+        if (!v)
+            return;
+        if (!v->isNumber() || !v->isInt || v->intval < 0) {
+            fail(key, "a non-negative integer");
+            return;
+        }
+        out = static_cast<std::uint64_t>(v->intval);
+    }
+
+    void
+    u32(const char *key, unsigned &out)
+    {
+        std::uint64_t wide = out;
+        u64(key, wide);
+        out = static_cast<unsigned>(wide);
+    }
+
+    void
+    i32(const char *key, int &out)
+    {
+        const json::Value *v = doc.get(key);
+        if (!v)
+            return;
+        if (!v->isNumber() || !v->isInt) {
+            fail(key, "an integer");
+            return;
+        }
+        out = static_cast<int>(v->intval);
+    }
+
+    void
+    boolean(const char *key, bool &out)
+    {
+        const json::Value *v = doc.get(key);
+        if (!v)
+            return;
+        if (!v->isBool()) {
+            fail(key, "a boolean");
+            return;
+        }
+        out = v->boolean;
+    }
+
+    void
+    string(const char *key, std::string &out)
+    {
+        const json::Value *v = doc.get(key);
+        if (!v)
+            return;
+        if (!v->isString()) {
+            fail(key, "a string");
+            return;
+        }
+        out = v->str;
+    }
+
+    void
+    fail(const char *key, const char *want)
+    {
+        if (ok)
+            error = std::string("field '") + key + "' must be " + want;
+        ok = false;
+    }
+};
+
+/** Validation + machine assembly shared by jobCacheKey and runJob.
+ *  A spec error leaves error set and returns false. */
+struct PreparedJob
+{
+    Workload wl;
+    MachineConfig cfg;
+    RunOptions opts;
+    fault::FaultPlan plan;
+
+    /** (tag, with_slices) of each constituent run, in order. */
+    struct RunPlan
+    {
+        const char *tag;
+        bool withSlices;
+        RunOptions opts;
+    };
+    std::vector<RunPlan> runs;
+    const char *mode = "single";
+};
+
+bool
+prepare(const JobSpec &s, PreparedJob &out, std::string &error)
+{
+    if (s.width != 4 && s.width != 8) {
+        error = "width " + std::to_string(s.width) +
+                " is not a Table 1 machine width (valid: 4, 8)";
+        return false;
+    }
+    if (s.threads == 0 || s.threads > 64) {
+        error = "threads " + std::to_string(s.threads) +
+                " out of range (valid: 1..64)";
+        return false;
+    }
+    const std::vector<std::string> &all = workloads::allWorkloadNames();
+    if (std::find(all.begin(), all.end(), s.workload) == all.end()) {
+        error = "unknown workload '" + s.workload + "'";
+        return false;
+    }
+    if (!fault::FaultPlan::parse(s.inject, out.plan, error))
+        return false;
+    out.plan.seed = s.seed;
+
+    // The workload must outlast the whole sampling span (same formula
+    // as specslice_run / specslice_verify).
+    const std::uint64_t per_region = s.insts + s.warmup;
+    const std::uint64_t span =
+        s.fastforward +
+        (std::max(1u, s.sampleRegions) - 1) *
+            (s.sampleStride ? s.sampleStride : per_region) +
+        per_region;
+    workloads::Params params;
+    params.scale = span * 2;
+    params.seed = s.seed;
+    out.wl = workloads::buildWorkload(s.workload, params);
+
+    out.cfg = s.width == 8 ? MachineConfig::eightWide()
+                           : MachineConfig::fourWide();
+    out.cfg.numThreads = s.threads;
+    if (s.bias >= 0)
+        out.cfg.mainThreadFetchBias = s.bias;
+
+    RunOptions &o = out.opts;
+    o.maxMainInstructions = s.insts;
+    o.warmupInstructions = s.warmup;
+    o.maxCycles = s.maxCycles;
+    o.watchdogCycles = s.watchdog;
+    o.watchdogEnabled = !s.noWatchdog;
+    o.faults = out.plan;
+    o.check = s.check;
+    o.fastForwardInstructions = s.fastforward;
+    o.sampleRegions = s.sampleRegions;
+    o.sampleStride = s.sampleStride;
+    o.warmPredictors = !s.coldPredictors;
+    o.warmCaches = !s.coldCaches;
+    o.warmInstCache = !s.coldIcache;
+    // Served documents always embed the interval series, matching
+    // specslice_run --json (which arms intervals whenever --json is
+    // given).
+    o.intervalCycles = s.intervalCycles;
+
+    if (s.limit) {
+        ExperimentConfig ecfg;
+        ecfg.measureInsts = s.insts;
+        ecfg.warmupInsts = s.warmup;
+        ecfg.seed = s.seed;
+        RunOptions lo = limitOptions(out.wl, ecfg);
+        lo.check = o.check;
+        lo.maxCycles = o.maxCycles;
+        lo.watchdogCycles = o.watchdogCycles;
+        lo.watchdogEnabled = o.watchdogEnabled;
+        lo.faults = o.faults;
+        lo.intervalCycles = o.intervalCycles;
+        lo.fastForwardInstructions = o.fastForwardInstructions;
+        lo.sampleRegions = o.sampleRegions;
+        lo.sampleStride = o.sampleStride;
+        lo.warmPredictors = o.warmPredictors;
+        lo.warmCaches = o.warmCaches;
+        lo.warmInstCache = o.warmInstCache;
+        out.runs.push_back({"limit", false, lo});
+        out.mode = "limit";
+    } else if (s.compare) {
+        out.runs.push_back({"baseline", false, o});
+        out.runs.push_back({"slices", true, o});
+        out.mode = "compare";
+    } else {
+        out.runs.push_back(
+            {s.slices ? "slices" : "baseline", s.slices, o});
+        out.mode = "single";
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+JobSpec::fromJson(const json::Value &doc, JobSpec &out,
+                  std::string &error)
+{
+    if (!doc.isObject()) {
+        error = "request is not a JSON object";
+        return false;
+    }
+    FieldReader r{doc, error};
+    r.string("workload", out.workload);
+    r.u32("width", out.width);
+    r.u64("insts", out.insts);
+    r.u64("warmup", out.warmup);
+    r.u64("seed", out.seed);
+    r.u32("threads", out.threads);
+    r.i32("bias", out.bias);
+    r.boolean("slices", out.slices);
+    r.boolean("compare", out.compare);
+    r.boolean("limit", out.limit);
+    r.boolean("check", out.check);
+    r.string("inject", out.inject);
+    r.u64("fastforward", out.fastforward);
+    r.u32("sample", out.sampleRegions);
+    r.u64("sample_stride", out.sampleStride);
+    r.boolean("cold_predictors", out.coldPredictors);
+    r.boolean("cold_caches", out.coldCaches);
+    r.boolean("cold_icache", out.coldIcache);
+    r.u64("watchdog", out.watchdog);
+    r.boolean("no_watchdog", out.noWatchdog);
+    r.u64("max_cycles", out.maxCycles);
+    r.u64("interval_cycles", out.intervalCycles);
+    r.boolean("allow_partial", out.allowPartial);
+    if (r.ok && out.intervalCycles == 0) {
+        error = "field 'interval_cycles' must be positive";
+        r.ok = false;
+    }
+    return r.ok;
+}
+
+std::string
+JobSpec::toJson() const
+{
+    json::JsonObject o;
+    o.field("workload", workload)
+        .field("width", std::uint64_t{width})
+        .field("insts", insts)
+        .field("warmup", warmup)
+        .field("seed", seed)
+        .field("threads", std::uint64_t{threads})
+        .raw("bias", std::to_string(bias))
+        .raw("slices", slices ? "true" : "false")
+        .raw("compare", compare ? "true" : "false")
+        .raw("limit", limit ? "true" : "false")
+        .raw("check", check ? "true" : "false")
+        .field("inject", inject)
+        .field("fastforward", fastforward)
+        .field("sample", std::uint64_t{sampleRegions})
+        .field("sample_stride", sampleStride)
+        .raw("cold_predictors", coldPredictors ? "true" : "false")
+        .raw("cold_caches", coldCaches ? "true" : "false")
+        .raw("cold_icache", coldIcache ? "true" : "false")
+        .field("watchdog", watchdog)
+        .raw("no_watchdog", noWatchdog ? "true" : "false")
+        .field("max_cycles", maxCycles)
+        .field("interval_cycles", intervalCycles)
+        .raw("allow_partial", allowPartial ? "true" : "false");
+    return o.str();
+}
+
+std::string
+jobCacheKey(const JobSpec &spec, std::string &error)
+{
+    PreparedJob job;
+    if (!prepare(spec, job, error))
+        return "";
+
+    std::string text = "job_schema = 1\n";
+    text += "mode = ";
+    text += job.mode;
+    text += "\nallow_partial = ";
+    text += spec.allowPartial ? "1" : "0";
+    text += "\n";
+    for (const PreparedJob::RunPlan &r : job.runs) {
+        RunKeyInputs in;
+        in.workload = &job.wl;
+        in.dataSeed = spec.seed;
+        in.config = &job.cfg;
+        in.options = &r.opts;
+        in.withSlices = r.withSlices;
+        text += "run ";
+        text += r.tag;
+        text += " {\n";
+        text += canonicalKeyText(in);
+        text += "}\n";
+    }
+    text += "binary = " + binaryFingerprint() + "\n";
+    return sha256Hex(text);
+}
+
+JobOutcome
+runJob(const JobSpec &spec)
+{
+    JobOutcome out;
+    PreparedJob job;
+    std::string err;
+    if (!prepare(spec, job, err)) {
+        out.exitCode = 2;
+        out.document =
+            errorDocument(spec.workload, spec.seed, "usage", err);
+        return out;
+    }
+
+    DocMeta meta;
+    meta.workload = job.wl.name;
+    meta.width = spec.width;
+    meta.insts = spec.insts;
+    meta.warmup = spec.warmup;
+    meta.seed = spec.seed;
+    meta.injectDescription =
+        job.plan.empty() ? "" : job.plan.describe();
+    meta.compare = spec.compare && !spec.limit;
+
+    std::vector<WorkloadPerf> runs;
+    try {
+        ScopedThrowErrors throwing;
+        for (const PreparedJob::RunPlan &r : job.runs) {
+            // Fresh machine per configuration, exactly like
+            // specslice_run --compare; a single run also matches
+            // (state is fully reset per run either way).
+            Simulator machine(job.cfg);
+            WorkloadPerf p;
+            p.name = r.tag;
+            p.result = r.withSlices
+                           ? machine.run(job.wl, r.opts, true)
+                           : machine.runBaseline(job.wl, r.opts);
+            runs.push_back(std::move(p));
+        }
+    } catch (const SimError &e) {
+        out.exitCode = 4;
+        out.document =
+            errorDocument(job.wl.name, spec.seed,
+                          SimError::kindName(e.kind()), e.what());
+        return out;
+    } catch (const std::exception &e) {
+        out.exitCode = 4;
+        out.document = errorDocument(job.wl.name, spec.seed, "failed",
+                                     e.what());
+        return out;
+    }
+
+    out.document = perfDocument(meta, runs, /*include_wall=*/false);
+    SimOutcome worst = worstOutcome(runs);
+    if (worst == SimOutcome::CheckerDivergence)
+        out.exitCode = 1;
+    else if (worst != SimOutcome::Completed && !spec.allowPartial)
+        out.exitCode = 3;
+    return out;
+}
+
+int
+outcomeSeverity(SimOutcome oc)
+{
+    switch (oc) {
+      case SimOutcome::Completed:
+        return 0;
+      case SimOutcome::CycleLimit:
+        return 1;
+      case SimOutcome::Watchdog:
+        return 2;
+      case SimOutcome::CheckerDivergence:
+        return 3;
+      case SimOutcome::Fault:
+        return 4;
+    }
+    return 4;
+}
+
+SimOutcome
+worstOutcome(const std::vector<WorkloadPerf> &runs)
+{
+    SimOutcome worst = SimOutcome::Completed;
+    for (const WorkloadPerf &p : runs)
+        if (outcomeSeverity(p.result.outcome) > outcomeSeverity(worst))
+            worst = p.result.outcome;
+    return worst;
+}
+
+std::string
+perfDocument(const DocMeta &meta, const std::vector<WorkloadPerf> &runs,
+             bool include_wall)
+{
+    SS_ASSERT(!runs.empty(), "perfDocument needs at least one run");
+    std::uint64_t checked = 0;
+    for (const WorkloadPerf &p : runs)
+        checked += p.result.checkedRetired;
+    SimOutcome worst = worstOutcome(runs);
+    const RunResult &result = runs.back().result;
+
+    std::vector<std::string> elems;
+    for (const WorkloadPerf &p : runs)
+        elems.push_back(perfRecord(p, include_wall).str());
+
+    json::JsonObject doc;
+    doc.field("schema_version", resultSchemaVersion)
+        .field("workload", meta.workload)
+        .field("width", std::uint64_t{meta.width})
+        .field("insts", meta.insts)
+        .field("warmup", meta.warmup)
+        .field("seed", meta.seed)
+        .field("outcome", std::string(outcomeName(worst)))
+        .raw("runs", json::jsonArray(elems));
+    if (!meta.injectDescription.empty())
+        doc.field("inject", meta.injectDescription);
+    if (result.sampledRegions)
+        doc.field("fast_forwarded", result.fastForwarded)
+            .field("sampled_regions",
+                   std::uint64_t{result.sampledRegions});
+    if (meta.compare && runs.size() >= 2)
+        doc.field("speedup_pct",
+                  speedupPct(runs[0].result, runs[1].result));
+    if (checked)
+        doc.field("checked_retired", checked);
+    return doc.str();
+}
+
+std::string
+errorDocument(const std::string &workload, std::uint64_t seed,
+              const std::string &kind, const std::string &message)
+{
+    json::JsonObject err;
+    err.field("kind", kind).field("message", message);
+    json::JsonObject doc;
+    doc.field("schema_version", resultSchemaVersion)
+        .field("workload", workload)
+        .field("seed", seed)
+        .raw("error", err.str());
+    return doc.str();
+}
+
+} // namespace specslice::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The sweep service's unit of work: a schema-versioned JSON request
+ * describing one specslice_run-style simulation (single configuration,
+ * --compare pair, or --limit study), the canonical cache key derived
+ * from it, and the runner that produces a result document
+ * byte-identical to `specslice_run --json --no-wall` for the same
+ * flags.
+ *
+ * Byte-identity is the load-bearing property: the CI smoke test diffs
+ * a served sweep against direct specslice_run output, so a cache hit,
+ * a worker-process run, and a plain CLI run must all render the same
+ * bytes. To that end the JSON document assembly itself lives here
+ * (perfDocument / errorDocument) and specslice_run's --json path calls
+ * the same functions.
+ */
+
+#ifndef SPECSLICE_SIM_SERVE_JOB_HH
+#define SPECSLICE_SIM_SERVE_JOB_HH
+
+#include <string>
+#include <vector>
+
+#include "common/jsonio.hh"
+#include "sim/result_json.hh"
+#include "sim/simulator.hh"
+
+namespace specslice::sim
+{
+
+/**
+ * One simulation request. Field names and defaults mirror the
+ * specslice_run flags of the same name; toJson()/fromJson() round-trip
+ * the wire form ({"op":"run", ...} objects carry these fields plus the
+ * envelope's op/schema_version, which this struct ignores).
+ */
+struct JobSpec
+{
+    std::string workload = "vpr";
+    unsigned width = 4;
+    std::uint64_t insts = 300'000;
+    std::uint64_t warmup = 100'000;
+    std::uint64_t seed = 1;
+    unsigned threads = 4;
+    int bias = -1;  ///< <0: keep the config default
+    bool slices = true;
+    bool compare = false;  ///< baseline AND slices + speedup_pct
+    bool limit = false;    ///< constrained limit study
+    bool check = false;    ///< retirement checker co-simulation
+    std::string inject;    ///< fault plan spec ("" = none)
+    std::uint64_t fastforward = 0;
+    unsigned sampleRegions = 0;
+    std::uint64_t sampleStride = 0;
+    bool coldPredictors = false;
+    bool coldCaches = false;
+    bool coldIcache = false;
+    Cycle watchdog = 0;  ///< 0 = default threshold
+    bool noWatchdog = false;
+    Cycle maxCycles = 0;  ///< 0 = 50x instruction budget
+    /** Window length for the embedded interval series; matches the
+     *  specslice_run --json default, where intervals are always on. */
+    std::uint64_t intervalCycles = 10'000;
+    bool allowPartial = false;
+
+    /** Parse the known fields out of a request object (unknown fields
+     *  are ignored for forward compatibility; wrong types are not).
+     *  @return false and set error on a malformed spec. */
+    static bool fromJson(const json::Value &doc, JobSpec &out,
+                         std::string &error);
+
+    /** Single-line JSON object with every field (no op envelope). */
+    std::string toJson() const;
+};
+
+/** What running (or serving from cache) one JobSpec produced. */
+struct JobOutcome
+{
+    /** specslice_run-compatible: 0 completed, 1 checker divergence,
+     *  2 usage, 3 incomplete without allow_partial, 4 sim error. */
+    int exitCode = 0;
+    /** The result document (one line, no trailing newline): either a
+     *  perfDocument or an errorDocument. */
+    std::string document;
+};
+
+/**
+ * The content-addressed cache key for a spec: SHA-256 over the
+ * canonical key text of every constituent run (see run_key.hh) plus
+ * the job mode and the binary fingerprint. Returns "" and sets error
+ * if the spec cannot be keyed (unknown workload, bad inject spec,
+ * invalid width/threads).
+ */
+std::string jobCacheKey(const JobSpec &spec, std::string &error);
+
+/**
+ * Run the simulation(s) described by spec and render the
+ * `specslice_run --json --no-wall` document. Never throws: panics and
+ * simulation faults become an errorDocument with exit code 4.
+ */
+JobOutcome runJob(const JobSpec &spec);
+
+// ---------------------------------------------------------------
+// Document assembly shared with specslice_run --json
+// ---------------------------------------------------------------
+
+/** Top-level metadata of a result document. */
+struct DocMeta
+{
+    std::string workload;
+    unsigned width = 4;
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t seed = 1;
+    /** FaultPlan::describe() of the armed plan ("" = no inject). */
+    std::string injectDescription;
+    bool compare = false;  ///< adds speedup_pct from runs[0] vs [1]
+};
+
+/** Rank outcomes by severity so a multi-run document (and its exit
+ *  code) reports the worst one. */
+int outcomeSeverity(SimOutcome oc);
+
+/** The worst outcome across a batch of runs. */
+SimOutcome worstOutcome(const std::vector<WorkloadPerf> &runs);
+
+/**
+ * Render the result document for a finished batch of runs — the exact
+ * bytes specslice_run --json prints (pass include_wall=false for the
+ * --no-wall / served form).
+ */
+std::string perfDocument(const DocMeta &meta,
+                         const std::vector<WorkloadPerf> &runs,
+                         bool include_wall);
+
+/** The {"error": {...}} document a failed run still emits. */
+std::string errorDocument(const std::string &workload,
+                          std::uint64_t seed, const std::string &kind,
+                          const std::string &message);
+
+} // namespace specslice::sim
+
+#endif // SPECSLICE_SIM_SERVE_JOB_HH

@@ -108,6 +108,7 @@ struct Simulator::RegionStart
     arch::MemoryImage mem;
     std::vector<arch::BranchWarmthRecord> warmth;
     std::vector<arch::MemWarmthRecord> memWarmth;
+    std::vector<Addr> instWarmth;
 };
 
 RunResult
@@ -151,6 +152,9 @@ Simulator::runOne(const Workload &wl, const RunOptions &opts,
             region->warmth.empty() ? nullptr : &region->warmth;
         run_opts.memWarmth =
             region->memWarmth.empty() ? nullptr : &region->memWarmth;
+        run_opts.instWarmth =
+            region->instWarmth.empty() ? nullptr
+                                       : &region->instWarmth;
     }
     std::unique_ptr<check::RetireChecker> checker;
     bool want_check = opts.check || checkForcedByEnv();
@@ -282,6 +286,8 @@ Simulator::runSampled(const Workload &wl, const RunOptions &opts,
             rs.warmth = ff.warmth();
         if (opts.warmCaches)
             rs.memWarmth = ff.memWarmth();
+        if (opts.warmInstCache)
+            rs.instWarmth = ff.instWarmth();
         accumulate(agg, runOne(wl, opts, with_slices, &rs));
         ++ran;
         if (r + 1 < regions) {

@@ -251,3 +251,27 @@ TEST_P(CheckpointRunSuite, SaveRestoreRunMatchesUninterrupted)
 
 INSTANTIATE_TEST_SUITE_P(BaselineAndSlices, CheckpointRunSuite,
                          ::testing::Bool());
+
+TEST(CheckpointTest, InstWarmthRoundTrips)
+{
+    // The v3 format carries the instruction-line warmth ring; a
+    // restore must replay the exact sequence (the I-cache warm-up
+    // depends on order for LRU state).
+    auto wl = workloads::buildWorkload("vpr", smallParams());
+    arch::FastForward ff = advancedEngine(wl, 50'000);
+    arch::Checkpoint before = ff.makeCheckpoint();
+    ASSERT_FALSE(before.instWarmth.empty());
+    EXPECT_EQ(before.instWarmth, ff.instWarmth());
+
+    std::stringstream ss;
+    ASSERT_TRUE(arch::saveCheckpoint(before, ss));
+    std::string error;
+    auto after = arch::loadCheckpoint(ss, error);
+    ASSERT_TRUE(after.has_value()) << error;
+    EXPECT_EQ(after->instWarmth, before.instWarmth);
+
+    // And a restored engine re-exposes it for region replay.
+    arch::FastForward resumed(wl.program);
+    resumed.restore(*after);
+    EXPECT_EQ(resumed.instWarmth(), before.instWarmth);
+}

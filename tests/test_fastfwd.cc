@@ -232,3 +232,40 @@ TEST(FastForwardTest, RecordsBranchAndMemoryWarmth)
     EXPECT_TRUE(ff.warmth().empty());
     EXPECT_TRUE(ff.memWarmth().empty());
 }
+
+TEST(FastForwardTest, RecordsInstructionLineWarmth)
+{
+    auto wl = workloads::buildWorkload("twolf", smallParams());
+    arch::FastForward ff(wl.program);
+    ff.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(ff.mem());
+    ff.advance(50'000);
+
+    // The instruction-line ring holds the most recent fetch PCs —
+    // non-empty, bounded, and every entry decodes (it was executed).
+    auto lines = ff.instWarmth();
+    EXPECT_FALSE(lines.empty());
+    EXPECT_LE(lines.size(), arch::FastForward::instWarmthDepth);
+    for (Addr pc : lines)
+        EXPECT_NE(pc, 0u);
+    // The stop PC's neighborhood was executed most recently, so the
+    // final executed PC must be among the recorded lines.
+    // (ff.pc() is the NEXT pc; the ring holds executed ones, of which
+    // there were 50k — far more than the ring depth — so the ring is
+    // exactly full.)
+    EXPECT_EQ(lines.size(), arch::FastForward::instWarmthDepth);
+
+    // Determinism: a second engine over the same program and budget
+    // records the identical sequence.
+    arch::FastForward again(wl.program);
+    again.reset(wl.entry);
+    if (wl.initMemory)
+        wl.initMemory(again.mem());
+    again.advance(50'000);
+    EXPECT_EQ(again.instWarmth(), lines);
+
+    // reset() drops the ring like the other warmth logs.
+    ff.reset(wl.entry);
+    EXPECT_TRUE(ff.instWarmth().empty());
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Minimal blocking client plumbing for the sweep service's
+ * newline-delimited-JSON protocol, shared by specslice_serve's client
+ * mode, specslice_bench_serve, and the CI smoke test. One request per
+ * call; matching request/response pairs across a shared connection is
+ * the caller's problem (the helpers here use one connection per
+ * request, which the Unix-domain transport makes cheap).
+ */
+
+#ifndef SPECSLICE_TOOLS_SERVE_CLIENT_HH
+#define SPECSLICE_TOOLS_SERVE_CLIENT_HH
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace specslice::serve_client
+{
+
+/** Connect to the server's Unix-domain socket.
+ *  @return the fd, or -1 with error set. */
+inline int
+connectUnix(const std::string &path, std::string &error)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        error = "socket path too long: " + path;
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Write the whole buffer, retrying on EINTR / partial writes. */
+inline bool
+writeAll(int fd, const std::string &data, std::string &error)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("write: ") + std::strerror(errno);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read up to (and consuming) one '\n'-terminated line. */
+inline bool
+readLine(int fd, std::string &line, std::string &error)
+{
+    line.clear();
+    char c;
+    for (;;) {
+        ssize_t n = ::read(fd, &c, 1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("read: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            error = "server closed the connection mid-response";
+            return false;
+        }
+        if (c == '\n')
+            return true;
+        line += c;
+        if (line.size() > 64 * 1024 * 1024) {
+            error = "response line unreasonably large";
+            return false;
+        }
+    }
+}
+
+/**
+ * One round trip on a fresh connection: send `request` (a single-line
+ * JSON document, newline appended here) and read the response line.
+ * @return false with error set on any transport failure.
+ */
+inline bool
+requestOnce(const std::string &socket_path, const std::string &request,
+            std::string &response, std::string &error)
+{
+    int fd = connectUnix(socket_path, error);
+    if (fd < 0)
+        return false;
+    bool ok = writeAll(fd, request + "\n", error) &&
+              readLine(fd, response, error);
+    ::close(fd);
+    return ok;
+}
+
+/**
+ * Slice the raw result document out of a run-response envelope. The
+ * server renders "doc" as the envelope's LAST member precisely so the
+ * bytes can be recovered without a parse/re-print round trip (which
+ * could perturb number formatting).
+ * @return false if the envelope has no doc member.
+ */
+inline bool
+extractDoc(const std::string &envelope, std::string &doc)
+{
+    const std::string marker = "\"doc\": ";
+    auto pos = envelope.find(marker);
+    if (pos == std::string::npos || envelope.empty() ||
+        envelope.back() != '}')
+        return false;
+    pos += marker.size();
+    doc = envelope.substr(pos, envelope.size() - pos - 1);
+    return true;
+}
+
+} // namespace specslice::serve_client
+
+#endif // SPECSLICE_TOOLS_SERVE_CLIENT_HH

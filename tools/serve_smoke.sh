@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Serve-path smoke gate.
+#
+# Starts a specslice_serve daemon on a private socket, drives it with
+# concurrent clients, and asserts the service's three load-bearing
+# properties end to end:
+#
+#   1. Byte-identity: a served document equals `specslice_run --json
+#      --no-wall` output for the same flags, byte for byte.
+#   2. Caching: repeating the sweep is served from .sscache with > 0
+#      hits and zero fresh simulations.
+#   3. Stability: concurrent clients all get complete envelopes and
+#      the daemon shuts down cleanly.
+#
+# Usage: serve_smoke.sh <tool-bin-dir>
+set -euo pipefail
+
+BIN="${1:?usage: serve_smoke.sh <tool-bin-dir>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/serve_smoke.XXXXXX")"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/serve.sock"
+CACHE="$WORK/cache"
+INSTS=20000
+WARMUP=5000
+WORKLOADS=(vpr mcf twolf gzip)
+
+"$BIN/specslice_serve" --socket "$SOCK" --cache "$CACHE" --workers 4 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if "$BIN/specslice_serve" --connect "$SOCK" --ping \
+            > /dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: server exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+request() {
+    printf '{"workload": "%s", "insts": %d, "warmup": %d}' \
+        "$1" "$INSTS" "$WARMUP"
+}
+
+sweep() {
+    # One client per workload, all in flight at once.
+    local pass="$1" pids=() wl
+    for wl in "${WORKLOADS[@]}"; do
+        "$BIN/specslice_serve" --connect "$SOCK" \
+            --request "$(request "$wl")" \
+            > "$WORK/$pass.$wl.json" &
+        pids+=($!)
+    done
+    local rc=0 p
+    for p in "${pids[@]}"; do
+        wait "$p" || rc=$?
+    done
+    return "$rc"
+}
+
+echo "== pass 1: cold sweep, ${#WORKLOADS[@]} concurrent clients"
+sweep pass1
+
+echo "== served document is byte-identical to specslice_run"
+"$BIN/specslice_run" --workload vpr --insts "$INSTS" \
+    --warmup "$WARMUP" --json --no-wall > "$WORK/direct.vpr.json"
+diff "$WORK/direct.vpr.json" "$WORK/pass1.vpr.json"
+
+echo "== pass 2: warm sweep must be all cache hits"
+sweep pass2
+for wl in "${WORKLOADS[@]}"; do
+    diff "$WORK/pass1.$wl.json" "$WORK/pass2.$wl.json"
+done
+
+STATS="$("$BIN/specslice_serve" --connect "$SOCK" --stats)"
+echo "$STATS"
+HITS="$(printf '%s' "$STATS" | sed -n 's/.*"hits": \([0-9]*\).*/\1/p')"
+MISSES="$(printf '%s' "$STATS" \
+    | sed -n 's/.*"misses": \([0-9]*\).*/\1/p')"
+if [ -z "$HITS" ] || [ "$HITS" -lt "${#WORKLOADS[@]}" ]; then
+    echo "FAIL: expected >= ${#WORKLOADS[@]} cache hits, got '$HITS'" >&2
+    exit 1
+fi
+if [ -z "$MISSES" ] || [ "$MISSES" -ne "${#WORKLOADS[@]}" ]; then
+    echo "FAIL: expected exactly ${#WORKLOADS[@]} misses (cold pass)," \
+         "got '$MISSES'" >&2
+    exit 1
+fi
+
+echo "== clean shutdown"
+"$BIN/specslice_serve" --connect "$SOCK" --shutdown > /dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server ignored shutdown request" >&2
+    exit 1
+fi
+wait "$SERVER_PID" || {
+    echo "FAIL: server exited abnormally" >&2
+    exit 1
+}
+SERVER_PID=""
+
+echo "PASS: serve smoke ok (hits=$HITS misses=$MISSES)"

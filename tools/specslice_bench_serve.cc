@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Sweep-service benchmark: spawn a fresh specslice_serve daemon, push
+ * the full workload sweep through it cold (every request simulates),
+ * push the identical sweep again warm (every request must be served
+ * from the result cache), and report the cold/warm wall-clock ratio —
+ * the headline number for the caching layer. A third phase hammers the
+ * warm cache from several concurrent clients to measure service
+ * throughput. Results land in BENCH_serve.json.
+ *
+ * The workload shape follows the bench conventions (SS_BENCH_INSTS /
+ * SS_BENCH_WARMUP / SS_BENCH_WORKLOADS / SS_BENCH_SEED), so the smoke
+ * ctest can run a tiny sweep while the real benchmark uses the full
+ * one.
+ *
+ * Exit codes: 0 on success, 1 if any response is an error, if the
+ * warm pass missed the cache, or if the server misbehaves.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_common.hh"
+#include "common/jsonio.hh"
+#include "serve_client.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Directory holding this binary (and therefore specslice_serve). */
+std::string
+selfDir()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return ".";
+    buf[n] = '\0';
+    std::string path(buf);
+    auto slash = path.rfind('/');
+    return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+/** Spawn the daemon; @return its pid or -1. */
+pid_t
+spawnServer(const std::string &server_bin, const std::string &socket,
+            const std::string &cache_dir, unsigned workers)
+{
+    pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    std::string workers_s = std::to_string(workers);
+    ::execl(server_bin.c_str(), server_bin.c_str(), "--socket",
+            socket.c_str(), "--cache", cache_dir.c_str(), "--workers",
+            workers_s.c_str(), static_cast<char *>(nullptr));
+    std::fprintf(stderr, "error: exec %s: %s\n", server_bin.c_str(),
+                 std::strerror(errno));
+    _exit(127);
+}
+
+/** Poll-connect until the daemon answers a ping (or ~10s elapse). */
+bool
+waitReady(const std::string &socket)
+{
+    for (int i = 0; i < 200; ++i) {
+        std::string response, err;
+        if (serve_client::requestOnce(socket, "{\"op\": \"ping\"}",
+                                      response, err))
+            return true;
+        ::usleep(50 * 1000);
+    }
+    return false;
+}
+
+struct SweepResult
+{
+    double seconds = 0.0;
+    std::atomic<unsigned> errors{0};
+    std::atomic<unsigned> cached{0};
+};
+
+/**
+ * Drain `requests` through `clients` concurrent connections; each
+ * thread pulls the next request off a shared cursor.
+ */
+void
+runSweep(const std::string &socket,
+         const std::vector<std::string> &requests, unsigned clients,
+         SweepResult &out)
+{
+    std::atomic<std::size_t> cursor{0};
+    double t0 = now();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < clients; ++t) {
+        threads.emplace_back([&]() {
+            for (;;) {
+                std::size_t i = cursor.fetch_add(1);
+                if (i >= requests.size())
+                    return;
+                std::string response, err;
+                if (!serve_client::requestOnce(socket, requests[i],
+                                               response, err)) {
+                    std::fprintf(stderr, "error: %s\n", err.c_str());
+                    ++out.errors;
+                    continue;
+                }
+                std::string perr;
+                auto env = json::parse(response, perr);
+                if (!env || !env->getBool("ok") ||
+                    env->getU64("exit_code", 99) != 0) {
+                    std::fprintf(stderr,
+                                 "error: bad response: %.300s\n",
+                                 response.c_str());
+                    ++out.errors;
+                    continue;
+                }
+                if (env->getBool("cached"))
+                    ++out.cached;
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    out.seconds = now() - t0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned clients = 4;
+    unsigned workers = 4;
+    std::string socket = "bench_serve.sock";
+    std::string cache_dir = "bench_serve_cache";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--clients")
+            clients = static_cast<unsigned>(std::atoi(next()));
+        else if (a == "--workers")
+            workers = static_cast<unsigned>(std::atoi(next()));
+        else if (a == "--socket")
+            socket = next();
+        else if (a == "--cache")
+            cache_dir = next();
+        else {
+            std::fprintf(stderr,
+                         "usage: specslice_bench_serve [--clients N] "
+                         "[--workers N] [--socket PATH] [--cache DIR]\n");
+            return 2;
+        }
+    }
+
+    // A benchmark must start cold: wipe any cache left from a
+    // previous invocation (the directory is ours by convention).
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+
+    const std::string server_bin = selfDir() + "/specslice_serve";
+    pid_t server = spawnServer(server_bin, socket, cache_dir, workers);
+    if (server < 0) {
+        std::perror("fork");
+        return 1;
+    }
+    if (!waitReady(socket)) {
+        std::fprintf(stderr, "error: server never became ready\n");
+        ::kill(server, SIGKILL);
+        ::waitpid(server, nullptr, 0);
+        return 1;
+    }
+
+    const std::uint64_t insts = bench::benchInsts();
+    const std::uint64_t warmup = bench::benchWarmup();
+    const std::uint64_t seed = bench::envOr("SS_BENCH_SEED", 1);
+    std::vector<std::string> names = bench::benchWorkloadNames();
+    std::vector<std::string> requests;
+    for (const std::string &name : names) {
+        json::JsonObject req;
+        // --compare form: each cell simulates baseline AND slices,
+        // the sweep the golden gate and the paper tables re-run.
+        req.field("op", std::string("run"))
+            .field("workload", name)
+            .field("insts", insts)
+            .field("warmup", warmup)
+            .field("seed", seed)
+            .raw("compare", "true");
+        requests.push_back(req.str());
+    }
+
+    std::printf("serve bench: %zu workloads x %llu insts, %u clients, "
+                "%u workers\n",
+                names.size(),
+                static_cast<unsigned long long>(insts), clients,
+                workers);
+
+    SweepResult cold, warm;
+    runSweep(socket, requests, clients, cold);
+    std::printf("cold sweep: %.2fs (%u cached, %u errors)\n",
+                cold.seconds, cold.cached.load(), cold.errors.load());
+    runSweep(socket, requests, clients, warm);
+    std::printf("warm sweep: %.2fs (%u cached, %u errors)\n",
+                warm.seconds, warm.cached.load(), warm.errors.load());
+    double speedup =
+        warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+    std::printf("warm speedup: %.1fx\n", speedup);
+
+    // Throughput phase: hammer one warm request per workload, several
+    // rounds, all clients at once.
+    std::vector<std::string> hammer;
+    for (int round = 0; round < 8; ++round)
+        for (const std::string &r : requests)
+            hammer.push_back(r);
+    SweepResult burst;
+    runSweep(socket, hammer, clients, burst);
+    double rps = burst.seconds > 0.0
+                     ? static_cast<double>(hammer.size()) /
+                           burst.seconds
+                     : 0.0;
+    std::printf("throughput: %zu warm requests in %.2fs (%.0f req/s)\n",
+                hammer.size(), burst.seconds, rps);
+
+    // Pull the daemon's own accounting for the artifact.
+    std::string stats_response, err;
+    bool have_stats = serve_client::requestOnce(
+        socket, "{\"op\": \"stats\"}", stats_response, err);
+
+    std::string bye;
+    serve_client::requestOnce(socket, "{\"op\": \"shutdown\"}", bye,
+                              err);
+    int wstatus = 0;
+    ::waitpid(server, &wstatus, 0);
+
+    json::JsonObject concurrent;
+    concurrent.field("clients", std::uint64_t{clients})
+        .field("requests", std::uint64_t{hammer.size()})
+        .field("seconds", burst.seconds)
+        .field("requests_per_sec", rps);
+    std::vector<std::string> name_elems;
+    for (const std::string &n : names)
+        name_elems.push_back("\"" + json::jsonEscape(n) + "\"");
+    json::JsonObject doc;
+    doc.field("schema_version", bench::benchSchemaVersion)
+        .field("bench", std::string("serve"))
+        .field("insts", insts)
+        .field("warmup", warmup)
+        .raw("workloads", json::jsonArray(name_elems))
+        .field("cold_seconds", cold.seconds)
+        .field("warm_seconds", warm.seconds)
+        .field("warm_speedup_x", speedup)
+        .field("warm_cached", std::uint64_t{warm.cached.load()})
+        .raw("server_stats",
+             have_stats ? stats_response : "null");
+    std::ofstream os("BENCH_serve.json");
+    os << doc.str() << "\n";
+    std::printf("wrote BENCH_serve.json\n");
+
+    unsigned errors = cold.errors.load() + warm.errors.load() +
+                      burst.errors.load();
+    if (errors) {
+        std::fprintf(stderr, "error: %u failed requests\n", errors);
+        return 1;
+    }
+    if (warm.cached.load() != requests.size()) {
+        std::fprintf(stderr,
+                     "error: warm sweep expected %zu cache hits, got "
+                     "%u\n",
+                     requests.size(), warm.cached.load());
+        return 1;
+    }
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+        std::fprintf(stderr, "error: server exited abnormally\n");
+        return 1;
+    }
+    return 0;
+}

@@ -40,6 +40,7 @@
 #include "obs/interval.hh"
 #include "obs/trace.hh"
 #include "sim/experiments.hh"
+#include "sim/serve_job.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -63,6 +64,7 @@ struct Options
     bool profile = false;
     bool stats = false;
     bool json = false;      // machine-readable result on stdout
+    bool noWall = false;    // omit nondeterministic wall-clock fields
     bool disasm = false;
     bool list = false;
     bool compare = false;   // run baseline AND slices, print speedup
@@ -72,6 +74,7 @@ struct Options
     std::uint64_t sampleStride = 0;  // region spacing (0: contiguous)
     bool noWarmPredictors = false;   // cold predictors per region
     bool noWarmCaches = false;       // cold caches per region
+    bool coldIcache = false;         // no I-side warmth replay
     std::string saveCheckpoint;      // write state after fast-forward
     std::string loadCheckpoint;      // resume from a saved state
     std::string inject;         // --inject fault spec (adds to SS_INJECT)
@@ -111,6 +114,8 @@ usage(int code)
         "                    predictors at each region start\n"
         "  --cold-caches     do not replay data accesses into the\n"
         "                    cache hierarchy at each region start\n"
+        "  --cold-icache     do not replay executed-line history into\n"
+        "                    the I-cache at each region start\n"
         "  --save-checkpoint FILE  write the architectural state at\n"
         "                    the fast-forward point, then keep running\n"
         "  --load-checkpoint FILE  restore state instead of executing\n"
@@ -138,6 +143,10 @@ usage(int code)
         "  --profile         print the problem-instruction profile\n"
         "  --stats           dump all detail counters\n"
         "  --json            print the result as JSON on stdout\n"
+        "  --no-wall         omit the nondeterministic wall-clock\n"
+        "                    fields from --json output, making the\n"
+        "                    document byte-reproducible (the form the\n"
+        "                    sweep service caches and serves)\n"
         "  --trace FLAGS     arm debug tracing (comma list of\n"
         "                    fetch,smt,corr,slice,mem,pred or 'all';\n"
         "                    SS_TRACE in the environment also works)\n"
@@ -206,6 +215,8 @@ parseArgs(int argc, char **argv)
             o.noWarmPredictors = true;
         else if (a == "--cold-caches")
             o.noWarmCaches = true;
+        else if (a == "--cold-icache")
+            o.coldIcache = true;
         else if (a == "--save-checkpoint")
             o.saveCheckpoint = next();
         else if (a == "--load-checkpoint")
@@ -259,6 +270,8 @@ parseArgs(int argc, char **argv)
             o.stats = true;
         else if (a == "--json")
             o.json = true;
+        else if (a == "--no-wall")
+            o.noWall = true;
         else if (a == "--disasm")
             o.disasm = true;
         else if (a == "--list")
@@ -306,25 +319,6 @@ printResult(const char *tag, const sim::RunResult &r)
     if (r.outcome != sim::SimOutcome::Completed)
         std::printf("  [%s]", sim::outcomeName(r.outcome));
     std::printf("\n");
-}
-
-/** Rank outcomes by severity so a --compare pair reports the worst. */
-int
-outcomeSeverity(sim::SimOutcome oc)
-{
-    switch (oc) {
-      case sim::SimOutcome::Completed:
-        return 0;
-      case sim::SimOutcome::CycleLimit:
-        return 1;
-      case sim::SimOutcome::Watchdog:
-        return 2;
-      case sim::SimOutcome::CheckerDivergence:
-        return 3;
-      case sim::SimOutcome::Fault:
-        return 4;
-    }
-    return 4;
 }
 
 } // namespace
@@ -445,6 +439,7 @@ main(int argc, char **argv)
     opts.sampleStride = o.sampleStride;
     opts.warmPredictors = !o.noWarmPredictors;
     opts.warmCaches = !o.noWarmCaches;
+    opts.warmInstCache = !o.coldIcache;
     opts.saveCheckpoint = o.saveCheckpoint;
     opts.restoreCheckpoint = o.loadCheckpoint;
     if (o.json || o.intervalsRequested)
@@ -485,16 +480,11 @@ main(int argc, char **argv)
     auto simFailure = [&](const std::string &kind,
                           const std::string &message) -> int {
         writePartialArtifacts();
-        if (o.json) {
-            bench::JsonObject err;
-            err.field("kind", kind).field("message", message);
-            bench::JsonObject doc;
-            doc.field("schema_version", bench::benchSchemaVersion)
-                .field("workload", wl.name)
-                .field("seed", o.seed)
-                .raw("error", err.str());
-            std::printf("%s\n", doc.str().c_str());
-        }
+        if (o.json)
+            std::printf("%s\n",
+                        sim::errorDocument(wl.name, o.seed, kind,
+                                           message)
+                            .c_str());
         std::fprintf(stderr, "error: simulation failed (%s): %s\n",
                      kind.c_str(), message.c_str());
         return 4;
@@ -528,6 +518,7 @@ main(int argc, char **argv)
         lo.sampleStride = opts.sampleStride;
         lo.warmPredictors = opts.warmPredictors;
         lo.warmCaches = opts.warmCaches;
+        lo.warmInstCache = opts.warmInstCache;
         lo.saveCheckpoint = opts.saveCheckpoint;
         lo.restoreCheckpoint = opts.restoreCheckpoint;
         lo.events = events.get();
@@ -582,38 +573,23 @@ main(int argc, char **argv)
     }
 
     std::uint64_t checked = 0;
-    sim::SimOutcome worst = sim::SimOutcome::Completed;
-    for (const auto &p : runs) {
+    for (const auto &p : runs)
         checked += p.result.checkedRetired;
-        if (outcomeSeverity(p.result.outcome) > outcomeSeverity(worst))
-            worst = p.result.outcome;
-    }
+    sim::SimOutcome worst = sim::worstOutcome(runs);
 
     if (o.json) {
-        std::vector<std::string> elems;
-        for (const auto &p : runs)
-            elems.push_back(bench::perfRecord(p).str());
-        bench::JsonObject doc;
-        doc.field("schema_version", bench::benchSchemaVersion)
-            .field("workload", wl.name)
-            .field("width", std::uint64_t{o.width})
-            .field("insts", o.insts)
-            .field("warmup", o.warmup)
-            .field("seed", o.seed)
-            .field("outcome", std::string(sim::outcomeName(worst)))
-            .raw("runs", bench::jsonArray(elems));
-        if (!plan.empty())
-            doc.field("inject", plan.describe());
-        if (result.sampledRegions)
-            doc.field("fast_forwarded", result.fastForwarded)
-                .field("sampled_regions",
-                       std::uint64_t{result.sampledRegions});
-        if (o.compare)
-            doc.field("speedup_pct",
-                      sim::speedupPct(runs[0].result, runs[1].result));
-        if (checked)
-            doc.field("checked_retired", checked);
-        std::printf("%s\n", doc.str().c_str());
+        // The document assembly is shared with the sweep service so a
+        // served result is byte-identical to this path (--no-wall).
+        sim::DocMeta meta;
+        meta.workload = wl.name;
+        meta.width = o.width;
+        meta.insts = o.insts;
+        meta.warmup = o.warmup;
+        meta.seed = o.seed;
+        meta.injectDescription = plan.empty() ? "" : plan.describe();
+        meta.compare = o.compare;
+        std::printf("%s\n",
+                    sim::perfDocument(meta, runs, !o.noWall).c_str());
     } else {
         for (const auto &p : runs)
             printResult(p.name.c_str(), p.result);

@@ -1,0 +1,896 @@
+/**
+ * @file
+ * The resident experiment server: accepts schema-versioned JSON run
+ * requests, serves repeats from the content-addressed result cache
+ * without simulating, and shards misses across a pool of forked
+ * worker processes so a crashing simulation cannot take the daemon
+ * (or any other client's batch) down.
+ *
+ *   specslice_serve --socket /tmp/ss.sock --cache .sscache   # daemon
+ *   specslice_serve --connect /tmp/ss.sock \
+ *       --request '{"op":"run","workload":"vpr","insts":20000,
+ *                   "warmup":5000}'                          # client
+ *   specslice_serve --connect /tmp/ss.sock --stats
+ *   specslice_serve --connect /tmp/ss.sock --shutdown
+ *
+ * Protocol (newline-delimited JSON over a Unix-domain socket):
+ *   {"op":"run", ...JobSpec fields}  -> run/serve one simulation
+ *   {"op":"ping"} | {"op":"stats"} | {"op":"shutdown"}
+ * Every response is one JSON line. Run responses carry the result
+ * document as their LAST member ("doc"), byte-identical to
+ * `specslice_run --json --no-wall` for the same flags, so clients can
+ * slice it out verbatim (serve_client.hh::extractDoc) and diff against
+ * direct CLI output.
+ *
+ * The same socket also speaks just enough HTTP/1.1 for curl: the
+ * first bytes of a connection are sniffed, and `POST /run` (body =
+ * run request), `GET /ping`, `GET /stats`, `POST /shutdown` map onto
+ * the operations above, one request per connection.
+ *
+ * Execution discipline: requests are deduplicated in flight (N
+ * clients asking for the same key while it simulates produce one
+ * simulation and N responses), workers commit results to the cache
+ * themselves (so a crash after commit loses nothing), and a worker
+ * killed mid-job is observed via waitpid, respawned, and reported to
+ * the waiting clients as one typed error response.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/jsonio.hh"
+#include "serve_client.hh"
+#include "sim/proc_pool.hh"
+#include "sim/result_cache.hh"
+#include "sim/result_json.hh"
+#include "sim/serve_job.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+/** Same resolution order as the other cache-aware clients. */
+std::string
+defaultCacheDir()
+{
+    if (const char *env = std::getenv("SS_CACHE_DIR"))
+        return env;
+    return ".sscache";
+}
+
+struct Options
+{
+    // Daemon mode.
+    std::string socketPath;
+    std::string cacheDir = defaultCacheDir();
+    std::uint64_t cacheBytes = sim::ResultCache::defaultMaxBytes;
+    unsigned workers = 0;  ///< 0 = hardware concurrency, capped
+    bool verbose = false;
+
+    // Client mode.
+    std::string connectPath;
+    std::string request;  ///< full request line (client)
+    std::string op;       ///< ping | stats | shutdown (client)
+    bool raw = false;     ///< print the envelope, not the doc
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: specslice_serve --socket PATH [daemon options]\n"
+        "       specslice_serve --connect PATH (--request JSON |\n"
+        "                       --ping | --stats | --shutdown)\n"
+        "daemon options:\n"
+        "  --socket PATH     Unix-domain socket to listen on (the\n"
+        "                    path is unlinked and rebound)\n"
+        "  --cache DIR       content-addressed result store (default\n"
+        "                    $SS_CACHE_DIR or .sscache)\n"
+        "  --cache-bytes N   LRU size cap in bytes (default 256 MiB;\n"
+        "                    0 = unlimited)\n"
+        "  --workers N       simulation worker processes (default:\n"
+        "                    min(cores, 8))\n"
+        "  --verbose         log requests to stderr\n"
+        "client options:\n"
+        "  --connect PATH    talk to the daemon at PATH\n"
+        "  --request JSON    send one request line; prints the result\n"
+        "                    document and exits with its exit_code\n"
+        "  --raw             print the whole response envelope\n"
+        "  --ping | --stats | --shutdown\n"
+        "exit codes (client): the run's specslice_run-compatible exit\n"
+        "code; 5 on transport or protocol errors\n");
+    std::exit(code);
+}
+
+std::uint64_t
+parseNum(const char *s)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0' || *s == '\0' || *s == '-')
+        usage(2);
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (a == "--socket")
+            o.socketPath = next();
+        else if (a == "--cache")
+            o.cacheDir = next();
+        else if (a == "--cache-bytes")
+            o.cacheBytes = parseNum(next());
+        else if (a == "--workers") {
+            o.workers = static_cast<unsigned>(parseNum(next()));
+            if (o.workers == 0 || o.workers > 64)
+                usage(2);
+        } else if (a == "--verbose")
+            o.verbose = true;
+        else if (a == "--connect")
+            o.connectPath = next();
+        else if (a == "--request")
+            o.request = next();
+        else if (a == "--ping")
+            o.op = "ping";
+        else if (a == "--stats")
+            o.op = "stats";
+        else if (a == "--shutdown")
+            o.op = "shutdown";
+        else if (a == "--raw")
+            o.raw = true;
+        else if (a == "--help" || a == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "error: unknown option '%s'\n",
+                         a.c_str());
+            usage(2);
+        }
+    }
+    if (o.socketPath.empty() == o.connectPath.empty()) {
+        std::fprintf(stderr,
+                     "error: exactly one of --socket (daemon) or "
+                     "--connect (client) is required\n");
+        usage(2);
+    }
+    return o;
+}
+
+// ---------------------------------------------------------------
+// Response envelopes
+// ---------------------------------------------------------------
+
+std::string
+errorEnvelope(const std::string &op, const std::string &kind,
+              const std::string &message)
+{
+    json::JsonObject err;
+    err.field("kind", kind).field("message", message);
+    json::JsonObject doc;
+    doc.raw("ok", "false")
+        .field("op", op)
+        .field("schema_version", sim::resultSchemaVersion)
+        .raw("error", err.str());
+    return doc.str();
+}
+
+/** Run response; `doc` MUST be the last member (see extractDoc). */
+std::string
+runEnvelope(const std::string &workload, std::uint64_t seed,
+            bool cached, const std::string &key, int exit_code,
+            const std::string &doc)
+{
+    json::JsonObject o;
+    o.raw("ok", "true")
+        .field("op", std::string("run"))
+        .field("schema_version", sim::resultSchemaVersion)
+        .field("workload", workload)
+        .field("seed", seed)
+        .raw("cached", cached ? "true" : "false")
+        .field("key", key)
+        .field("exit_code", std::uint64_t(exit_code))
+        .raw("doc", doc);
+    return o.str();
+}
+
+// ---------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------
+
+volatile sig_atomic_t g_terminate = 0;
+
+void
+onTerminate(int)
+{
+    g_terminate = 1;
+}
+
+class Server
+{
+  public:
+    Server(const Options &o)
+        : opts_(o), cache_(o.cacheDir, o.cacheBytes),
+          pool_(workerCountFor(o),
+                [dir = o.cacheDir, bytes = o.cacheBytes](
+                    const std::string &payload) {
+                    return workerRun(dir, bytes, payload);
+                })
+    {
+    }
+
+    int run();
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        bool http = false;
+        bool sniffed = false;
+        bool closing = false;  ///< close once `out` drains
+        std::string in;
+        std::string out;
+    };
+
+    struct Pending
+    {
+        std::string key;
+        std::string workload;
+        std::uint64_t seed = 1;
+        /** Connection ids (not fds: fds are reused) awaiting this. */
+        std::vector<std::uint64_t> waiters;
+    };
+
+    static unsigned
+    workerCountFor(const Options &o)
+    {
+        if (o.workers)
+            return o.workers;
+        unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+        return std::min(hw, 8u);
+    }
+
+    /** Runs in the worker process: "key\nspec-json" in,
+     *  "exit\ndoc" out; commits cacheable outcomes itself. */
+    static std::string
+    workerRun(const std::string &cache_dir, std::uint64_t cache_bytes,
+              const std::string &payload)
+    {
+        auto nl = payload.find('\n');
+        if (nl == std::string::npos)
+            throw std::runtime_error("malformed worker payload");
+        const std::string key = payload.substr(0, nl);
+        std::string err;
+        auto doc = json::parse(payload.substr(nl + 1), err);
+        if (!doc)
+            throw std::runtime_error("malformed worker spec: " + err);
+        sim::JobSpec spec;
+        if (!sim::JobSpec::fromJson(*doc, spec, err))
+            throw std::runtime_error("bad worker spec: " + err);
+
+        sim::JobOutcome out = sim::runJob(spec);
+        // Usage (2) and sim-error (4) outcomes are not cached: the
+        // former is a client bug, the latter may be environmental
+        // (and a panic message can carry addresses). Completed,
+        // divergence, and truncated runs are all deterministic.
+        if (out.exitCode == 0 || out.exitCode == 1 ||
+            out.exitCode == 3) {
+            sim::ResultCache cache(cache_dir, cache_bytes);
+            std::string serr;
+            cache.store(key, std::to_string(out.exitCode) + "\n" +
+                                 out.document,
+                        serr);
+        }
+        return std::to_string(out.exitCode) + "\n" + out.document;
+    }
+
+    bool listenOn(const std::string &path);
+    void acceptClients();
+    void handleReadable(Conn &c);
+    void processNdjson(Conn &c);
+    void processHttp(Conn &c);
+    void handleRequest(Conn &c, const std::string &line);
+    void respond(Conn &c, const std::string &envelope);
+    void drainPool();
+    void flushWrites();
+    std::string statsEnvelope();
+
+    Options opts_;
+    sim::ResultCache cache_;
+    sim::ProcPool pool_;
+    int listenFd_ = -1;
+    std::uint64_t nextConnId_ = 1;
+    std::map<std::uint64_t, Conn> conns_;
+    /** ticket -> waiters */
+    std::map<std::uint64_t, Pending> pending_;
+    /** key -> ticket (in-flight dedup) */
+    std::map<std::string, std::uint64_t> inFlightKeys_;
+    bool shuttingDown_ = false;
+    std::uint64_t requests_ = 0;
+    std::uint64_t runRequests_ = 0;
+    std::uint64_t servedHits_ = 0;
+    std::uint64_t servedMisses_ = 0;
+};
+
+bool
+Server::listenOn(const std::string &path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        std::fprintf(stderr, "error: socket path too long: %s\n",
+                     path.c_str());
+        return false;
+    }
+    ::unlink(path.c_str());
+    listenFd_ = ::socket(AF_UNIX,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listenFd_ < 0) {
+        std::perror("socket");
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        std::perror("bind/listen");
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+Server::acceptClients()
+{
+    for (;;) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0)
+            return;
+        Conn c;
+        c.fd = fd;
+        conns_.emplace(nextConnId_++, std::move(c));
+    }
+}
+
+void
+Server::handleReadable(Conn &c)
+{
+    char buf[16384];
+    for (;;) {
+        ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            if (c.in.size() > 64 * 1024 * 1024) {
+                c.closing = true;  // abuse guard: drop the flooder
+                c.out.clear();
+                return;
+            }
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // EOF or error: process what we have, then close.
+        c.closing = true;
+        break;
+    }
+    if (!c.sniffed && !c.in.empty()) {
+        c.http = c.in.rfind("POST ", 0) == 0 ||
+                 c.in.rfind("GET ", 0) == 0;
+        c.sniffed = true;
+    }
+    if (c.http)
+        processHttp(c);
+    else
+        processNdjson(c);
+}
+
+void
+Server::processNdjson(Conn &c)
+{
+    std::size_t start = 0;
+    for (;;) {
+        auto nl = c.in.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = c.in.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        handleRequest(c, line);
+    }
+    c.in.erase(0, start);
+}
+
+void
+Server::processHttp(Conn &c)
+{
+    auto hdr_end = c.in.find("\r\n\r\n");
+    if (hdr_end == std::string::npos)
+        return;  // headers incomplete
+    const std::string headers = c.in.substr(0, hdr_end);
+    std::size_t content_length = 0;
+    {
+        // Case-insensitive Content-Length scan.
+        std::string lower = headers;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char ch) {
+                           return static_cast<char>(
+                               std::tolower(ch));
+                       });
+        auto pos = lower.find("content-length:");
+        if (pos != std::string::npos)
+            content_length = std::strtoull(
+                headers.c_str() + pos + 15, nullptr, 10);
+    }
+    if (c.in.size() < hdr_end + 4 + content_length)
+        return;  // body incomplete
+    const std::string body =
+        c.in.substr(hdr_end + 4, content_length);
+    c.in.clear();
+
+    auto sp1 = headers.find(' ');
+    auto sp2 = headers.find(' ', sp1 + 1);
+    const std::string method = headers.substr(0, sp1);
+    const std::string path =
+        sp2 == std::string::npos
+            ? ""
+            : headers.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::string request;
+    int status = 200;
+    if (method == "POST" && path == "/run") {
+        // The body IS the run request: op defaults to "run" when the
+        // object omits it, so no rewriting (which could perturb the
+        // client's bytes) is needed.
+        request = body;
+    } else if (method == "GET" && path == "/ping") {
+        request = "{\"op\": \"ping\"}";
+    } else if (method == "GET" && path == "/stats") {
+        request = "{\"op\": \"stats\"}";
+    } else if (method == "POST" && path == "/shutdown") {
+        request = "{\"op\": \"shutdown\"}";
+    } else {
+        status = 404;
+    }
+
+    if (status != 200) {
+        const std::string body404 =
+            errorEnvelope("http", "not_found",
+                          method + " " + path +
+                              " is not a service route") +
+            "\n";
+        c.out += "HTTP/1.1 404 Not Found\r\nContent-Type: "
+                 "application/json\r\nContent-Length: " +
+                 std::to_string(body404.size()) +
+                 "\r\nConnection: close\r\n\r\n" + body404;
+        c.closing = true;
+        return;
+    }
+    // handleRequest appends the NDJSON line via respond(); wrap it.
+    handleRequest(c, request);
+}
+
+void
+Server::respond(Conn &c, const std::string &envelope)
+{
+    if (c.http) {
+        const std::string body = envelope + "\n";
+        c.out += "HTTP/1.1 200 OK\r\nContent-Type: application/"
+                 "json\r\nContent-Length: " +
+                 std::to_string(body.size()) +
+                 "\r\nConnection: close\r\n\r\n" + body;
+        c.closing = true;
+    } else {
+        c.out += envelope + "\n";
+    }
+}
+
+std::string
+Server::statsEnvelope()
+{
+    const sim::ResultCache::Stats &cs = cache_.stats();
+    json::JsonObject cache;
+    cache.field("dir", cache_.dir())
+        .field("entries", cache_.entryCount())
+        .field("hits", cs.hits)
+        .field("misses", cs.misses)
+        .field("stores", cs.stores)
+        .field("evictions", cs.evictions)
+        .field("rejected", cs.rejected);
+    std::vector<std::string> pids;
+    for (int pid : pool_.workerPids())
+        pids.push_back(std::to_string(pid));
+    json::JsonObject pool;
+    pool.field("workers", std::uint64_t{pool_.workerCount()})
+        .raw("worker_pids", json::jsonArray(pids))
+        .field("respawns", pool_.respawns())
+        .field("in_flight", std::uint64_t{pool_.inFlight()});
+    json::JsonObject served;
+    served.field("requests", requests_)
+        .field("run_requests", runRequests_)
+        .field("cache_hits", servedHits_)
+        .field("cache_misses", servedMisses_);
+    json::JsonObject doc;
+    doc.raw("ok", "true")
+        .field("op", std::string("stats"))
+        .field("schema_version", sim::resultSchemaVersion)
+        .raw("cache", cache.str())
+        .raw("pool", pool.str())
+        .raw("served", served.str());
+    return doc.str();
+}
+
+void
+Server::handleRequest(Conn &c, const std::string &line)
+{
+    ++requests_;
+    std::string err;
+    auto doc = json::parse(line, err);
+    if (!doc || !doc->isObject()) {
+        respond(c, errorEnvelope("", "parse",
+                                 "request is not a JSON object: " +
+                                     err));
+        return;
+    }
+    const std::string op = doc->getStr("op", "run");
+    if (opts_.verbose)
+        std::fprintf(stderr, "serve: %s request (%zu bytes)\n",
+                     op.c_str(), line.size());
+
+    if (op == "ping") {
+        json::JsonObject pong;
+        pong.raw("ok", "true")
+            .field("op", std::string("ping"))
+            .field("schema_version", sim::resultSchemaVersion);
+        respond(c, pong.str());
+        return;
+    }
+    if (op == "stats") {
+        respond(c, statsEnvelope());
+        return;
+    }
+    if (op == "shutdown") {
+        json::JsonObject bye;
+        bye.raw("ok", "true")
+            .field("op", std::string("shutdown"))
+            .field("schema_version", sim::resultSchemaVersion)
+            .field("draining", std::uint64_t{pending_.size()});
+        respond(c, bye.str());
+        shuttingDown_ = true;
+        return;
+    }
+    if (op != "run") {
+        respond(c, errorEnvelope(op, "usage",
+                                 "unknown op '" + op + "'"));
+        return;
+    }
+
+    ++runRequests_;
+    if (shuttingDown_) {
+        respond(c, errorEnvelope("run", "shutdown",
+                                 "server is draining"));
+        return;
+    }
+    sim::JobSpec spec;
+    if (!sim::JobSpec::fromJson(*doc, spec, err)) {
+        respond(c, errorEnvelope("run", "usage", err));
+        return;
+    }
+    std::string key = sim::jobCacheKey(spec, err);
+    if (key.empty()) {
+        respond(c, errorEnvelope("run", "usage", err));
+        return;
+    }
+
+    if (auto payload = cache_.lookup(key)) {
+        auto nl = payload->find('\n');
+        if (nl != std::string::npos) {
+            ++servedHits_;
+            int exit_code = std::atoi(payload->substr(0, nl).c_str());
+            respond(c, runEnvelope(spec.workload, spec.seed, true,
+                                   key, exit_code,
+                                   payload->substr(nl + 1)));
+            return;
+        }
+        // Structurally odd payload: fall through and recompute.
+    }
+    ++servedMisses_;
+
+    // In-flight dedup: piggyback on an identical running job.
+    std::uint64_t conn_id = 0;
+    for (auto &[id, conn] : conns_)
+        if (&conn == &c)
+            conn_id = id;
+    auto it = inFlightKeys_.find(key);
+    if (it != inFlightKeys_.end()) {
+        pending_[it->second].waiters.push_back(conn_id);
+        return;
+    }
+    std::string serr;
+    std::uint64_t ticket =
+        pool_.submit(key + "\n" + spec.toJson(), serr);
+    if (!ticket) {
+        respond(c, errorEnvelope("run", "overload", serr));
+        return;
+    }
+    Pending p;
+    p.key = key;
+    p.workload = spec.workload;
+    p.seed = spec.seed;
+    p.waiters.push_back(conn_id);
+    pending_.emplace(ticket, std::move(p));
+    inFlightKeys_.emplace(key, ticket);
+}
+
+void
+Server::drainPool()
+{
+    for (sim::ProcPool::Result &r : pool_.poll(0)) {
+        auto it = pending_.find(r.ticket);
+        if (it == pending_.end())
+            continue;
+        Pending p = std::move(it->second);
+        pending_.erase(it);
+        inFlightKeys_.erase(p.key);
+
+        std::string envelope;
+        if (r.status == sim::ProcPool::JobStatus::Done) {
+            auto nl = r.payload.find('\n');
+            int exit_code =
+                nl == std::string::npos
+                    ? 4
+                    : std::atoi(r.payload.substr(0, nl).c_str());
+            std::string doc =
+                nl == std::string::npos
+                    ? sim::errorDocument(p.workload, p.seed, "failed",
+                                         "malformed worker result")
+                    : r.payload.substr(nl + 1);
+            envelope = runEnvelope(p.workload, p.seed, false, p.key,
+                                   exit_code, doc);
+        } else {
+            // Failed (exception) or Crashed (worker died): one typed
+            // error document per the batch contract; the pool has
+            // already respawned a replacement for a crash.
+            const char *kind =
+                r.status == sim::ProcPool::JobStatus::Crashed
+                    ? "crashed"
+                    : "failed";
+            std::string doc = sim::errorDocument(p.workload, p.seed,
+                                                 kind, r.payload);
+            json::JsonObject o;
+            o.raw("ok", "false")
+                .field("op", std::string("run"))
+                .field("schema_version", sim::resultSchemaVersion)
+                .field("workload", p.workload)
+                .field("seed", p.seed)
+                .raw("cached", "false")
+                .field("key", p.key)
+                .field("exit_code", std::uint64_t{4})
+                .field("error_kind", std::string(kind))
+                .raw("doc", doc);
+            envelope = o.str();
+        }
+        for (std::uint64_t id : p.waiters) {
+            auto cit = conns_.find(id);
+            if (cit != conns_.end())
+                respond(cit->second, envelope);
+        }
+    }
+}
+
+void
+Server::flushWrites()
+{
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn &c = it->second;
+        while (!c.out.empty()) {
+            ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+            if (n > 0) {
+                c.out.erase(0, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            c.closing = true;  // broken pipe: drop the connection
+            c.out.clear();
+            break;
+        }
+        bool waiting = false;
+        for (const auto &[ticket, p] : pending_) {
+            (void)ticket;
+            if (std::find(p.waiters.begin(), p.waiters.end(),
+                          it->first) != p.waiters.end()) {
+                waiting = true;
+                break;
+            }
+        }
+        if (c.closing && c.out.empty() && !waiting) {
+            ::close(c.fd);
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+int
+Server::run()
+{
+    signal(SIGPIPE, SIG_IGN);
+    signal(SIGTERM, onTerminate);
+    signal(SIGINT, onTerminate);
+
+    if (!listenOn(opts_.socketPath))
+        return 1;
+    std::fprintf(stderr,
+                 "specslice_serve: listening on %s (cache %s, %u "
+                 "workers)\n",
+                 opts_.socketPath.c_str(), cache_.dir().c_str(),
+                 pool_.workerCount());
+
+    while (!g_terminate) {
+        if (shuttingDown_ && pending_.empty()) {
+            // Flush remaining bytes, then leave.
+            flushWrites();
+            bool all_flushed = true;
+            for (const auto &[id, c] : conns_) {
+                (void)id;
+                if (!c.out.empty())
+                    all_flushed = false;
+            }
+            if (all_flushed)
+                break;
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd_, POLLIN, 0});
+        std::vector<std::uint64_t> conn_ids;
+        for (auto &[id, c] : conns_) {
+            short ev = POLLIN;
+            if (!c.out.empty())
+                ev |= POLLOUT;
+            fds.push_back({c.fd, ev, 0});
+            conn_ids.push_back(id);
+        }
+        std::vector<int> pool_fds = pool_.resultFds();
+        for (int fd : pool_fds)
+            fds.push_back({fd, POLLIN, 0});
+
+        int rc = ::poll(fds.data(), fds.size(),
+                        pending_.empty() ? 1000 : 200);
+        if (rc < 0 && errno != EINTR)
+            break;
+
+        if (fds[0].revents & POLLIN)
+            acceptClients();
+        for (std::size_t i = 0; i < conn_ids.size(); ++i) {
+            auto it = conns_.find(conn_ids[i]);
+            if (it == conns_.end())
+                continue;
+            short re = fds[1 + i].revents;
+            if (re & (POLLIN | POLLHUP | POLLERR))
+                handleReadable(it->second);
+        }
+        // Always drain the pool: results may be ready even when the
+        // poll woke for another reason (or a worker died without
+        // writing — reapAndRespawn runs inside poll(0)).
+        drainPool();
+        flushWrites();
+    }
+
+    ::close(listenFd_);
+    ::unlink(opts_.socketPath.c_str());
+    std::fprintf(stderr, "specslice_serve: shut down (%llu requests, "
+                         "%llu hits, %llu misses)\n",
+                 static_cast<unsigned long long>(requests_),
+                 static_cast<unsigned long long>(servedHits_),
+                 static_cast<unsigned long long>(servedMisses_));
+    return 0;
+}
+
+// ---------------------------------------------------------------
+// Client mode
+// ---------------------------------------------------------------
+
+int
+clientMain(const Options &o)
+{
+    std::string request = o.request;
+    if (request.empty()) {
+        if (o.op.empty()) {
+            std::fprintf(stderr,
+                         "error: client mode needs --request or one "
+                         "of --ping/--stats/--shutdown\n");
+            return 5;
+        }
+        request = "{\"op\": \"" + o.op + "\"}";
+    }
+
+    std::string response, err;
+    if (!serve_client::requestOnce(o.connectPath, request, response,
+                                   err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 5;
+    }
+    if (o.raw || o.request.empty()) {
+        std::printf("%s\n", response.c_str());
+        std::string perr;
+        auto env = json::parse(response, perr);
+        return env && env->getBool("ok") ? 0 : 5;
+    }
+
+    // Run request: print the byte-exact result document, exit with
+    // the run's exit code.
+    std::string perr;
+    auto env = json::parse(response, perr);
+    if (!env) {
+        std::fprintf(stderr, "error: unparseable response: %s\n",
+                     perr.c_str());
+        return 5;
+    }
+    std::string doc;
+    if (serve_client::extractDoc(response, doc))
+        std::printf("%s\n", doc.c_str());
+    else
+        std::printf("%s\n", response.c_str());
+    if (!env->getBool("ok")) {
+        const json::Value *e = env->get("error");
+        std::fprintf(stderr, "error: %s\n",
+                     e ? e->getStr("message", "request failed").c_str()
+                       : env->getStr("error_kind", "request failed")
+                             .c_str());
+        // A served-but-failed run (crashed worker, sim error) carries
+        // the run's exit code; 5 stays reserved for transport and
+        // protocol failures where no run happened at all.
+        return static_cast<int>(env->getU64("exit_code", 5));
+    }
+    return static_cast<int>(env->getU64("exit_code", 5));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+    if (!o.connectPath.empty())
+        return clientMain(o);
+    Server server(o);
+    return server.run();
+}

@@ -35,8 +35,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <fstream>
 #include <map>
 #include <set>
@@ -48,7 +50,10 @@
 #include "check/digest.hh"
 #include "common/logging.hh"
 #include "fault/fault.hh"
+#include "sim/experiments.hh"
 #include "sim/job_pool.hh"
+#include "sim/result_cache.hh"
+#include "sim/run_key.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -81,6 +86,11 @@ struct Options
     /** Checkpoint cache dir: first run per workload saves the
      *  fast-forward state, later runs restore it (empty = off). */
     std::string checkpoints;
+    /** Incremental mode: route every run through the content-
+     *  addressed result cache, so an unchanged binary re-verifies
+     *  without simulating at all. */
+    bool serve = false;
+    std::string cacheDir;  ///< "" = SS_CACHE_DIR or .sscache
     bool check = true;
     bool verbose = false;
     bool json = false;            ///< sweep summary JSON on stdout
@@ -124,8 +134,17 @@ usage(int code)
         "  --sample-stride N generate: instructions between region\n"
         "                    starts (default warmup+insts)\n"
         "  --checkpoints DIR cache the fast-forward state per workload\n"
-        "                    (first run saves DIR/<name>.ckpt, later\n"
-        "                    runs restore instead of re-executing)\n"
+        "                    (first run saves DIR/<name>-<key>.ckpt,\n"
+        "                    later runs restore instead of\n"
+        "                    re-executing; the key covers workload,\n"
+        "                    seed, fast-forward depth, and binary, so\n"
+        "                    a stale checkpoint is never restored)\n"
+        "  --serve           incremental verify: serve runs from the\n"
+        "                    content-addressed result cache, simulate\n"
+        "                    only what the cache is missing (after a\n"
+        "                    no-op rebuild the whole sweep is served)\n"
+        "  --cache DIR       result-cache directory for --serve\n"
+        "                    (default $SS_CACHE_DIR or .sscache)\n"
         "  --seed N          workload seed (generate; 1)\n"
         "  --width 4|8       machine width (generate; 4)\n"
         "  --threads N       SMT contexts (generate; 4)\n"
@@ -222,6 +241,10 @@ parseArgs(int argc, char **argv)
                 usage(2);
         } else if (a == "--checkpoints") {
             o.checkpoints = next();
+        } else if (a == "--serve") {
+            o.serve = true;
+        } else if (a == "--cache") {
+            o.cacheDir = next();
         } else if (a == "--seed") {
             o.params.seed = parseNum(next());
         } else if (a == "--width") {
@@ -316,11 +339,14 @@ struct LiveRun
     std::string faultSummary;
 };
 
-/** Run one workload in both configurations and digest the results. */
+/** Run one workload in both configurations and digest the results.
+ *  With a result cache, runs the cache already holds are served
+ *  without simulating (incremental --serve verify). */
 LiveRun
 buildLiveRun(const std::string &name, const RunParams &p, bool check,
              const fault::FaultPlan &plan,
-             const std::string &ckpt_dir = {})
+             const std::string &ckpt_dir = {},
+             sim::ResultCache *cache = nullptr)
 {
     // The workload must outlast the whole sampling span; with no
     // sampling this reduces to the historical (insts + warmup) * 2.
@@ -359,9 +385,22 @@ buildLiveRun(const std::string &name, const RunParams &p, bool check,
     // fast-forward and saves the state; every later run (the second
     // config here, or a whole future sweep) restores it. The sweep is
     // parallel across *workloads* only, so the file is never raced.
+    // The filename embeds checkpointCacheKey (workload identity, data
+    // seed, fast-forward depth, binary fingerprint), so a checkpoint
+    // from a different binary or parameterization is never restored —
+    // it simply isn't found, and a fresh one is saved.
+    //
+    // With a result cache the checkpoint machinery is bypassed
+    // entirely: served runs skip the fast-forward anyway, and keeping
+    // checkpoint paths out of the run options keeps the cache key for
+    // a given configuration stable across passes (first pass would
+    // otherwise save, second restore — two different keys).
     std::string ckpt;
-    if (!ckpt_dir.empty())
-        ckpt = (std::filesystem::path(ckpt_dir) / (name + ".ckpt"))
+    if (!ckpt_dir.empty() && !cache)
+        ckpt = (std::filesystem::path(ckpt_dir) /
+                (name + "-" +
+                 sim::checkpointCacheKey(wl, p.seed, p.fastforward) +
+                 ".ckpt"))
                    .string();
     auto optsFor = [&](bool first) {
         sim::RunOptions per = opts;
@@ -403,8 +442,18 @@ buildLiveRun(const std::string &name, const RunParams &p, bool check,
             live.faultSummary += r.faultSummary;
         }
     };
-    absorb("baseline", machine.runBaseline(wl, optsFor(true)));
-    absorb("slices", machine.run(wl, optsFor(false), true));
+    if (cache) {
+        sim::ExperimentConfig ecfg;
+        ecfg.seed = p.seed;
+        ecfg.cache = cache;
+        absorb("baseline",
+               sim::cachedRun(cfg, machine, wl, ecfg, opts, false));
+        absorb("slices",
+               sim::cachedRun(cfg, machine, wl, ecfg, opts, true));
+    } else {
+        absorb("baseline", machine.runBaseline(wl, optsFor(true)));
+        absorb("slices", machine.run(wl, optsFor(false), true));
+    }
     return live;
 }
 
@@ -424,7 +473,8 @@ struct Outcome
 };
 
 Outcome
-verifyWorkload(const std::string &name, const Options &o)
+verifyWorkload(const std::string &name, const Options &o,
+               sim::ResultCache *cache)
 {
     Outcome out;
     out.name = name;
@@ -458,7 +508,8 @@ verifyWorkload(const std::string &name, const Options &o)
     p.stride = golden->stride;
 
     const fault::FaultPlan &plan = planFor(name, o);
-    LiveRun live = buildLiveRun(name, p, o.check, plan, o.checkpoints);
+    LiveRun live =
+        buildLiveRun(name, p, o.check, plan, o.checkpoints, cache);
 
     if (plan.empty()) {
         out.messages = check::diffDigests(*golden, live.digest);
@@ -504,12 +555,14 @@ verifyWorkload(const std::string &name, const Options &o)
 }
 
 Outcome
-generateWorkload(const std::string &name, const Options &o)
+generateWorkload(const std::string &name, const Options &o,
+                 sim::ResultCache *cache)
 {
     Outcome out;
     out.name = name;
     check::Digest d = buildLiveRun(name, o.params, o.check,
-                                   fault::FaultPlan{}, o.checkpoints)
+                                   fault::FaultPlan{}, o.checkpoints,
+                                   cache)
                           .digest;
     for (std::string &msg : check::lintDigest(d)) {
         // A digest that fails its own lint must never reach golden/.
@@ -573,14 +626,28 @@ main(int argc, char **argv)
     if (!o.checkpoints.empty())
         std::filesystem::create_directories(o.checkpoints);
 
+    // --serve: one shared cache; ResultCache is thread-safe, so the
+    // JobPool workers hit it concurrently.
+    std::unique_ptr<sim::ResultCache> cache;
+    if (o.serve) {
+        std::string dir = o.cacheDir;
+        if (dir.empty())
+            if (const char *env = std::getenv("SS_CACHE_DIR"))
+                dir = env;
+        if (dir.empty())
+            dir = ".sscache";
+        cache = std::make_unique<sim::ResultCache>(dir);
+    }
+
     sim::JobPool pool(o.jobs);
     sim::SettleOptions sopts;
     sopts.deadlineSeconds = o.deadline;
     auto settled = pool.mapSettled(
         names,
         [&](const std::string &name) {
-            return o.generate ? generateWorkload(name, o)
-                              : verifyWorkload(name, o);
+            return o.generate
+                       ? generateWorkload(name, o, cache.get())
+                       : verifyWorkload(name, o, cache.get());
         },
         sopts);
 
@@ -688,8 +755,17 @@ main(int argc, char **argv)
             .raw("workloads", bench::jsonArray(elems))
             .raw("coverage_errors", bench::jsonArray(cov))
             .field("ok_count", std::uint64_t{ok_count})
-            .field("total", std::uint64_t{outcomes.size()})
-            .raw("failed", failed ? "true" : "false");
+            .field("total", std::uint64_t{outcomes.size()});
+        if (cache) {
+            const sim::ResultCache::Stats &cs = cache->stats();
+            bench::JsonObject cj;
+            cj.field("dir", cache->dir())
+                .field("hits", cs.hits)
+                .field("misses", cs.misses)
+                .field("stores", cs.stores);
+            doc.raw("cache", cj.str());
+        }
+        doc.raw("failed", failed ? "true" : "false");
         std::printf("%s\n", doc.str().c_str());
     } else {
         std::printf("%s: %zu/%zu workloads %s (%s)\n",
@@ -698,6 +774,13 @@ main(int argc, char **argv)
                     o.generate ? "written" : "match",
                     o.check ? "retirement checker on"
                             : "retirement checker off");
+        if (cache) {
+            const sim::ResultCache::Stats &cs = cache->stats();
+            std::printf("cache %s: %llu served, %llu simulated\n",
+                        cache->dir().c_str(),
+                        static_cast<unsigned long long>(cs.hits),
+                        static_cast<unsigned long long>(cs.misses));
+        }
     }
     return failed ? 1 : 0;
 }
