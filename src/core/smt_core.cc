@@ -1,6 +1,7 @@
 #include "core/smt_core.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -248,6 +249,11 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     Cycle measure_start = 0;
     std::uint64_t measured_base = 0;
 
+    // Wall-clock phase split (observability only, not serialized):
+    // two clock reads per run plus one at the warm-up boundary.
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto wall_boundary = wall_start;
+
     const Cycle iv_cycles = opts.intervalCycles;
     IntervalState iv;
     // When the caller provides a sink, accumulate directly into it so
@@ -299,6 +305,7 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
             resetStats();
             measure_start = cycle_;
             measured_base = mainRetired_;
+            wall_boundary = std::chrono::steady_clock::now();
             // The time-series covers the measured region only:
             // discard warm-up windows and restart at the boundary so
             // window deltas sum to the final (post-reset) counters.
@@ -338,6 +345,14 @@ SmtCore::run(Addr entry_pc, const RunOptions &opts)
     else
         res.intervals = std::move(local_intervals);
     res.cycles = cycle_ - measure_start;
+    res.totalCycles = cycle_;
+    {
+        const auto wall_end = std::chrono::steady_clock::now();
+        std::chrono::duration<double> wu = wall_boundary - wall_start;
+        std::chrono::duration<double> me = wall_end - wall_boundary;
+        res.wallWarmupSeconds = wu.count();
+        res.wallMeasureSeconds = me.count();
+    }
     res.mainRetired = mainRetired_ - measured_base;
     res.mainFetched = s_.mainFetched;
     res.mainFetchedWrongPath = s_.mainFetchedWrongpath;

@@ -262,6 +262,21 @@ struct RunResult
     /** Timing regions aggregated into this result (0 = unsampled). */
     unsigned sampledRegions = 0;
 
+    // Observability-only wall-clock phase breakdown and trace
+    // bookkeeping. NEVER serialized into result documents (served
+    // docs must stay byte-identical to `specslice_run --json
+    // --no-wall` and deterministic); the sweep service feeds them
+    // into its latency histograms.
+    /** Wall seconds spent fast-forwarding (sampled runs only). */
+    double wallFastForwardSeconds = 0.0;
+    /** Wall seconds from run start to the warm-up stats reset. */
+    double wallWarmupSeconds = 0.0;
+    /** Wall seconds from the stats reset to run end. */
+    double wallMeasureSeconds = 0.0;
+    /** Cycles simulated including warm-up (RunResult::cycles covers
+     *  the measured region only); used to stitch multi-run traces. */
+    Cycle totalCycles = 0;
+
     // Retirement-checker outcome (RunOptions.check runs only).
     /** Main-thread retirements the checker compared (warm-up included;
      *  0 when checking was off or compiled out). */

@@ -60,6 +60,10 @@ enum class EventKind : std::uint8_t
     CorrPredUsed,
     CorrPredKilled,
     CorrOverflow,
+    /** One span per sampled timing region (sim::Simulator): ts is
+     *  the region's base cycle, dur its cycle count, seq the
+     *  instruction position the region started at, arg its index. */
+    Region,
     NumKinds
 };
 
@@ -73,6 +77,18 @@ struct TraceEvent
     Addr pc = invalidAddr;
     SeqNum seq = invalidSeqNum;
     std::uint64_t arg = 0;  ///< kind-specific (token, id, flag)
+    Cycle dur = 1;          ///< span length (1 for point events)
+};
+
+/** Identity stamped onto writeChromeTrace output. Defaults preserve
+ *  the classic single-process trace; the sweep service's workers set
+ *  a per-worker pid lane and the request id they are serving, so a
+ *  daemon-side merge keeps lanes and requests distinguishable. */
+struct ChromeTraceMeta
+{
+    unsigned pid = 0;
+    std::string processName = "specslice";
+    std::string requestId;  ///< "" = omit the "req" arg
 };
 
 class EventBuffer
@@ -86,18 +102,41 @@ class EventBuffer
     void setNow(Cycle now) { now_ = now; }
     Cycle now() const { return now_; }
 
+    /** Offset added to every pushed timestamp. Multi-run and sampled
+     *  traces advance it between runs/regions so each segment's
+     *  cycle-0 restart lands past the previous segment on the
+     *  timeline instead of overlapping it. */
+    void setTimeBase(Cycle base) { base_ = base; }
+    Cycle timeBase() const { return base_; }
+
     /** Record an event at the current cycle. */
     void
     push(EventKind kind, ThreadId thread, Addr pc, SeqNum seq,
          std::uint64_t arg = 0)
     {
         TraceEvent &e = slot();
-        e.cycle = now_;
+        e.cycle = base_ + now_;
         e.kind = kind;
         e.thread = thread;
         e.pc = pc;
         e.seq = seq;
         e.arg = arg;
+        e.dur = 1;
+    }
+
+    /** Record a span at an absolute (already based) timestamp. */
+    void
+    pushSpan(EventKind kind, Cycle ts, Cycle dur, ThreadId thread,
+             Addr pc, SeqNum seq, std::uint64_t arg = 0)
+    {
+        TraceEvent &e = slot();
+        e.cycle = ts;
+        e.kind = kind;
+        e.thread = thread;
+        e.pc = pc;
+        e.seq = seq;
+        e.arg = arg;
+        e.dur = dur ? dur : 1;
     }
 
     /** Retained event count (<= capacity). */
@@ -127,6 +166,12 @@ class EventBuffer
      */
     void writeChromeTrace(std::ostream &os) const;
 
+    /** Same, stamped with an explicit process identity (worker lane
+     *  pid, process name) and, when set, a per-event request-id arg
+     *  for daemon-side cross-process merging. */
+    void writeChromeTrace(std::ostream &os,
+                          const ChromeTraceMeta &meta) const;
+
   private:
     TraceEvent &
     slot()
@@ -145,6 +190,7 @@ class EventBuffer
     std::size_t size_ = 0;
     std::uint64_t dropped_ = 0;
     Cycle now_ = 0;
+    Cycle base_ = 0;
 };
 
 } // namespace specslice::obs

@@ -1,0 +1,344 @@
+#include "obs/metrics.hh"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#include <sys/mman.h>
+
+#include "common/failure.hh"
+#include "common/jsonio.hh"
+#include "common/logging.hh"
+
+namespace specslice::obs
+{
+
+namespace
+{
+
+using Slot = std::atomic<std::uint64_t>;
+static_assert(sizeof(Slot) == sizeof(std::uint64_t));
+
+/** Decade-ish bounds from 1us to 10s: fine enough at the fast end
+ *  for cache hits, wide enough at the slow end for full compare
+ *  simulations. */
+constexpr std::uint64_t bounds[MetricsRegistry::numFiniteBuckets] = {
+    1,       2,       5,       10,      25,      50,
+    100,     250,     500,     1'000,   2'500,   5'000,
+    10'000,  25'000,  50'000,  100'000, 250'000, 500'000,
+    1'000'000, 2'500'000, 5'000'000, 10'000'000,
+};
+
+MetricsRegistry *g_ambient = nullptr;
+
+const char *
+kindName(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "counter";
+}
+
+} // namespace
+
+void
+setAmbientMetrics(MetricsRegistry *reg)
+{
+    g_ambient = reg;
+}
+
+MetricsRegistry *
+ambientMetrics()
+{
+    return g_ambient;
+}
+
+MetricsRegistry::MetricsRegistry(unsigned processes)
+{
+    processes_ = processes < 1 ? 1
+                 : processes > maxProcesses ? maxProcesses
+                                            : processes;
+    const std::size_t bytes =
+        static_cast<std::size_t>(processes_) * slotsPerPage *
+        sizeof(Slot);
+    void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    SS_ASSERT(mem != MAP_FAILED, "metrics shared mmap failed");
+    pages_ = mem;
+    Slot *slots = static_cast<Slot *>(pages_);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(processes_) * slotsPerPage; ++i)
+        new (&slots[i]) Slot(0);
+}
+
+MetricsRegistry::~MetricsRegistry()
+{
+    if (pages_) {
+        ::munmap(pages_, static_cast<std::size_t>(processes_) *
+                             slotsPerPage * sizeof(Slot));
+        pages_ = nullptr;
+    }
+    if (g_ambient == this)
+        g_ambient = nullptr;
+}
+
+void
+MetricsRegistry::bindProcess(unsigned page)
+{
+    SS_ASSERT(page < processes_,
+              "metrics bindProcess page out of range");
+    bound_ = page;
+}
+
+std::uint32_t
+MetricsRegistry::allocate(MetricKind kind, const std::string &name,
+                          const std::string &help, unsigned slots)
+{
+    auto it = byName_.find(name);
+    if (it != byName_.end()) {
+        const Def &d = defs_[it->second];
+        SS_ASSERT(d.kind == kind, "metric '", name,
+                  "' re-registered as a different kind (",
+                  kindName(d.kind), " vs ", kindName(kind), ")");
+        return d.slot;
+    }
+    SS_ASSERT(nextSlot_ + slots <= slotsPerPage,
+              "metrics page full registering '", name, "'");
+    Def d;
+    d.kind = kind;
+    d.name = name;
+    d.help = help;
+    d.slot = nextSlot_;
+    nextSlot_ += slots;
+    byName_.emplace(name, defs_.size());
+    defs_.push_back(std::move(d));
+    return defs_.back().slot;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    return Counter(this, allocate(MetricKind::Counter, name, help, 1));
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    return Gauge(this, allocate(MetricKind::Gauge, name, help, 1));
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help)
+{
+    return Histogram(
+        this,
+        allocate(MetricKind::Histogram, name, help, histogramSlots));
+}
+
+namespace
+{
+
+inline Slot *
+pageSlots(void *pages, unsigned page)
+{
+    return static_cast<Slot *>(pages) +
+           static_cast<std::size_t>(page) *
+               MetricsRegistry::slotsPerPage;
+}
+
+} // namespace
+
+void
+Counter::inc(std::uint64_t n)
+{
+    if (!reg_)
+        return;
+    pageSlots(reg_->pages_, reg_->bound_)[slot_].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+Gauge::set(std::uint64_t v)
+{
+    if (!reg_)
+        return;
+    pageSlots(reg_->pages_, reg_->bound_)[slot_].store(
+        v, std::memory_order_relaxed);
+}
+
+void
+Gauge::add(std::uint64_t n)
+{
+    if (!reg_)
+        return;
+    pageSlots(reg_->pages_, reg_->bound_)[slot_].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(std::uint64_t usec)
+{
+    if (!reg_)
+        return;
+    unsigned b = 0;
+    while (b < MetricsRegistry::numFiniteBuckets &&
+           usec > MetricsRegistry::bucketBounds()[b])
+        ++b;
+    Slot *s = pageSlots(reg_->pages_, reg_->bound_) + slot_;
+    s[b].fetch_add(1, std::memory_order_relaxed);
+    s[MetricsRegistry::numBuckets].fetch_add(
+        1, std::memory_order_relaxed);  // count
+    s[MetricsRegistry::numBuckets + 1].fetch_add(
+        usec, std::memory_order_relaxed);  // sum
+}
+
+const std::uint64_t *
+MetricsRegistry::bucketBounds()
+{
+    return bounds;
+}
+
+std::uint64_t
+MetricsRegistry::sumSlot(std::uint32_t slot) const
+{
+    std::uint64_t total = 0;
+    for (unsigned p = 0; p < processes_; ++p)
+        total += pageSlots(pages_, p)[slot].load(
+            std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+MetricsRegistry::value(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        return 0;
+    return sumSlot(defs_[it->second].slot);
+}
+
+bool
+MetricsRegistry::histogramSnapshot(const std::string &name,
+                                   HistogramSnapshot &out) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end() ||
+        defs_[it->second].kind != MetricKind::Histogram)
+        return false;
+    const std::uint32_t base = defs_[it->second].slot;
+    out = HistogramSnapshot{};
+    for (unsigned b = 0; b < numBuckets; ++b)
+        out.buckets[b] = sumSlot(base + b);
+    out.count = sumSlot(base + numBuckets);
+    out.sum = sumSlot(base + numBuckets + 1);
+    return true;
+}
+
+double
+MetricsRegistry::HistogramSnapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < numBuckets; ++b) {
+        const std::uint64_t in_bucket = buckets[b];
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(cum + in_bucket) >= target) {
+            if (b >= numFiniteBuckets)
+                return static_cast<double>(
+                    bounds[numFiniteBuckets - 1]);
+            const double lo =
+                b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+            const double hi = static_cast<double>(bounds[b]);
+            const double frac =
+                (target - static_cast<double>(cum)) /
+                static_cast<double>(in_bucket);
+            return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+        }
+        cum += in_bucket;
+    }
+    return static_cast<double>(bounds[numFiniteBuckets - 1]);
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::string out;
+    char buf[256];
+    for (const Def &d : defs_) {
+        if (!d.help.empty()) {
+            out += "# HELP " + d.name + " " + d.help + "\n";
+        }
+        out += "# TYPE " + d.name + " ";
+        out += kindName(d.kind);
+        out += "\n";
+        if (d.kind != MetricKind::Histogram) {
+            std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n",
+                          d.name.c_str(), sumSlot(d.slot));
+            out += buf;
+            continue;
+        }
+        // Prometheus histograms are cumulative over le-labeled
+        // buckets, closed by the +Inf bucket (== _count).
+        std::uint64_t cum = 0;
+        for (unsigned b = 0; b < numFiniteBuckets; ++b) {
+            cum += sumSlot(d.slot + b);
+            std::snprintf(buf, sizeof(buf),
+                          "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64
+                          "\n",
+                          d.name.c_str(), bounds[b], cum);
+            out += buf;
+        }
+        cum += sumSlot(d.slot + numFiniteBuckets);
+        std::snprintf(buf, sizeof(buf),
+                      "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                      d.name.c_str(), cum);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_sum %" PRIu64 "\n",
+                      d.name.c_str(),
+                      sumSlot(d.slot + numBuckets + 1));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n",
+                      d.name.c_str(), sumSlot(d.slot + numBuckets));
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    json::JsonObject o;
+    for (const Def &d : defs_) {
+        if (d.kind != MetricKind::Histogram) {
+            o.field(d.name, sumSlot(d.slot));
+            continue;
+        }
+        HistogramSnapshot snap;
+        histogramSnapshot(d.name, snap);
+        json::JsonObject h;
+        h.field("count", snap.count)
+            .field("sum_usec", snap.sum)
+            .field("p50_usec", snap.percentile(0.50))
+            .field("p95_usec", snap.percentile(0.95))
+            .field("p99_usec", snap.percentile(0.99));
+        o.raw(d.name, h.str());
+    }
+    return o.str();
+}
+
+} // namespace specslice::obs

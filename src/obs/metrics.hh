@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Typed service metrics: counters, gauges, and fixed-bucket latency
+ * histograms that aggregate across forked worker processes.
+ *
+ * The value store is an anonymous shared mmap of per-process "pages"
+ * (page 0 = the owning daemon, pages 1..N = ProcPool workers),
+ * mirroring the proc-pool job-slot design: a worker dying mid-update
+ * cannot corrupt anything because every slot is one relaxed atomic
+ * u64, and a SIGKILLed worker's already-recorded values survive in
+ * the parent-owned mapping. Scrapes sum the slot across all pages.
+ *
+ * Registration discipline: every metric name must be registered in
+ * the parent BEFORE the worker pool forks — children inherit the
+ * name→slot schema by fork and re-fetching a registered name is an
+ * idempotent lookup. (A name registered only after fork is private
+ * to the registering process and invisible to scrapes in the other.)
+ *
+ * Hot-path cost: one relaxed fetch_add per counter increment, two
+ * for a histogram observation — no locks, no allocation.
+ *
+ * Two renderers: Prometheus text exposition (for `GET /metrics` on
+ * the service's HTTP shim) and a JSON block with p50/p95/p99 per
+ * histogram (for `--stats` envelopes and BENCH_serve.json). Both
+ * read the same pages, so their numbers always agree.
+ *
+ * The ambient registry (setAmbientMetrics/ambientMetrics) lets deep
+ * layers — ResultCache, ProcPool workers, serve_job — record without
+ * plumbing a pointer through every signature; when no ambient
+ * registry is installed every handle is a no-op.
+ */
+
+#ifndef SPECSLICE_OBS_METRICS_HH
+#define SPECSLICE_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specslice::obs
+{
+
+class MetricsRegistry;
+
+enum class MetricKind : std::uint8_t
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** Monotonic event count. Default-constructed handles are no-ops. */
+class Counter
+{
+  public:
+    Counter() = default;
+    void inc(std::uint64_t n = 1);
+
+  private:
+    friend class MetricsRegistry;
+    Counter(MetricsRegistry *reg, std::uint32_t slot)
+        : reg_(reg), slot_(slot)
+    {
+    }
+    MetricsRegistry *reg_ = nullptr;
+    std::uint32_t slot_ = 0;
+};
+
+/** Point-in-time value, set by its owning process. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    void set(std::uint64_t v);
+    void add(std::uint64_t n = 1);
+
+  private:
+    friend class MetricsRegistry;
+    Gauge(MetricsRegistry *reg, std::uint32_t slot)
+        : reg_(reg), slot_(slot)
+    {
+    }
+    MetricsRegistry *reg_ = nullptr;
+    std::uint32_t slot_ = 0;
+};
+
+/** Fixed-bucket latency histogram (microsecond samples). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    void observe(std::uint64_t usec);
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(MetricsRegistry *reg, std::uint32_t slot)
+        : reg_(reg), slot_(slot)
+    {
+    }
+    MetricsRegistry *reg_ = nullptr;
+    std::uint32_t slot_ = 0;
+};
+
+class MetricsRegistry
+{
+  public:
+    /** Pages: the daemon plus one per possible pool worker. */
+    static constexpr unsigned maxProcesses = 65;
+    /** u64 value slots per process page. */
+    static constexpr unsigned slotsPerPage = 1024;
+    /** Finite bucket upper bounds, in microseconds. */
+    static constexpr unsigned numFiniteBuckets = 22;
+    /** Finite buckets + the +Inf overflow bucket. */
+    static constexpr unsigned numBuckets = numFiniteBuckets + 1;
+    /** Slots one histogram consumes: buckets + count + sum. */
+    static constexpr unsigned histogramSlots = numBuckets + 2;
+
+    /** @param processes shared pages to allocate (clamped to
+     *         [1, maxProcesses]); fork after construction. */
+    explicit MetricsRegistry(unsigned processes = 1);
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Register (or re-fetch) a metric. Re-registration with the
+     *  same name returns the existing slot; a kind mismatch is
+     *  fatal (it would silently alias storage). */
+    Counter counter(const std::string &name,
+                    const std::string &help = "");
+    Gauge gauge(const std::string &name, const std::string &help = "");
+    Histogram histogram(const std::string &name,
+                        const std::string &help = "");
+
+    /** Select which page this process writes (workers call this
+     *  after fork with their worker index + 1). */
+    void bindProcess(unsigned page);
+    unsigned boundProcess() const { return bound_; }
+    unsigned processes() const { return processes_; }
+
+    /** Cross-page sum of a counter/gauge (0 if unregistered). */
+    std::uint64_t value(const std::string &name) const;
+
+    struct HistogramSnapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t buckets[numBuckets] = {};
+        /** Estimated quantile (q in [0,1]): linear interpolation
+         *  inside the covering bucket; the +Inf bucket reports the
+         *  largest finite bound. 0 when empty. */
+        double percentile(double q) const;
+    };
+
+    /** Cross-page histogram totals; false if unregistered. */
+    bool histogramSnapshot(const std::string &name,
+                           HistogramSnapshot &out) const;
+
+    /** The finite bucket upper bounds (numFiniteBuckets entries). */
+    static const std::uint64_t *bucketBounds();
+
+    /** Prometheus text exposition of every registered metric. */
+    std::string renderPrometheus() const;
+
+    /**
+     * JSON object: counters/gauges as "name": N, histograms as
+     * "name": {"count", "sum_usec", "p50_usec", "p95_usec",
+     * "p99_usec"}. Embedded in --stats and BENCH_serve.json.
+     */
+    std::string renderJson() const;
+
+  private:
+    struct Def
+    {
+        MetricKind kind;
+        std::string name;
+        std::string help;
+        std::uint32_t slot;
+    };
+
+    std::uint32_t allocate(MetricKind kind, const std::string &name,
+                           const std::string &help, unsigned slots);
+    std::uint64_t sumSlot(std::uint32_t slot) const;
+
+    friend class Counter;
+    friend class Gauge;
+    friend class Histogram;
+
+    void *pages_ = nullptr;  ///< shared mmap of processes_ pages
+    unsigned processes_ = 1;
+    unsigned bound_ = 0;
+    std::uint32_t nextSlot_ = 0;
+    std::vector<Def> defs_;
+    std::map<std::string, std::size_t> byName_;
+};
+
+/** Install/fetch the process-wide ambient registry (not owned; set
+ *  before forking or spawning threads, clear before destruction). */
+void setAmbientMetrics(MetricsRegistry *reg);
+MetricsRegistry *ambientMetrics();
+
+} // namespace specslice::obs
+
+#endif // SPECSLICE_OBS_METRICS_HH

@@ -1,0 +1,208 @@
+#include "obs/trace_merge.hh"
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace specslice::obs
+{
+
+namespace
+{
+
+/** Span of one balanced {...} object starting at `pos` (which must
+ *  point at '{'); string-literal aware. Returns npos on imbalance. */
+std::size_t
+objectEnd(const std::string &text, std::size_t pos)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = pos; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{')
+            ++depth;
+        else if (c == '}' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** First top-level-ish occurrence of `"key": <digits>` in an event
+ *  object. Our own writer never reuses these key names inside args,
+ *  so a plain scan is exact for the traces we merge. */
+bool
+findNumber(const std::string &obj, const char *key,
+           std::uint64_t &value, std::size_t *digits_at = nullptr,
+           std::size_t *digits_len = nullptr)
+{
+    const std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < obj.size() &&
+           (obj[pos] == ':' || obj[pos] == ' '))
+        ++pos;
+    std::size_t start = pos;
+    while (pos < obj.size() && obj[pos] >= '0' && obj[pos] <= '9')
+        ++pos;
+    if (pos == start)
+        return false;
+    value = std::strtoull(obj.c_str() + start, nullptr, 10);
+    if (digits_at)
+        *digits_at = start;
+    if (digits_len)
+        *digits_len = pos - start;
+    return true;
+}
+
+bool
+findString(const std::string &obj, const char *key, std::string &value)
+{
+    const std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos = obj.find('"', pos + needle.size() + 1);
+    if (pos == std::string::npos)
+        return false;
+    std::size_t end = pos + 1;
+    while (end < obj.size() && obj[end] != '"') {
+        if (obj[end] == '\\')
+            ++end;
+        ++end;
+    }
+    if (end >= obj.size())
+        return false;
+    value = obj.substr(pos + 1, end - pos - 1);
+    return true;
+}
+
+} // namespace
+
+bool
+mergeChromeTraces(const std::vector<std::string> &paths,
+                  std::ostream &os, std::string &error,
+                  MergeStats *stats)
+{
+    MergeStats ms;
+    std::map<std::uint64_t, std::uint64_t> lane_offset;
+    std::set<std::string> seen_metadata;
+
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    bool first = true;
+
+    for (const std::string &path : paths) {
+        std::ifstream is(path);
+        if (!is) {
+            error = "cannot open trace fragment '" + path + "'";
+            return false;
+        }
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        const std::string text = buf.str();
+
+        std::size_t pos = text.find("\"traceEvents\"");
+        if (pos == std::string::npos) {
+            error = "fragment '" + path + "' has no traceEvents";
+            return false;
+        }
+        pos = text.find('[', pos);
+        if (pos == std::string::npos) {
+            error = "fragment '" + path +
+                    "': traceEvents is not an array";
+            return false;
+        }
+        ++pos;
+
+        // This fragment's per-lane high-water mark (shifted time).
+        std::map<std::uint64_t, std::uint64_t> lane_end;
+
+        for (;;) {
+            pos = text.find('{', pos);
+            if (pos == std::string::npos)
+                break;
+            std::size_t end = objectEnd(text, pos);
+            if (end == std::string::npos) {
+                error = "fragment '" + path +
+                        "': unbalanced event object";
+                return false;
+            }
+            std::string obj = text.substr(pos, end - pos + 1);
+            pos = end + 1;
+
+            std::string ph;
+            findString(obj, "ph", ph);
+            std::uint64_t pid = 0;
+            findNumber(obj, "pid", pid);
+
+            if (ph == "M") {
+                // Lane metadata: keep the first occurrence per
+                // (kind, pid, tid); fragments from the same worker
+                // repeat it verbatim.
+                std::string name;
+                std::uint64_t tid = 0;
+                findString(obj, "name", name);
+                findNumber(obj, "tid", tid);
+                std::string dedup = name + "|" +
+                                    std::to_string(pid) + "|" +
+                                    std::to_string(tid);
+                if (!seen_metadata.insert(dedup).second)
+                    continue;
+                os << (first ? "\n" : ",\n") << obj;
+                first = false;
+                continue;
+            }
+
+            std::uint64_t ts = 0;
+            std::size_t ts_at = 0, ts_len = 0;
+            if (!findNumber(obj, "ts", ts, &ts_at, &ts_len)) {
+                // A non-metadata event without a timestamp: pass it
+                // through unshifted rather than inventing one.
+                os << (first ? "\n" : ",\n") << obj;
+                first = false;
+                ++ms.events;
+                continue;
+            }
+            std::uint64_t dur = 0;
+            findNumber(obj, "dur", dur);
+
+            const std::uint64_t shifted = lane_offset[pid] + ts;
+            std::string rewritten = obj.substr(0, ts_at) +
+                                    std::to_string(shifted) +
+                                    obj.substr(ts_at + ts_len);
+            auto &hi = lane_end[pid];
+            if (shifted + dur > hi)
+                hi = shifted + dur;
+
+            os << (first ? "\n" : ",\n") << rewritten;
+            first = false;
+            ++ms.events;
+        }
+
+        // Later fragments on the same lane start past this one.
+        for (const auto &[lane, end_ts] : lane_end)
+            lane_offset[lane] = end_ts + 1;
+        ++ms.fragments;
+    }
+
+    os << "\n]}\n";
+    ms.lanes = lane_offset.size();
+    if (stats)
+        *stats = ms;
+    return true;
+}
+
+} // namespace specslice::obs

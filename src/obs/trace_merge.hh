@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cross-process Chrome-trace merging: stitch the per-request trace
+ * fragments that pool workers write (EventBuffer::writeChromeTrace
+ * with a worker-lane ChromeTraceMeta) into one Perfetto-loadable
+ * timeline for a whole sweep.
+ *
+ * Each fragment's timestamps start near zero (simulation cycles), so
+ * the merger keeps one running time frontier per pid lane and shifts
+ * every fragment's events past the lane's previous end — per-lane
+ * `ts` stays monotonic across the merged file, which trace_lint
+ * --merged asserts. Lane metadata (process_name / thread_name /
+ * thread_sort_index) is emitted once per (pid, tid, kind) no matter
+ * how many fragments repeat it; the per-event args (including the
+ * request id the daemon propagated into the worker) pass through
+ * untouched.
+ */
+
+#ifndef SPECSLICE_OBS_TRACE_MERGE_HH
+#define SPECSLICE_OBS_TRACE_MERGE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace specslice::obs
+{
+
+struct MergeStats
+{
+    std::size_t fragments = 0;  ///< input files consumed
+    std::size_t events = 0;     ///< non-metadata events emitted
+    std::size_t lanes = 0;      ///< distinct pid lanes
+};
+
+/**
+ * Merge Chrome trace fragments (in the given order — the caller
+ * sorts, e.g. by request id) into one trace document on `os`.
+ * @return false with error set if any input is unreadable or has no
+ *         traceEvents array; already-written output is then partial
+ *         and should be discarded.
+ */
+bool mergeChromeTraces(const std::vector<std::string> &paths,
+                       std::ostream &os, std::string &error,
+                       MergeStats *stats = nullptr);
+
+} // namespace specslice::obs
+
+#endif // SPECSLICE_OBS_TRACE_MERGE_HH

@@ -156,6 +156,17 @@ ProcPool::ProcPool(unsigned workers, JobFn fn) : fn_(std::move(fn))
 {
     unsigned n = std::max(1u, std::min(workers, maxWorkers));
 
+    // Metric slots must exist before the first fork so every worker
+    // page maps the same schema.
+    if (obs::MetricsRegistry *reg = obs::ambientMetrics()) {
+        mJobs_ = reg->counter("ss_worker_jobs_total",
+                              "Jobs executed by pool workers");
+        mBusyUsec_ =
+            reg->counter("ss_worker_busy_usec_total",
+                         "Wall microseconds workers spent running "
+                         "job functions");
+    }
+
     void *mem =
         ::mmap(nullptr, sizeof(SharedRegion), PROT_READ | PROT_WRITE,
                MAP_SHARED | MAP_ANONYMOUS, -1, 0);
@@ -250,6 +261,19 @@ ProcPool::spawnWorker(unsigned index)
 void
 ProcPool::workerMain(unsigned index, int write_fd)
 {
+    // Page 0 is the daemon; worker i writes page i+1. Values a dead
+    // worker already recorded survive in the parent-owned mapping,
+    // and its replacement resumes on the same page.
+    if (obs::MetricsRegistry *reg = obs::ambientMetrics())
+        reg->bindProcess(index + 1);
+
+    auto nowUsec = [] {
+        timespec ts{};
+        ::clock_gettime(CLOCK_MONOTONIC, &ts);
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1000000 +
+               static_cast<std::uint64_t>(ts.tv_nsec) / 1000;
+    };
+
     WorkerRecord &me = shm_->workers[index];
     for (;;) {
         std::string payload;
@@ -286,6 +310,7 @@ ProcPool::workerMain(unsigned index, int write_fd)
         std::uint32_t status =
             static_cast<std::uint32_t>(JobStatus::Done);
         std::string result;
+        const std::uint64_t job_start = nowUsec();
         try {
             result = fn_(payload);
         } catch (const std::exception &e) {
@@ -295,6 +320,8 @@ ProcPool::workerMain(unsigned index, int write_fd)
             status = static_cast<std::uint32_t>(JobStatus::Failed);
             result = "unknown exception in proc pool job";
         }
+        mJobs_.inc();
+        mBusyUsec_.inc(nowUsec() - job_start);
 
         std::string frame;
         putFrame(frame, ticket, status, result);
@@ -593,6 +620,20 @@ ProcPool::workerPids() const
         if (w.pid > 0)
             pids.push_back(w.pid);
     return pids;
+}
+
+std::size_t
+ProcPool::queueDepth() const
+{
+    if (!shm_)
+        return 0;
+    lockRobust(&shm_->mu);
+    std::size_t n = 0;
+    for (const Slot &s : shm_->slots)
+        if (s.state == SlotQueued)
+            ++n;
+    pthread_mutex_unlock(&shm_->mu);
+    return n;
 }
 
 unsigned

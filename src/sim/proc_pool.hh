@@ -41,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace specslice::sim
 {
 
@@ -126,6 +128,10 @@ class ProcPool
     /** Jobs submitted but not yet resolved. */
     std::size_t inFlight() const { return inFlight_; }
 
+    /** Jobs sitting in the shared ring, not yet picked up by any
+     *  worker (takes the shared lock). */
+    std::size_t queueDepth() const;
+
   private:
     struct Worker
     {
@@ -143,6 +149,11 @@ class ProcPool
 
     JobFn fn_;
     proc_detail::SharedRegion *shm_ = nullptr;
+    // Registered before the first fork so worker pages share slots;
+    // written from workerMain (ambient registry bound to the worker's
+    // own page). No-ops without an ambient registry.
+    obs::Counter mJobs_;
+    obs::Counter mBusyUsec_;
     std::vector<Worker> workers_;
     std::uint64_t nextTicket_ = 1;
     std::uint64_t respawns_ = 0;

@@ -162,6 +162,20 @@ ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
     : dir_(std::move(dir)), maxBytes_(max_bytes)
 {
     makeDirs(dir_);
+    if (obs::MetricsRegistry *reg = obs::ambientMetrics()) {
+        mHits_ = reg->counter("ss_cache_hits_total",
+                              "Result-cache lookups served from disk");
+        mMisses_ = reg->counter("ss_cache_misses_total",
+                                "Result-cache lookups that missed");
+        mStores_ = reg->counter("ss_cache_stores_total",
+                                "Result-cache entries committed");
+        mEvictions_ =
+            reg->counter("ss_cache_evictions_total",
+                         "Result-cache entries evicted by LRU");
+        mRejected_ = reg->counter(
+            "ss_cache_rejected_total",
+            "Corrupt/truncated cache entries rejected on lookup");
+    }
 }
 
 std::string
@@ -201,6 +215,7 @@ ResultCache::lookup(const std::string &key)
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         ++stats_.misses;
+        mMisses_.inc();
         return std::nullopt;
     }
 
@@ -209,6 +224,8 @@ ResultCache::lookup(const std::string &key)
     if (!std::getline(is, header)) {
         ++stats_.rejected;
         ++stats_.misses;
+        mRejected_.inc();
+        mMisses_.inc();
         ::unlink(path.c_str());
         return std::nullopt;
     }
@@ -219,6 +236,8 @@ ResultCache::lookup(const std::string &key)
         magic != entryMagic || echoed_key != key) {
         ++stats_.rejected;
         ++stats_.misses;
+        mRejected_.inc();
+        mMisses_.inc();
         ::unlink(path.c_str());
         return std::nullopt;
     }
@@ -229,6 +248,8 @@ ResultCache::lookup(const std::string &key)
                  static_cast<std::streamsize>(payload_bytes))) {
         ++stats_.rejected;
         ++stats_.misses;
+        mRejected_.inc();
+        mMisses_.inc();
         ::unlink(path.c_str());
         return std::nullopt;
     }
@@ -237,11 +258,14 @@ ResultCache::lookup(const std::string &key)
     if (is.get(extra)) {
         ++stats_.rejected;
         ++stats_.misses;
+        mRejected_.inc();
+        mMisses_.inc();
         ::unlink(path.c_str());
         return std::nullopt;
     }
 
     ++stats_.hits;
+    mHits_.inc();
     std::string err;
     withIndex([&](CacheIndex &idx) { idx.touch(key); }, err);
     return payload;
@@ -290,6 +314,7 @@ ResultCache::store(const std::string &key, const std::string &payload,
         return false;
     }
     ++stats_.stores;
+    mStores_.inc();
 
     const std::uint64_t entry_bytes = payload.size();
     std::vector<std::string> evicted;
@@ -323,6 +348,7 @@ ResultCache::store(const std::string &key, const std::string &payload,
     for (const std::string &k : evicted) {
         ::unlink(entryPath(k).c_str());
         ++stats_.evictions;
+        mEvictions_.inc();
     }
     return true;
 }

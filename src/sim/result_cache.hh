@@ -36,6 +36,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/metrics.hh"
+
 namespace specslice::sim
 {
 
@@ -103,6 +105,14 @@ class ResultCache
     std::uint64_t maxBytes_;
     mutable std::mutex mu_;  ///< guards stats_ + in-process I/O
     Stats stats_;
+    // Ambient-registry mirrors of stats_; no-ops when no registry is
+    // installed. Registered at construction so forked workers inherit
+    // the same shared-memory slots.
+    obs::Counter mHits_;
+    obs::Counter mMisses_;
+    obs::Counter mStores_;
+    obs::Counter mEvictions_;
+    obs::Counter mRejected_;
 };
 
 } // namespace specslice::sim

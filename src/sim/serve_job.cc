@@ -6,6 +6,8 @@
 #include "common/failure.hh"
 #include "common/hash.hh"
 #include "fault/fault.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
 #include "sim/experiments.hh"
 #include "sim/run_key.hh"
 #include "workloads/workloads.hh"
@@ -308,7 +310,7 @@ jobCacheKey(const JobSpec &spec, std::string &error)
 }
 
 JobOutcome
-runJob(const JobSpec &spec)
+runJob(const JobSpec &spec, obs::EventBuffer *events)
 {
     JobOutcome out;
     PreparedJob job;
@@ -340,9 +342,37 @@ runJob(const JobSpec &spec)
             Simulator machine(job.cfg);
             WorkloadPerf p;
             p.name = r.tag;
+            RunOptions ro = r.opts;
+            ro.events = events;
+            const Cycle base0 = events ? events->timeBase() : 0;
             p.result = r.withSlices
-                           ? machine.run(job.wl, r.opts, true)
-                           : machine.runBaseline(job.wl, r.opts);
+                           ? machine.run(job.wl, ro, true)
+                           : machine.runBaseline(job.wl, ro);
+            if (events) {
+                // Compare pairs (and any later runs) continue past
+                // this run on the shared timeline. runSampled may
+                // already have advanced the base internally; take
+                // whichever frontier is further.
+                const Cycle internal = events->timeBase();
+                events->setTimeBase(
+                    std::max(internal,
+                             base0 + p.result.totalCycles) +
+                    1);
+            }
+            if (obs::MetricsRegistry *reg = obs::ambientMetrics()) {
+                auto toUsec = [](double s) {
+                    return s > 0 ? static_cast<std::uint64_t>(
+                                       s * 1e6)
+                                 : 0;
+                };
+                reg->histogram("ss_run_fastforward_usec")
+                    .observe(toUsec(
+                        p.result.wallFastForwardSeconds));
+                reg->histogram("ss_run_warmup_usec")
+                    .observe(toUsec(p.result.wallWarmupSeconds));
+                reg->histogram("ss_run_measure_usec")
+                    .observe(toUsec(p.result.wallMeasureSeconds));
+            }
             runs.push_back(std::move(p));
         }
     } catch (const SimError &e) {

@@ -25,6 +25,11 @@
 #include "sim/result_json.hh"
 #include "sim/simulator.hh"
 
+namespace specslice::obs
+{
+class EventBuffer;
+}
+
 namespace specslice::sim
 {
 
@@ -96,8 +101,17 @@ std::string jobCacheKey(const JobSpec &spec, std::string &error);
  * Run the simulation(s) described by spec and render the
  * `specslice_run --json --no-wall` document. Never throws: panics and
  * simulation faults become an errorDocument with exit code 4.
+ *
+ * When events is non-null every constituent run records into it
+ * (compare pairs and sampled regions land on one timeline: the
+ * buffer's time base is advanced past each run). Tracing never
+ * changes the rendered document — byte-identity with specslice_run
+ * is load-bearing. Phase wall times (fast-forward / warm-up /
+ * measure) are observed into the ambient metrics registry when one
+ * is installed.
  */
-JobOutcome runJob(const JobSpec &spec);
+JobOutcome runJob(const JobSpec &spec,
+                  obs::EventBuffer *events = nullptr);
 
 // ---------------------------------------------------------------
 // Document assembly shared with specslice_run --json

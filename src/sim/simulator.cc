@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -9,6 +10,7 @@
 #include "arch/fastfwd.hh"
 #include "check/checker.hh"
 #include "common/logging.hh"
+#include "obs/events.hh"
 #include "slice/validator.hh"
 
 namespace specslice::sim
@@ -78,6 +80,9 @@ accumulate(RunResult &agg, RunResult &&r)
     agg.correlatorWrong += r.correlatorWrong;
     agg.latePredictions += r.latePredictions;
     agg.lateReversals += r.lateReversals;
+    agg.totalCycles += r.totalCycles;
+    agg.wallWarmupSeconds += r.wallWarmupSeconds;
+    agg.wallMeasureSeconds += r.wallMeasureSeconds;
     agg.detail.merge(r.detail);
     // Region series are concatenated; each region restarts index 0.
     agg.intervals.insert(agg.intervals.end(), r.intervals.begin(),
@@ -237,6 +242,7 @@ Simulator::runSampled(const Workload &wl, const RunOptions &opts,
 {
     SS_ASSERT(wl.entry != invalidAddr, "workload has no entry point");
 
+    const auto ff_wall_start = std::chrono::steady_clock::now();
     arch::FastForward ff(wl.program);
     ff.reset(wl.entry);
     if (!opts.restoreCheckpoint.empty()) {
@@ -276,6 +282,10 @@ Simulator::runSampled(const Workload &wl, const RunOptions &opts,
     const std::uint64_t ff_base = ff.executed();
 
     RunResult agg;
+    agg.wallFastForwardSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - ff_wall_start)
+            .count();
     unsigned ran = 0;
     for (unsigned r = 0; r < regions; ++r) {
         RegionStart rs;
@@ -288,7 +298,21 @@ Simulator::runSampled(const Workload &wl, const RunOptions &opts,
             rs.memWarmth = ff.memWarmth();
         if (opts.warmInstCache)
             rs.instWarmth = ff.instWarmth();
-        accumulate(agg, runOne(wl, opts, with_slices, &rs));
+        const std::uint64_t region_start_inst = ff.executed();
+        const Cycle region_base =
+            opts.events ? opts.events->timeBase() : 0;
+        RunResult rr = runOne(wl, opts, with_slices, &rs);
+        if (opts.events) {
+            // One named span per sampled region, then advance the
+            // buffer's time base so the next region's cycle-0
+            // restart lands past this one on the merged timeline.
+            opts.events->pushSpan(obs::EventKind::Region, region_base,
+                                  rr.totalCycles, 0, rs.pc,
+                                  region_start_inst, r);
+            opts.events->setTimeBase(region_base + rr.totalCycles +
+                                     1);
+        }
+        accumulate(agg, std::move(rr));
         ++ran;
         if (r + 1 < regions) {
             ff.advance(stride);

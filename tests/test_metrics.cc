@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Service-metrics registry tests: handle/registration semantics,
+ * histogram percentile math and both render formats, and the
+ * property the shared-memory page design exists for — values
+ * recorded by forked workers survive the worker (even a SIGKILLed
+ * one) and aggregate in the parent's scrape, with a respawned
+ * worker resuming the dead one's page.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+/** Block until the peer writes one byte (returns false on EOF). */
+bool
+waitByte(int fd)
+{
+    char c;
+    ssize_t n;
+    do {
+        n = ::read(fd, &c, 1);
+    } while (n < 0 && errno == EINTR);
+    return n == 1;
+}
+
+void
+sendByte(int fd)
+{
+    char c = 1;
+    ssize_t n;
+    do {
+        n = ::write(fd, &c, 1);
+    } while (n < 0 && errno == EINTR);
+    (void)n;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Registration and handle semantics
+// ---------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndIdempotentRegistration)
+{
+    obs::MetricsRegistry reg(1);
+
+    obs::Counter c = reg.counter("t_requests_total", "requests");
+    EXPECT_EQ(reg.value("t_requests_total"), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(reg.value("t_requests_total"), 5u);
+
+    // Re-registering the same name is a lookup, not a new slot: both
+    // handles feed one value.
+    obs::Counter c2 = reg.counter("t_requests_total");
+    c2.inc(10);
+    EXPECT_EQ(reg.value("t_requests_total"), 15u);
+
+    obs::Gauge g = reg.gauge("t_depth");
+    g.set(7);
+    EXPECT_EQ(reg.value("t_depth"), 7u);
+    g.add(3);
+    EXPECT_EQ(reg.value("t_depth"), 10u);
+    g.set(2);
+    EXPECT_EQ(reg.value("t_depth"), 2u);
+
+    // Unregistered names read as zero rather than erroring: scrapes
+    // must not crash on a name a worker never touched.
+    EXPECT_EQ(reg.value("t_never_registered"), 0u);
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreNoOps)
+{
+    // Deep layers (ResultCache, serve_job) hold default handles when
+    // no ambient registry is installed; recording must be safe.
+    obs::Counter c;
+    obs::Gauge g;
+    obs::Histogram h;
+    c.inc();
+    c.inc(100);
+    g.set(5);
+    g.add(2);
+    h.observe(1234);
+    SUCCEED();
+}
+
+TEST(MetricsRegistry, AmbientRegistryInstallAndClear)
+{
+    EXPECT_EQ(obs::ambientMetrics(), nullptr);
+    {
+        obs::MetricsRegistry reg(1);
+        obs::setAmbientMetrics(&reg);
+        EXPECT_EQ(obs::ambientMetrics(), &reg);
+        obs::setAmbientMetrics(nullptr);
+    }
+    EXPECT_EQ(obs::ambientMetrics(), nullptr);
+}
+
+// ---------------------------------------------------------------
+// Histograms: percentile math and rendering
+// ---------------------------------------------------------------
+
+TEST(MetricsRegistry, BucketBoundsAreStrictlyIncreasing)
+{
+    const std::uint64_t *bounds = obs::MetricsRegistry::bucketBounds();
+    for (unsigned i = 1; i < obs::MetricsRegistry::numFiniteBuckets;
+         ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]) << "bucket " << i;
+}
+
+TEST(MetricsRegistry, HistogramCountSumAndPercentiles)
+{
+    obs::MetricsRegistry reg(1);
+    obs::Histogram h = reg.histogram("t_latency_usec", "latency");
+
+    obs::MetricsRegistry::HistogramSnapshot snap;
+    ASSERT_TRUE(reg.histogramSnapshot("t_latency_usec", snap));
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.percentile(0.5), 0.0);
+
+    // A bimodal sample: 90 fast observations and 10 slow ones.
+    for (int i = 0; i < 90; ++i)
+        h.observe(100);
+    for (int i = 0; i < 10; ++i)
+        h.observe(50'000);
+
+    ASSERT_TRUE(reg.histogramSnapshot("t_latency_usec", snap));
+    EXPECT_EQ(snap.count, 100u);
+    EXPECT_EQ(snap.sum, 90u * 100 + 10u * 50'000);
+
+    const double p50 = snap.percentile(0.50);
+    const double p95 = snap.percentile(0.95);
+    const double p99 = snap.percentile(0.99);
+    // p50 lands in the bucket covering 100us; p95/p99 in the one
+    // covering 50ms. Exact values interpolate inside the bucket, so
+    // assert containment and ordering rather than equality.
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, 1'000.0);
+    EXPECT_GT(p95, 10'000.0);
+    EXPECT_GE(p99, p95);
+    EXPECT_GE(p95, p50);
+
+    // An observation beyond every finite bound lands in +Inf and the
+    // extreme percentile clamps to the largest finite bound instead
+    // of inventing a number.
+    h.observe(std::uint64_t(1) << 40);
+    ASSERT_TRUE(reg.histogramSnapshot("t_latency_usec", snap));
+    EXPECT_EQ(snap.count, 101u);
+    const std::uint64_t *bounds = obs::MetricsRegistry::bucketBounds();
+    const std::uint64_t largest =
+        bounds[obs::MetricsRegistry::numFiniteBuckets - 1];
+    EXPECT_LE(snap.percentile(1.0), double(largest));
+
+    EXPECT_FALSE(reg.histogramSnapshot("t_no_such", snap));
+}
+
+TEST(MetricsRegistry, PrometheusAndJsonRenderingsAgree)
+{
+    obs::MetricsRegistry reg(1);
+    obs::Counter c = reg.counter("t_hits_total", "cache hits");
+    obs::Gauge g = reg.gauge("t_workers", "pool size");
+    obs::Histogram h = reg.histogram("t_req_usec", "request latency");
+    c.inc(3);
+    g.set(4);
+    h.observe(250);
+    h.observe(750);
+
+    const std::string prom = reg.renderPrometheus();
+    EXPECT_NE(prom.find("# HELP t_hits_total cache hits"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE t_hits_total counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_hits_total 3\n"), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE t_workers gauge"), std::string::npos);
+    EXPECT_NE(prom.find("t_workers 4\n"), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE t_req_usec histogram"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_req_usec_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(prom.find("t_req_usec_sum 1000\n"), std::string::npos);
+    EXPECT_NE(prom.find("t_req_usec_count 2\n"), std::string::npos);
+
+    // Cumulative le buckets: counts never decrease across the series.
+    std::uint64_t prev = 0;
+    std::size_t pos = 0, seen = 0;
+    while ((pos = prom.find("t_req_usec_bucket{le=", pos)) !=
+           std::string::npos) {
+        std::size_t brace = prom.find("} ", pos);
+        ASSERT_NE(brace, std::string::npos);
+        std::uint64_t n = std::strtoull(
+            prom.c_str() + brace + 2, nullptr, 10);
+        EXPECT_GE(n, prev);
+        prev = n;
+        ++seen;
+        pos = brace;
+    }
+    EXPECT_EQ(seen, obs::MetricsRegistry::numBuckets);
+
+    const std::string json = reg.renderJson();
+    EXPECT_NE(json.find("\"t_hits_total\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"t_workers\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"t_req_usec\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"sum_usec\": 1000"), std::string::npos);
+    EXPECT_NE(json.find("\"p50_usec\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95_usec\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99_usec\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Cross-process aggregation (the reason the pages are shared mmap)
+// ---------------------------------------------------------------
+
+TEST(MetricsCrossProcess, WorkerValuesSurviveSigkill)
+{
+    obs::MetricsRegistry reg(3);
+    // Registration before fork: children inherit the schema.
+    obs::Counter jobs = reg.counter("x_jobs_total");
+    obs::Histogram lat = reg.histogram("x_job_usec");
+    jobs.inc();  // parent page 0 contributes 1
+
+    int ready[2];
+    ASSERT_EQ(::pipe(ready), 0);
+
+    pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Worker: bind page 1, record, report ready, then hang until
+        // the parent SIGKILLs us mid-"job".
+        reg.bindProcess(1);
+        obs::Counter cj = reg.counter("x_jobs_total");
+        obs::Histogram cl = reg.histogram("x_job_usec");
+        cj.inc(5);
+        cl.observe(2'000);
+        cl.observe(3'000);
+        sendByte(ready[1]);
+        for (;;)
+            ::pause();
+        ::_exit(0);  // unreachable
+    }
+
+    ASSERT_TRUE(waitByte(ready[0]));
+    ASSERT_EQ(::kill(child, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    // The dead worker's recorded values are still visible: the pages
+    // live in the parent-owned shared mapping, not the worker.
+    EXPECT_EQ(reg.value("x_jobs_total"), 6u);
+    obs::MetricsRegistry::HistogramSnapshot snap;
+    ASSERT_TRUE(reg.histogramSnapshot("x_job_usec", snap));
+    EXPECT_EQ(snap.count, 2u);
+    EXPECT_EQ(snap.sum, 5'000u);
+
+    // A respawned worker resumes the same page: its increments stack
+    // on top of its predecessor's, as the pool's respawn path relies
+    // on.
+    pid_t respawn = ::fork();
+    ASSERT_GE(respawn, 0);
+    if (respawn == 0) {
+        reg.bindProcess(1);
+        obs::Counter cj = reg.counter("x_jobs_total");
+        cj.inc(2);
+        ::_exit(0);
+    }
+    ASSERT_EQ(::waitpid(respawn, &status, 0), respawn);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    EXPECT_EQ(reg.value("x_jobs_total"), 8u);
+
+    ::close(ready[0]);
+    ::close(ready[1]);
+}
+
+TEST(MetricsCrossProcess, PagesIsolatePerProcessWrites)
+{
+    obs::MetricsRegistry reg(4);
+    obs::Counter c = reg.counter("x_per_page_total");
+
+    // Three "workers", each on its own page, each adding its index.
+    for (unsigned w = 1; w <= 3; ++w) {
+        pid_t child = ::fork();
+        ASSERT_GE(child, 0);
+        if (child == 0) {
+            reg.bindProcess(w);
+            obs::Counter cc = reg.counter("x_per_page_total");
+            cc.inc(w);
+            ::_exit(0);
+        }
+        int status = 0;
+        ASSERT_EQ(::waitpid(child, &status, 0), child);
+        ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    // 1 + 2 + 3 across pages 1..3, nothing on the parent page.
+    EXPECT_EQ(reg.value("x_per_page_total"), 6u);
+
+    // The scrape renders the aggregated value, not any single page's.
+    const std::string prom = reg.renderPrometheus();
+    EXPECT_NE(prom.find("x_per_page_total 6\n"), std::string::npos);
+}

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -20,6 +22,7 @@
 #include "obs/events.hh"
 #include "obs/interval.hh"
 #include "obs/trace.hh"
+#include "obs/trace_merge.hh"
 #include "sim/job_pool.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
@@ -370,4 +373,268 @@ TEST(EventBuffer, RingBoundsAndOldestFirstDrain)
     events.clear();
     EXPECT_EQ(events.size(), 0u);
     EXPECT_EQ(events.dropped(), 0u);
+}
+
+TEST(EventBuffer, WraparoundKeepsNewestAndTimeBaseOffsets)
+{
+    // Spans and time-base offsets interact with the wraparound: the
+    // ring must keep the newest (based) timestamps and drop count
+    // must keep counting across clear-less reuse.
+    obs::EventBuffer events(8);
+    events.setTimeBase(1'000);
+    events.setNow(0);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        events.setNow(i);
+        events.push(obs::EventKind::Retire, 0, 0x1000, i, i);
+    }
+    EXPECT_EQ(events.size(), 8u);
+    EXPECT_EQ(events.dropped(), 12u);
+
+    std::vector<Cycle> ts;
+    events.forEach(
+        [&](const obs::TraceEvent &e) { ts.push_back(e.cycle); });
+    ASSERT_EQ(ts.size(), 8u);
+    // Newest 8 survive, each offset by the time base.
+    EXPECT_EQ(ts.front(), 1'012u);
+    EXPECT_EQ(ts.back(), 1'019u);
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        EXPECT_EQ(ts[i], ts[i - 1] + 1);
+
+    // A span pushed at an absolute timestamp also wraps the ring.
+    events.pushSpan(obs::EventKind::Region, 5'000, 250, 0, 0x2000, 7,
+                    3);
+    EXPECT_EQ(events.dropped(), 13u);
+    bool saw_span = false;
+    events.forEach([&](const obs::TraceEvent &e) {
+        if (e.kind == obs::EventKind::Region) {
+            saw_span = true;
+            EXPECT_EQ(e.cycle, 5'000u);
+            EXPECT_EQ(e.dur, 250u);
+            EXPECT_EQ(e.arg, 3u);
+        }
+    });
+    EXPECT_TRUE(saw_span);
+}
+
+TEST(EventBuffer, ChromeTraceMetaStampsLaneAndRequestId)
+{
+    obs::EventBuffer events(64);
+    events.setNow(4);
+    events.push(obs::EventKind::Fetch, 0, 0x1000, 1);
+    events.pushSpan(obs::EventKind::Region, 0, 900, 0, 0x1000, 0, 0);
+
+    obs::ChromeTraceMeta meta;
+    meta.pid = 7;
+    meta.processName = "worker 7";
+    meta.requestId = "r000042";
+    std::ostringstream os;
+    events.writeChromeTrace(os, meta);
+    const std::string json = os.str();
+
+    // Worker-lane identity on the process, the propagated request id
+    // on every event, and the sampled region rendered as a named
+    // span with its duration.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"worker 7\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"req\": \"r000042\""), std::string::npos);
+    EXPECT_NE(json.find("\"region 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 900"), std::string::npos);
+
+    // The default overload must stay byte-stable: no pid-7 lane, no
+    // request-id args.
+    std::ostringstream plain;
+    events.writeChromeTrace(plain);
+    EXPECT_EQ(plain.str().find("\"req\""), std::string::npos);
+    EXPECT_EQ(plain.str().find("\"pid\": 7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Sampled runs: region spans and interval tiling
+// ---------------------------------------------------------------
+
+TEST(SimulatorTrace, SampledRunEmitsOneSpanPerRegion)
+{
+    workloads::Params p;
+    p.scale = 400'000;
+    auto wl = workloads::buildVpr(p);
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+
+    obs::EventBuffer events(1u << 20);
+    core::RunOptions opts;
+    opts.maxMainInstructions = 10'000;
+    opts.warmupInstructions = 4'000;
+    opts.fastForwardInstructions = 20'000;
+    opts.sampleRegions = 3;
+    opts.sampleStride = 20'000;
+    opts.events = &events;
+
+    auto res = simr.run(wl, opts, true);
+    ASSERT_EQ(res.sampledRegions, 3u);
+    ASSERT_EQ(events.dropped(), 0u) << "ring too small for this run";
+
+    // One named span per region; spans are ordered, non-overlapping,
+    // tagged with the region index and the sampling-stream position
+    // the region started at.
+    std::vector<obs::TraceEvent> spans;
+    events.forEach([&](const obs::TraceEvent &e) {
+        if (e.kind == obs::EventKind::Region)
+            spans.push_back(e);
+    });
+    ASSERT_EQ(spans.size(), 3u);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].arg, i);
+        EXPECT_GE(spans[i].dur, 1u);
+        if (i) {
+            EXPECT_GE(spans[i].cycle,
+                      spans[i - 1].cycle + spans[i - 1].dur);
+            EXPECT_GT(spans[i].seq, spans[i - 1].seq);
+        }
+    }
+    EXPECT_EQ(spans[0].seq, 20'000u);
+    EXPECT_EQ(spans[1].seq, 40'000u);
+
+    // The buffer's time base ends past the last span, so a follow-on
+    // run appended by the serve path cannot overlap this timeline.
+    EXPECT_GT(events.timeBase(), spans.back().cycle);
+}
+
+TEST(IntervalStats, WindowDeltasTileSampledRegions)
+{
+    workloads::Params p;
+    p.scale = 400'000;
+    auto wl = workloads::buildVpr(p);
+    sim::Simulator simr(sim::MachineConfig::fourWide());
+
+    core::RunOptions opts;
+    opts.maxMainInstructions = 10'000;
+    opts.warmupInstructions = 4'000;
+    opts.fastForwardInstructions = 20'000;
+    opts.sampleRegions = 3;
+    opts.sampleStride = 20'000;
+    opts.intervalCycles = 1'000;
+
+    auto res = simr.run(wl, opts, true);
+    ASSERT_EQ(res.sampledRegions, 3u);
+    ASSERT_GE(res.intervals.size(), 3u);
+
+    // Region series are concatenated and each region restarts its
+    // window index at 0; within a region, windows tile (each starts
+    // where the previous ended).
+    std::size_t region_starts = 0;
+    std::uint64_t retired = 0;
+    for (std::size_t i = 0; i < res.intervals.size(); ++i) {
+        const obs::IntervalRecord &r = res.intervals[i];
+        EXPECT_LT(r.startCycle, r.endCycle);
+        if (r.index == 0) {
+            ++region_starts;
+        } else {
+            ASSERT_GT(i, 0u);
+            EXPECT_EQ(r.index, res.intervals[i - 1].index + 1);
+            EXPECT_EQ(r.startCycle, res.intervals[i - 1].endCycle);
+        }
+        retired += r.retired;
+    }
+    EXPECT_EQ(region_starts, 3u);
+
+    // The concatenated windows cover exactly the measured regions:
+    // their deltas sum to the aggregated headline counter.
+    EXPECT_EQ(retired, res.mainRetired);
+}
+
+// ---------------------------------------------------------------
+// Cross-process trace merging
+// ---------------------------------------------------------------
+
+TEST(TraceMerge, StitchesFragmentsWithLaneOffsetsAndDedup)
+{
+    // Three fragments: two from worker lane 1 (back-to-back requests)
+    // and one from lane 2. The merger must shift the second lane-1
+    // fragment past the first, keep lane metadata deduplicated, and
+    // leave the per-event request ids intact.
+    auto writeFragment = [](const std::string &path, unsigned lane,
+                            const std::string &req, Cycle last_ts) {
+        obs::EventBuffer ev(64);
+        ev.setNow(2);
+        ev.push(obs::EventKind::Fetch, 0, 0x1000, 1);
+        ev.setNow(last_ts);
+        ev.push(obs::EventKind::Retire, 0, 0x1004, 2);
+        obs::ChromeTraceMeta meta;
+        meta.pid = lane;
+        meta.processName = "worker " + std::to_string(lane);
+        meta.requestId = req;
+        std::ofstream os(path);
+        ev.writeChromeTrace(os, meta);
+    };
+
+    const std::string fa = "merge_test_frag_a.json";
+    const std::string fb = "merge_test_frag_b.json";
+    const std::string fc = "merge_test_frag_c.json";
+    writeFragment(fa, 1, "r000001", 50);
+    writeFragment(fb, 1, "r000002", 40);
+    writeFragment(fc, 2, "r000003", 30);
+
+    std::ostringstream merged;
+    std::string error;
+    obs::MergeStats stats;
+    ASSERT_TRUE(obs::mergeChromeTraces({fa, fb, fc}, merged, error,
+                                       &stats))
+        << error;
+    std::remove(fa.c_str());
+    std::remove(fb.c_str());
+    std::remove(fc.c_str());
+
+    EXPECT_EQ(stats.fragments, 3u);
+    EXPECT_EQ(stats.lanes, 2u);
+    EXPECT_EQ(stats.events, 6u);
+
+    const std::string json = merged.str();
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+    // Lane metadata appears once per lane despite lane 1 sending two
+    // fragments.
+    std::size_t w1 = 0, pos = 0;
+    while ((pos = json.find("\"worker 1\"", pos)) !=
+           std::string::npos) {
+        ++w1;
+        pos += 10;
+    }
+    EXPECT_EQ(w1, 1u);
+    EXPECT_NE(json.find("\"worker 2\""), std::string::npos);
+
+    // Per-event request ids pass through untouched.
+    for (const char *req : {"r000001", "r000002", "r000003"})
+        EXPECT_NE(json.find(std::string("\"req\": \"") + req + "\""),
+                  std::string::npos)
+            << req;
+
+    // Scan events per line: lane-1 timestamps stay monotonic across
+    // the fragment boundary (fragment B shifted past fragment A),
+    // and lane 2 restarts its own frontier near zero.
+    std::istringstream lines(json);
+    std::string line;
+    std::uint64_t last_lane1 = 0, max_lane1_reqA = 0;
+    bool saw_reqB = false;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ph\": \"X\"") == std::string::npos)
+            continue;
+        std::size_t tsp = line.find("\"ts\": ");
+        ASSERT_NE(tsp, std::string::npos);
+        const std::uint64_t ts =
+            std::strtoull(line.c_str() + tsp + 6, nullptr, 10);
+        if (line.find("\"pid\": 1") != std::string::npos) {
+            EXPECT_GE(ts, last_lane1);
+            last_lane1 = ts;
+            if (line.find("r000001") != std::string::npos)
+                max_lane1_reqA = std::max(max_lane1_reqA, ts);
+            if (line.find("r000002") != std::string::npos) {
+                saw_reqB = true;
+                EXPECT_GT(ts, max_lane1_reqA);
+            }
+        }
+    }
+    EXPECT_TRUE(saw_reqB);
+    EXPECT_GE(last_lane1, 50u + 40u);
 }

@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# Observability smoke gate for the sweep service.
+#
+# Starts a fully-instrumented daemon (access log + per-request worker
+# traces), drives a mixed cold/warm sweep, and asserts the service's
+# observability contract end to end:
+#
+#   1. `GET /metrics` on the HTTP shim parses as Prometheus text and
+#      its counters agree exactly with the `--stats` envelope —
+#      including work done inside forked workers (cross-process
+#      aggregation).
+#   2. The NDJSON access log is consistent with the scraped counters:
+#      cached=true lines == ss_served_cache_hits_total, cached=false
+#      lines == ss_served_cache_misses_total == ss_worker_jobs_total.
+#   3. `--trace-merge` stitches the per-request worker fragments into
+#      one multi-process trace that trace_lint --merged accepts
+#      (distinct pid lanes, monotonic per-lane timestamps, request-id
+#      args).
+#
+# Usage: metrics_smoke.sh <tool-bin-dir>
+set -euo pipefail
+
+BIN="${1:?usage: metrics_smoke.sh <tool-bin-dir>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/metrics_smoke.XXXXXX")"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/serve.sock"
+CACHE="$WORK/cache"
+ACCESS="$WORK/access.ndjson"
+TRACES="$WORK/traces"
+
+"$BIN/specslice_serve" --socket "$SOCK" --cache "$CACHE" --workers 2 \
+    --access-log "$ACCESS" --trace-dir "$TRACES" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if "$BIN/specslice_serve" --connect "$SOCK" --ping \
+            > /dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: server exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== ping reports a client-measured round trip"
+PING="$("$BIN/specslice_serve" --connect "$SOCK" --ping)"
+echo "$PING"
+printf '%s' "$PING" | grep -q '"rtt_usec": [0-9]' || {
+    echo "FAIL: ping response carries no rtt_usec" >&2
+    exit 1
+}
+
+run_req() {
+    # Client mode prints the extracted result document (byte-equal to
+    # specslice_run --json --no-wall), not the envelope.
+    "$BIN/specslice_serve" --connect "$SOCK" --request "$1" > "$2"
+    grep -q '"outcome": "completed"' "$2" || {
+        echo "FAIL: no completed document in response for $1" >&2
+        exit 1
+    }
+}
+
+echo "== cold sweep (3 distinct specs, one sampled) + 2 warm repeats"
+REQ_VPR='{"workload": "vpr", "insts": 15000, "warmup": 4000}'
+REQ_GZIP='{"workload": "gzip", "insts": 15000, "warmup": 4000}'
+# One line: the wire protocol is newline-delimited JSON.
+REQ_SAMPLED='{"workload": "vpr", "insts": 6000, "warmup": 2000, "fastforward": 20000, "sample": 2, "sample_stride": 15000}'
+run_req "$REQ_VPR" "$WORK/cold.vpr.json"
+run_req "$REQ_GZIP" "$WORK/cold.gzip.json"
+run_req "$REQ_SAMPLED" "$WORK/cold.sampled.json"
+run_req "$REQ_VPR" "$WORK/warm.vpr.json"
+run_req "$REQ_GZIP" "$WORK/warm.gzip.json"
+diff "$WORK/cold.vpr.json" "$WORK/warm.vpr.json"
+diff "$WORK/cold.gzip.json" "$WORK/warm.gzip.json"
+
+echo "== GET /metrics over the HTTP shim"
+curl --silent --fail --unix-socket "$SOCK" http://localhost/metrics \
+    > "$WORK/metrics.prom"
+grep -q '^# TYPE ss_requests_total counter$' "$WORK/metrics.prom"
+grep -q '^# TYPE ss_request_usec histogram$' "$WORK/metrics.prom"
+grep -q 'ss_request_usec_bucket{le="+Inf"}' "$WORK/metrics.prom"
+
+prom() {
+    awk -v name="$1" '$1 == name { print $2 }' "$WORK/metrics.prom"
+}
+HITS="$(prom ss_served_cache_hits_total)"
+MISSES="$(prom ss_served_cache_misses_total)"
+JOBS="$(prom ss_worker_jobs_total)"
+CRASHES="$(prom ss_worker_crashes_total)"
+echo "   hits=$HITS misses=$MISSES worker_jobs=$JOBS crashes=$CRASHES"
+[ "$HITS" = 2 ] || {
+    echo "FAIL: expected 2 served cache hits, got '$HITS'" >&2
+    exit 1
+}
+[ "$MISSES" = 3 ] || {
+    echo "FAIL: expected 3 served cache misses, got '$MISSES'" >&2
+    exit 1
+}
+[ "$JOBS" = "$MISSES" ] || {
+    echo "FAIL: worker jobs ($JOBS) != cold runs ($MISSES)" >&2
+    exit 1
+}
+[ "$CRASHES" = 0 ] || {
+    echo "FAIL: unexpected worker crashes: $CRASHES" >&2
+    exit 1
+}
+
+echo "== /metrics agrees with --stats (cross-process aggregation)"
+STATS="$("$BIN/specslice_serve" --connect "$SOCK" --stats)"
+for pair in \
+    "served.cache_hits $HITS" \
+    "served.cache_misses $MISSES" \
+    "served.worker_jobs $JOBS" \
+    "metrics.ss_served_cache_hits_total $HITS" \
+    "metrics.ss_worker_jobs_total $JOBS"; do
+    path="${pair% *}"
+    want="${pair#* }"
+    got="$(printf '%s' "$STATS" | jq -r ".$path")"
+    [ "$got" = "$want" ] || {
+        echo "FAIL: stats .$path = '$got', /metrics says '$want'" >&2
+        exit 1
+    }
+done
+# Worker-side stores land on worker metric pages; the daemon's scrape
+# must still see every cold run's store.
+CACHE_STORES="$(printf '%s' "$STATS" | jq -r '.cache.stores')"
+[ "$CACHE_STORES" = "$(prom ss_cache_stores_total)" ] || {
+    echo "FAIL: stats .cache.stores=$CACHE_STORES !=" \
+         "/metrics ss_cache_stores_total" >&2
+    exit 1
+}
+[ "$CACHE_STORES" = "$MISSES" ] || {
+    echo "FAIL: expected $MISSES worker-side stores, got" \
+         "'$CACHE_STORES'" >&2
+    exit 1
+}
+
+echo "== access log is consistent with the scraped counters"
+CACHED_TRUE="$(grep -c '"op": "run".*"cached": true' "$ACCESS" || true)"
+CACHED_FALSE="$(grep -c '"op": "run".*"cached": false' "$ACCESS" || true)"
+[ "$CACHED_TRUE" = "$HITS" ] || {
+    echo "FAIL: $CACHED_TRUE cached=true log lines but $HITS" \
+         "scraped hits" >&2
+    exit 1
+}
+[ "$CACHED_FALSE" = "$MISSES" ] || {
+    echo "FAIL: $CACHED_FALSE cached=false log lines but $MISSES" \
+         "scraped misses" >&2
+    exit 1
+}
+# Every run record carries the full phase breakdown.
+grep '"op": "run".*"cached": false' "$ACCESS" | while read -r line; do
+    for phase in parse_usec key_usec cache_probe_usec \
+                 queue_wait_usec worker_run_usec render_usec; do
+        printf '%s' "$line" | grep -q "\"$phase\": [0-9]" || {
+            echo "FAIL: run record missing $phase: $line" >&2
+            exit 1
+        }
+    done
+done
+
+echo "== merged worker trace lints as a multi-process timeline"
+MERGE="$("$BIN/specslice_serve" --connect "$SOCK" --trace-merge)"
+echo "$MERGE"
+FRAGS="$(printf '%s' "$MERGE" | jq -r '.fragments')"
+[ "$FRAGS" = "$MISSES" ] || {
+    echo "FAIL: expected $MISSES trace fragments, got '$FRAGS'" >&2
+    exit 1
+}
+"$BIN/trace_lint" --merged "$TRACES/merged_trace.json"
+
+echo "== clean shutdown"
+"$BIN/specslice_serve" --connect "$SOCK" --shutdown > /dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+wait "$SERVER_PID" || {
+    echo "FAIL: server exited abnormally" >&2
+    exit 1
+}
+SERVER_PID=""
+
+echo "PASS: metrics smoke ok (hits=$HITS misses=$MISSES jobs=$JOBS)"

@@ -12,7 +12,9 @@
 #define SPECSLICE_TOOLS_SERVE_CLIENT_HH
 
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
+#include <ctime>
 #include <string>
 
 #include <sys/socket.h>
@@ -111,6 +113,28 @@ requestOnce(const std::string &socket_path, const std::string &request,
               readLine(fd, response, error);
     ::close(fd);
     return ok;
+}
+
+/**
+ * requestOnce plus a client-side monotonic round-trip measurement
+ * (connect through response line). `--ping` reports this so "is the
+ * daemon alive" comes with "and how far away is it".
+ */
+inline bool
+requestTimed(const std::string &socket_path, const std::string &request,
+             std::string &response, std::uint64_t &rtt_usec,
+             std::string &error)
+{
+    timespec t0{}, t1{};
+    ::clock_gettime(CLOCK_MONOTONIC, &t0);
+    if (!requestOnce(socket_path, request, response, error))
+        return false;
+    ::clock_gettime(CLOCK_MONOTONIC, &t1);
+    rtt_usec = static_cast<std::uint64_t>(t1.tv_sec - t0.tv_sec) *
+                   1000000 +
+               static_cast<std::uint64_t>(t1.tv_nsec / 1000 -
+                                          t0.tv_nsec / 1000);
+    return true;
 }
 
 /**

@@ -30,7 +30,11 @@ INSTS=20000
 WARMUP=5000
 WORKLOADS=(vpr mcf twolf gzip)
 
-"$BIN/specslice_serve" --socket "$SOCK" --cache "$CACHE" --workers 4 &
+# Full instrumentation stays on while the byte-identity diffs run:
+# access logging and per-request worker tracing must never perturb
+# the served documents.
+"$BIN/specslice_serve" --socket "$SOCK" --cache "$CACHE" --workers 4 \
+    --access-log "$WORK/access.ndjson" --trace-dir "$WORK/traces" &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do

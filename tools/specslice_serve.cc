@@ -38,15 +38,19 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -56,6 +60,9 @@
 
 #include "common/hash.hh"
 #include "common/jsonio.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_merge.hh"
 #include "serve_client.hh"
 #include "sim/proc_pool.hh"
 #include "sim/result_cache.hh"
@@ -76,6 +83,36 @@ defaultCacheDir()
     return ".sscache";
 }
 
+/** Monotonic microseconds (phase timings, queue waits, RTTs). */
+std::uint64_t
+nowUsec()
+{
+    timespec ts{};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000 +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000;
+}
+
+/** Wall-clock microseconds (access-log timestamps). */
+std::uint64_t
+wallUsec()
+{
+    timespec ts{};
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000 +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000;
+}
+
+/** Zero-padded request id ("r000042"): lexical order == arrival
+ *  order, so sorted trace-fragment filenames replay in order. */
+std::string
+reqIdStr(std::uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "r%06" PRIu64, id);
+    return buf;
+}
+
 struct Options
 {
     // Daemon mode.
@@ -84,6 +121,8 @@ struct Options
     std::uint64_t cacheBytes = sim::ResultCache::defaultMaxBytes;
     unsigned workers = 0;  ///< 0 = hardware concurrency, capped
     bool verbose = false;
+    std::string accessLog;  ///< NDJSON per-request log ("" = off)
+    std::string traceDir;   ///< worker trace fragments ("" = off)
 
     // Client mode.
     std::string connectPath;
@@ -109,12 +148,20 @@ usage(int code)
         "  --workers N       simulation worker processes (default:\n"
         "                    min(cores, 8))\n"
         "  --verbose         log requests to stderr\n"
+        "  --access-log PATH append one NDJSON line per request with\n"
+        "                    request id and phase timings\n"
+        "  --trace-dir DIR   workers write per-request --chrome-trace\n"
+        "                    fragments here; the trace_merge op\n"
+        "                    stitches them into merged_trace.json\n"
         "client options:\n"
         "  --connect PATH    talk to the daemon at PATH\n"
         "  --request JSON    send one request line; prints the result\n"
         "                    document and exits with its exit_code\n"
         "  --raw             print the whole response envelope\n"
         "  --ping | --stats | --shutdown\n"
+        "  --metrics         fetch the service metrics (JSON form;\n"
+        "                    GET /metrics serves Prometheus text)\n"
+        "  --trace-merge     merge worker trace fragments now\n"
         "exit codes (client): the run's specslice_run-compatible exit\n"
         "code; 5 on transport or protocol errors\n");
     std::exit(code);
@@ -153,6 +200,10 @@ parseArgs(int argc, char **argv)
                 usage(2);
         } else if (a == "--verbose")
             o.verbose = true;
+        else if (a == "--access-log")
+            o.accessLog = next();
+        else if (a == "--trace-dir")
+            o.traceDir = next();
         else if (a == "--connect")
             o.connectPath = next();
         else if (a == "--request")
@@ -163,6 +214,10 @@ parseArgs(int argc, char **argv)
             o.op = "stats";
         else if (a == "--shutdown")
             o.op = "shutdown";
+        else if (a == "--metrics")
+            o.op = "metrics";
+        else if (a == "--trace-merge")
+            o.op = "trace_merge";
         else if (a == "--raw")
             o.raw = true;
         else if (a == "--help" || a == "-h")
@@ -231,17 +286,97 @@ onTerminate(int)
     g_terminate = 1;
 }
 
+/**
+ * Owns the shared-memory metrics registry and installs it as the
+ * ambient one. MUST be the first Server member: ResultCache and
+ * ProcPool register their metrics at construction, and every slot
+ * workers touch has to exist before ProcPool's ctor forks — so all
+ * service-level names are pre-registered here too (the worker-side
+ * ss_run_* histograms are observed inside runJob via the ambient
+ * registry and would otherwise land on process-private slots).
+ */
+struct MetricsHost
+{
+    obs::MetricsRegistry reg{obs::MetricsRegistry::maxProcesses};
+
+    MetricsHost()
+    {
+        obs::setAmbientMetrics(&reg);
+        reg.counter("ss_requests_total",
+                    "Requests handled (all ops)");
+        reg.counter("ss_run_requests_total", "Run requests handled");
+        reg.counter("ss_served_cache_hits_total",
+                    "Run requests answered from the result cache");
+        reg.counter("ss_served_cache_misses_total",
+                    "Run requests that needed a simulation");
+        reg.counter("ss_worker_crashes_total",
+                    "Jobs lost to a worker process death");
+        reg.gauge("ss_pool_queue_depth",
+                  "Jobs queued in the shared ring, unclaimed");
+        reg.gauge("ss_pool_in_flight",
+                  "Jobs submitted but not yet resolved");
+        reg.gauge("ss_pool_workers", "Live worker processes");
+        reg.gauge("ss_pool_respawns",
+                  "Workers respawned after a death");
+        reg.gauge("ss_pool_busy_ppm",
+                  "Worker busy fraction, parts per million");
+        reg.gauge("ss_uptime_usec", "Daemon uptime in microseconds");
+        reg.histogram("ss_request_usec",
+                      "End-to-end request latency");
+        reg.histogram("ss_phase_parse_usec",
+                      "Request parse phase latency");
+        reg.histogram("ss_phase_key_usec",
+                      "Cache-key derivation phase latency");
+        reg.histogram("ss_phase_cache_probe_usec",
+                      "Result-cache probe phase latency");
+        reg.histogram("ss_phase_queue_wait_usec",
+                      "Submit-to-completion wait minus run time");
+        reg.histogram("ss_phase_worker_run_usec",
+                      "Worker-side job execution latency");
+        reg.histogram("ss_phase_render_usec",
+                      "Response render phase latency");
+        reg.histogram("ss_run_fastforward_usec",
+                      "Per-run fast-forward wall time");
+        reg.histogram("ss_run_warmup_usec",
+                      "Per-run warm-up wall time");
+        reg.histogram("ss_run_measure_usec",
+                      "Per-run measured-region wall time");
+    }
+
+    ~MetricsHost() { obs::setAmbientMetrics(nullptr); }
+};
+
 class Server
 {
   public:
     Server(const Options &o)
         : opts_(o), cache_(o.cacheDir, o.cacheBytes),
           pool_(workerCountFor(o),
-                [dir = o.cacheDir, bytes = o.cacheBytes](
-                    const std::string &payload) {
-                    return workerRun(dir, bytes, payload);
+                [dir = o.cacheDir, bytes = o.cacheBytes,
+                 trace_dir = o.traceDir](const std::string &payload) {
+                    return workerRun(dir, bytes, trace_dir, payload);
                 })
     {
+        obs::MetricsRegistry &r = metrics_.reg;
+        mRequests_ = r.counter("ss_requests_total");
+        mRunRequests_ = r.counter("ss_run_requests_total");
+        mServedHits_ = r.counter("ss_served_cache_hits_total");
+        mServedMisses_ = r.counter("ss_served_cache_misses_total");
+        mCrashes_ = r.counter("ss_worker_crashes_total");
+        gQueueDepth_ = r.gauge("ss_pool_queue_depth");
+        gInFlight_ = r.gauge("ss_pool_in_flight");
+        gWorkers_ = r.gauge("ss_pool_workers");
+        gRespawns_ = r.gauge("ss_pool_respawns");
+        gBusyPpm_ = r.gauge("ss_pool_busy_ppm");
+        gUptime_ = r.gauge("ss_uptime_usec");
+        hRequest_ = r.histogram("ss_request_usec");
+        hParse_ = r.histogram("ss_phase_parse_usec");
+        hKey_ = r.histogram("ss_phase_key_usec");
+        hProbe_ = r.histogram("ss_phase_cache_probe_usec");
+        hQueueWait_ = r.histogram("ss_phase_queue_wait_usec");
+        hWorkerRun_ = r.histogram("ss_phase_worker_run_usec");
+        hRender_ = r.histogram("ss_phase_render_usec");
+        startUsec_ = nowUsec();
     }
 
     int run();
@@ -257,13 +392,26 @@ class Server
         std::string out;
     };
 
+    /** One client awaiting an in-flight job, with the phase clocks
+     *  captured up to the moment it joined the queue. */
+    struct Waiter
+    {
+        /** Connection id (not fd: fds are reused). */
+        std::uint64_t connId = 0;
+        std::uint64_t reqId = 0;
+        std::uint64_t t0 = 0;  ///< request arrival, nowUsec()
+        std::uint64_t parseUsec = 0;
+        std::uint64_t keyUsec = 0;
+        std::uint64_t probeUsec = 0;
+        std::uint64_t submitUsec = 0;  ///< joined the queue
+    };
+
     struct Pending
     {
         std::string key;
         std::string workload;
         std::uint64_t seed = 1;
-        /** Connection ids (not fds: fds are reused) awaiting this. */
-        std::vector<std::uint64_t> waiters;
+        std::vector<Waiter> waiters;
     };
 
     static unsigned
@@ -275,16 +423,25 @@ class Server
         return std::min(hw, 8u);
     }
 
-    /** Runs in the worker process: "key\nspec-json" in,
-     *  "exit\ndoc" out; commits cacheable outcomes itself. */
+    /** Runs in the worker process: "key reqid\nspec-json" in,
+     *  "exit run_usec\ndoc" out; commits cacheable outcomes itself
+     *  (cache payloads stay "exit\ndoc" — byte-identical to what a
+     *  hit must serve). With a trace dir, the whole job records into
+     *  an EventBuffer written out as one per-request fragment tagged
+     *  with the request id and this worker's lane. */
     static std::string
     workerRun(const std::string &cache_dir, std::uint64_t cache_bytes,
-              const std::string &payload)
+              const std::string &trace_dir, const std::string &payload)
     {
         auto nl = payload.find('\n');
         if (nl == std::string::npos)
             throw std::runtime_error("malformed worker payload");
-        const std::string key = payload.substr(0, nl);
+        std::string key = payload.substr(0, nl);
+        std::string req_id;
+        if (auto sp = key.find(' '); sp != std::string::npos) {
+            req_id = key.substr(sp + 1);
+            key.resize(sp);
+        }
         std::string err;
         auto doc = json::parse(payload.substr(nl + 1), err);
         if (!doc)
@@ -293,7 +450,18 @@ class Server
         if (!sim::JobSpec::fromJson(*doc, spec, err))
             throw std::runtime_error("bad worker spec: " + err);
 
-        sim::JobOutcome out = sim::runJob(spec);
+        const bool tracing = !trace_dir.empty() && !req_id.empty();
+        std::unique_ptr<obs::EventBuffer> events;
+        if (tracing)
+            events = std::make_unique<obs::EventBuffer>(1u << 16);
+
+        const std::uint64_t run_start = nowUsec();
+        sim::JobOutcome out = sim::runJob(spec, events.get());
+        const std::uint64_t run_usec = nowUsec() - run_start;
+
+        if (tracing)
+            writeTraceFragment(trace_dir, req_id, *events);
+
         // Usage (2) and sim-error (4) outcomes are not cached: the
         // former is a client bug, the latter may be environmental
         // (and a panic message can carry addresses). Completed,
@@ -306,7 +474,37 @@ class Server
                                  out.document,
                         serr);
         }
-        return std::to_string(out.exitCode) + "\n" + out.document;
+        return std::to_string(out.exitCode) + " " +
+               std::to_string(run_usec) + "\n" + out.document;
+    }
+
+    /** Commit one worker's Chrome-trace fragment via temp + rename
+     *  so the merger never reads a half-written file. */
+    static void
+    writeTraceFragment(const std::string &trace_dir,
+                       const std::string &req_id,
+                       const obs::EventBuffer &events)
+    {
+        unsigned lane = static_cast<unsigned>(::getpid());
+        if (obs::MetricsRegistry *reg = obs::ambientMetrics())
+            if (reg->boundProcess())
+                lane = reg->boundProcess();
+        obs::ChromeTraceMeta meta;
+        meta.pid = lane;
+        meta.processName = "worker " + std::to_string(lane);
+        meta.requestId = req_id;
+        const std::string path = trace_dir + "/frag-" + req_id +
+                                 "-w" + std::to_string(lane) +
+                                 ".json";
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return;
+        events.writeChromeTrace(os, meta);
+        os.flush();
+        if (!os || ::rename(tmp.c_str(), path.c_str()) != 0)
+            ::unlink(tmp.c_str());
     }
 
     bool listenOn(const std::string &path);
@@ -316,25 +514,45 @@ class Server
     void processHttp(Conn &c);
     void handleRequest(Conn &c, const std::string &line);
     void respond(Conn &c, const std::string &envelope);
+    void respondHttpText(Conn &c, const std::string &body,
+                         const char *content_type);
     void drainPool();
     void flushWrites();
     std::string statsEnvelope();
+    std::string metricsEnvelope();
+    std::string traceMergeEnvelope();
+    /** Refresh the point-in-time gauges; call before any scrape so
+     *  /metrics, --stats, and the JSON block all agree. */
+    void updateGauges();
+    void logAccess(const json::JsonObject &fields);
+    /** The common access-log prefix for one request. */
+    json::JsonObject accessRecord(std::uint64_t req_id,
+                                  const char *op);
 
     Options opts_;
+    /** Declared before cache_ and pool_ on purpose: their ctors
+     *  register metrics, and the pool ctor forks. */
+    MetricsHost metrics_;
     sim::ResultCache cache_;
     sim::ProcPool pool_;
     int listenFd_ = -1;
     std::uint64_t nextConnId_ = 1;
+    std::uint64_t nextReqId_ = 1;
+    std::uint64_t startUsec_ = 0;
+    std::FILE *accessLog_ = nullptr;
     std::map<std::uint64_t, Conn> conns_;
     /** ticket -> waiters */
     std::map<std::uint64_t, Pending> pending_;
     /** key -> ticket (in-flight dedup) */
     std::map<std::string, std::uint64_t> inFlightKeys_;
     bool shuttingDown_ = false;
-    std::uint64_t requests_ = 0;
-    std::uint64_t runRequests_ = 0;
-    std::uint64_t servedHits_ = 0;
-    std::uint64_t servedMisses_ = 0;
+
+    obs::Counter mRequests_, mRunRequests_, mServedHits_,
+        mServedMisses_, mCrashes_;
+    obs::Gauge gQueueDepth_, gInFlight_, gWorkers_, gRespawns_,
+        gBusyPpm_, gUptime_;
+    obs::Histogram hRequest_, hParse_, hKey_, hProbe_, hQueueWait_,
+        hWorkerRun_, hRender_;
 };
 
 bool
@@ -481,6 +699,17 @@ Server::processHttp(Conn &c)
         request = "{\"op\": \"ping\"}";
     } else if (method == "GET" && path == "/stats") {
         request = "{\"op\": \"stats\"}";
+    } else if (method == "GET" && path == "/metrics") {
+        // Prometheus text exposition, not a JSON envelope: this is
+        // the scrape endpoint (`curl --unix-socket ... /metrics`).
+        updateGauges();
+        respondHttpText(c, metrics_.reg.renderPrometheus(),
+                        "text/plain; version=0.0.4");
+        logAccess(accessRecord(nextReqId_++, "metrics")
+                      .field("http", std::string("GET /metrics")));
+        return;
+    } else if (method == "POST" && path == "/trace/merge") {
+        request = "{\"op\": \"trace_merge\"}";
     } else if (method == "POST" && path == "/shutdown") {
         request = "{\"op\": \"shutdown\"}";
     } else {
@@ -505,6 +734,17 @@ Server::processHttp(Conn &c)
 }
 
 void
+Server::respondHttpText(Conn &c, const std::string &body,
+                        const char *content_type)
+{
+    c.out += "HTTP/1.1 200 OK\r\nContent-Type: " +
+             std::string(content_type) +
+             "\r\nContent-Length: " + std::to_string(body.size()) +
+             "\r\nConnection: close\r\n\r\n" + body;
+    c.closing = true;
+}
+
+void
 Server::respond(Conn &c, const std::string &envelope)
 {
     if (c.http) {
@@ -519,18 +759,62 @@ Server::respond(Conn &c, const std::string &envelope)
     }
 }
 
+void
+Server::updateGauges()
+{
+    gQueueDepth_.set(pool_.queueDepth());
+    gInFlight_.set(pool_.inFlight());
+    gWorkers_.set(pool_.workerCount());
+    gRespawns_.set(pool_.respawns());
+    const std::uint64_t up = nowUsec() - startUsec_;
+    gUptime_.set(up);
+    const std::uint64_t busy =
+        metrics_.reg.value("ss_worker_busy_usec_total");
+    const std::uint64_t denom =
+        up * std::max(1u, pool_.workerCount());
+    gBusyPpm_.set(denom ? busy * 1'000'000 / denom : 0);
+}
+
+void
+Server::logAccess(const json::JsonObject &fields)
+{
+    if (!accessLog_)
+        return;
+    const std::string line = fields.str();
+    std::fwrite(line.data(), 1, line.size(), accessLog_);
+    std::fputc('\n', accessLog_);
+    std::fflush(accessLog_);
+}
+
+json::JsonObject
+Server::accessRecord(std::uint64_t req_id, const char *op)
+{
+    json::JsonObject o;
+    o.field("ts_usec", wallUsec())
+        .field("req", reqIdStr(req_id))
+        .field("op", std::string(op));
+    return o;
+}
+
 std::string
 Server::statsEnvelope()
 {
-    const sim::ResultCache::Stats &cs = cache_.stats();
+    updateGauges();
+    obs::MetricsRegistry &reg = metrics_.reg;
+    // The cache block is sourced from the registry, not the parent
+    // ResultCache's private Stats: lookups all happen in the daemon
+    // (so hits/misses/rejected match the old parent-only numbers),
+    // but stores are committed by workers and only the shared pages
+    // see them. /metrics reads the same slots, so the two surfaces
+    // agree exactly.
     json::JsonObject cache;
     cache.field("dir", cache_.dir())
         .field("entries", cache_.entryCount())
-        .field("hits", cs.hits)
-        .field("misses", cs.misses)
-        .field("stores", cs.stores)
-        .field("evictions", cs.evictions)
-        .field("rejected", cs.rejected);
+        .field("hits", reg.value("ss_cache_hits_total"))
+        .field("misses", reg.value("ss_cache_misses_total"))
+        .field("stores", reg.value("ss_cache_stores_total"))
+        .field("evictions", reg.value("ss_cache_evictions_total"))
+        .field("rejected", reg.value("ss_cache_rejected_total"));
     std::vector<std::string> pids;
     for (int pid : pool_.workerPids())
         pids.push_back(std::to_string(pid));
@@ -538,38 +822,124 @@ Server::statsEnvelope()
     pool.field("workers", std::uint64_t{pool_.workerCount()})
         .raw("worker_pids", json::jsonArray(pids))
         .field("respawns", pool_.respawns())
-        .field("in_flight", std::uint64_t{pool_.inFlight()});
+        .field("in_flight", std::uint64_t{pool_.inFlight()})
+        .field("queue_depth", std::uint64_t{pool_.queueDepth()});
     json::JsonObject served;
-    served.field("requests", requests_)
-        .field("run_requests", runRequests_)
-        .field("cache_hits", servedHits_)
-        .field("cache_misses", servedMisses_);
+    served.field("requests", reg.value("ss_requests_total"))
+        .field("run_requests", reg.value("ss_run_requests_total"))
+        .field("cache_hits",
+               reg.value("ss_served_cache_hits_total"))
+        .field("cache_misses",
+               reg.value("ss_served_cache_misses_total"))
+        .field("worker_jobs", reg.value("ss_worker_jobs_total"))
+        .field("worker_crashes",
+               reg.value("ss_worker_crashes_total"));
     json::JsonObject doc;
     doc.raw("ok", "true")
         .field("op", std::string("stats"))
         .field("schema_version", sim::resultSchemaVersion)
         .raw("cache", cache.str())
         .raw("pool", pool.str())
-        .raw("served", served.str());
+        .raw("served", served.str())
+        .raw("metrics", reg.renderJson());
+    return doc.str();
+}
+
+std::string
+Server::metricsEnvelope()
+{
+    updateGauges();
+    json::JsonObject doc;
+    doc.raw("ok", "true")
+        .field("op", std::string("metrics"))
+        .field("schema_version", sim::resultSchemaVersion)
+        .raw("metrics", metrics_.reg.renderJson());
+    return doc.str();
+}
+
+std::string
+Server::traceMergeEnvelope()
+{
+    if (opts_.traceDir.empty())
+        return errorEnvelope("trace_merge", "usage",
+                             "daemon was started without --trace-dir");
+    std::vector<std::string> frags;
+    if (DIR *d = ::opendir(opts_.traceDir.c_str())) {
+        while (dirent *e = ::readdir(d)) {
+            const std::string n = e->d_name;
+            if (n.rfind("frag-", 0) == 0 && n.size() > 5 &&
+                n.compare(n.size() - 5, 5, ".json") == 0)
+                frags.push_back(opts_.traceDir + "/" + n);
+        }
+        ::closedir(d);
+    } else {
+        return errorEnvelope("trace_merge", "io",
+                             "cannot open trace dir '" +
+                                 opts_.traceDir + "'");
+    }
+    // Request ids are zero-padded, so lexical order is arrival order.
+    std::sort(frags.begin(), frags.end());
+
+    const std::string out_path =
+        opts_.traceDir + "/merged_trace.json";
+    const std::string tmp = out_path + ".tmp";
+    std::string merr;
+    obs::MergeStats ms;
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return errorEnvelope("trace_merge", "io",
+                                 "cannot write '" + tmp + "'");
+        if (!obs::mergeChromeTraces(frags, os, merr, &ms)) {
+            ::unlink(tmp.c_str());
+            return errorEnvelope("trace_merge", "merge", merr);
+        }
+        os.flush();
+        if (!os) {
+            ::unlink(tmp.c_str());
+            return errorEnvelope("trace_merge", "io",
+                                 "write to '" + tmp + "' failed");
+        }
+    }
+    if (::rename(tmp.c_str(), out_path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return errorEnvelope("trace_merge", "io",
+                             "cannot commit '" + out_path + "'");
+    }
+    json::JsonObject doc;
+    doc.raw("ok", "true")
+        .field("op", std::string("trace_merge"))
+        .field("schema_version", sim::resultSchemaVersion)
+        .field("path", out_path)
+        .field("fragments", std::uint64_t{ms.fragments})
+        .field("events", std::uint64_t{ms.events})
+        .field("lanes", std::uint64_t{ms.lanes});
     return doc.str();
 }
 
 void
 Server::handleRequest(Conn &c, const std::string &line)
 {
-    ++requests_;
+    const std::uint64_t req_id = nextReqId_++;
+    const std::uint64_t t0 = nowUsec();
+    mRequests_.inc();
     std::string err;
     auto doc = json::parse(line, err);
+    const std::uint64_t t_parse = nowUsec();
+    hParse_.observe(t_parse - t0);
     if (!doc || !doc->isObject()) {
         respond(c, errorEnvelope("", "parse",
                                  "request is not a JSON object: " +
                                      err));
+        logAccess(accessRecord(req_id, "").field(
+            "error", std::string("parse")));
         return;
     }
     const std::string op = doc->getStr("op", "run");
     if (opts_.verbose)
-        std::fprintf(stderr, "serve: %s request (%zu bytes)\n",
-                     op.c_str(), line.size());
+        std::fprintf(stderr, "serve: %s request %s (%zu bytes)\n",
+                     op.c_str(), reqIdStr(req_id).c_str(),
+                     line.size());
 
     if (op == "ping") {
         json::JsonObject pong;
@@ -577,10 +947,26 @@ Server::handleRequest(Conn &c, const std::string &line)
             .field("op", std::string("ping"))
             .field("schema_version", sim::resultSchemaVersion);
         respond(c, pong.str());
+        logAccess(accessRecord(req_id, "ping")
+                      .field("total_usec", nowUsec() - t0));
         return;
     }
     if (op == "stats") {
         respond(c, statsEnvelope());
+        logAccess(accessRecord(req_id, "stats")
+                      .field("total_usec", nowUsec() - t0));
+        return;
+    }
+    if (op == "metrics") {
+        respond(c, metricsEnvelope());
+        logAccess(accessRecord(req_id, "metrics")
+                      .field("total_usec", nowUsec() - t0));
+        return;
+    }
+    if (op == "trace_merge") {
+        respond(c, traceMergeEnvelope());
+        logAccess(accessRecord(req_id, "trace_merge")
+                      .field("total_usec", nowUsec() - t0));
         return;
     }
     if (op == "shutdown") {
@@ -591,67 +977,109 @@ Server::handleRequest(Conn &c, const std::string &line)
             .field("draining", std::uint64_t{pending_.size()});
         respond(c, bye.str());
         shuttingDown_ = true;
+        logAccess(accessRecord(req_id, "shutdown")
+                      .field("total_usec", nowUsec() - t0));
         return;
     }
     if (op != "run") {
         respond(c, errorEnvelope(op, "usage",
                                  "unknown op '" + op + "'"));
+        logAccess(accessRecord(req_id, op.c_str())
+                      .field("error", std::string("usage")));
         return;
     }
 
-    ++runRequests_;
+    mRunRequests_.inc();
     if (shuttingDown_) {
         respond(c, errorEnvelope("run", "shutdown",
                                  "server is draining"));
+        logAccess(accessRecord(req_id, "run")
+                      .field("error", std::string("shutdown")));
         return;
     }
     sim::JobSpec spec;
     if (!sim::JobSpec::fromJson(*doc, spec, err)) {
         respond(c, errorEnvelope("run", "usage", err));
+        logAccess(accessRecord(req_id, "run")
+                      .field("error", std::string("usage")));
         return;
     }
     std::string key = sim::jobCacheKey(spec, err);
+    const std::uint64_t t_key = nowUsec();
+    hKey_.observe(t_key - t_parse);
     if (key.empty()) {
         respond(c, errorEnvelope("run", "usage", err));
+        logAccess(accessRecord(req_id, "run")
+                      .field("error", std::string("usage")));
         return;
     }
 
-    if (auto payload = cache_.lookup(key)) {
+    auto payload = cache_.lookup(key);
+    const std::uint64_t t_probe = nowUsec();
+    hProbe_.observe(t_probe - t_key);
+    if (payload) {
         auto nl = payload->find('\n');
         if (nl != std::string::npos) {
-            ++servedHits_;
+            mServedHits_.inc();
             int exit_code = std::atoi(payload->substr(0, nl).c_str());
             respond(c, runEnvelope(spec.workload, spec.seed, true,
                                    key, exit_code,
                                    payload->substr(nl + 1)));
+            const std::uint64_t t_end = nowUsec();
+            hRender_.observe(t_end - t_probe);
+            hRequest_.observe(t_end - t0);
+            logAccess(accessRecord(req_id, "run")
+                          .field("workload", spec.workload)
+                          .field("key", key)
+                          .raw("cached", "true")
+                          .field("exit_code",
+                                 std::uint64_t(exit_code))
+                          .field("parse_usec", t_parse - t0)
+                          .field("key_usec", t_key - t_parse)
+                          .field("cache_probe_usec",
+                                 t_probe - t_key)
+                          .field("queue_wait_usec", std::uint64_t{0})
+                          .field("worker_run_usec", std::uint64_t{0})
+                          .field("render_usec", t_end - t_probe)
+                          .field("total_usec", t_end - t0));
             return;
         }
         // Structurally odd payload: fall through and recompute.
     }
-    ++servedMisses_;
+    mServedMisses_.inc();
 
-    // In-flight dedup: piggyback on an identical running job.
-    std::uint64_t conn_id = 0;
+    Waiter w;
+    w.reqId = req_id;
+    w.t0 = t0;
+    w.parseUsec = t_parse - t0;
+    w.keyUsec = t_key - t_parse;
+    w.probeUsec = t_probe - t_key;
     for (auto &[id, conn] : conns_)
         if (&conn == &c)
-            conn_id = id;
+            w.connId = id;
+
+    // In-flight dedup: piggyback on an identical running job.
     auto it = inFlightKeys_.find(key);
     if (it != inFlightKeys_.end()) {
-        pending_[it->second].waiters.push_back(conn_id);
+        w.submitUsec = nowUsec();
+        pending_[it->second].waiters.push_back(w);
         return;
     }
     std::string serr;
-    std::uint64_t ticket =
-        pool_.submit(key + "\n" + spec.toJson(), serr);
+    std::uint64_t ticket = pool_.submit(
+        key + " " + reqIdStr(req_id) + "\n" + spec.toJson(), serr);
     if (!ticket) {
         respond(c, errorEnvelope("run", "overload", serr));
+        logAccess(accessRecord(req_id, "run")
+                      .field("error", std::string("overload")));
         return;
     }
+    w.submitUsec = nowUsec();
     Pending p;
     p.key = key;
     p.workload = spec.workload;
     p.seed = spec.seed;
-    p.waiters.push_back(conn_id);
+    p.waiters.push_back(w);
     pending_.emplace(ticket, std::move(p));
     inFlightKeys_.emplace(key, ticket);
 }
@@ -667,28 +1095,42 @@ Server::drainPool()
         pending_.erase(it);
         inFlightKeys_.erase(p.key);
 
+        const std::uint64_t t_done = nowUsec();
         std::string envelope;
+        int exit_code = 4;
+        std::uint64_t run_usec = 0;
+        const char *kind = "";
         if (r.status == sim::ProcPool::JobStatus::Done) {
+            // Result head: "exit run_usec" (run_usec optional for
+            // robustness against a torn frame).
             auto nl = r.payload.find('\n');
-            int exit_code =
-                nl == std::string::npos
-                    ? 4
-                    : std::atoi(r.payload.substr(0, nl).c_str());
-            std::string doc =
-                nl == std::string::npos
-                    ? sim::errorDocument(p.workload, p.seed, "failed",
-                                         "malformed worker result")
-                    : r.payload.substr(nl + 1);
+            std::string doc;
+            if (nl == std::string::npos) {
+                doc = sim::errorDocument(p.workload, p.seed,
+                                         "failed",
+                                         "malformed worker result");
+            } else {
+                const std::string head = r.payload.substr(0, nl);
+                unsigned long long usec = 0;
+                if (std::sscanf(head.c_str(), "%d %llu", &exit_code,
+                                &usec) >= 1)
+                    run_usec = usec;
+                else
+                    exit_code = 4;
+                doc = r.payload.substr(nl + 1);
+            }
+            hWorkerRun_.observe(run_usec);
             envelope = runEnvelope(p.workload, p.seed, false, p.key,
                                    exit_code, doc);
         } else {
             // Failed (exception) or Crashed (worker died): one typed
             // error document per the batch contract; the pool has
             // already respawned a replacement for a crash.
-            const char *kind =
-                r.status == sim::ProcPool::JobStatus::Crashed
-                    ? "crashed"
-                    : "failed";
+            kind = r.status == sim::ProcPool::JobStatus::Crashed
+                       ? "crashed"
+                       : "failed";
+            if (r.status == sim::ProcPool::JobStatus::Crashed)
+                mCrashes_.inc();
             std::string doc = sim::errorDocument(p.workload, p.seed,
                                                  kind, r.payload);
             json::JsonObject o;
@@ -704,10 +1146,34 @@ Server::drainPool()
                 .raw("doc", doc);
             envelope = o.str();
         }
-        for (std::uint64_t id : p.waiters) {
-            auto cit = conns_.find(id);
+        for (const Waiter &w : p.waiters) {
+            auto cit = conns_.find(w.connId);
             if (cit != conns_.end())
                 respond(cit->second, envelope);
+            const std::uint64_t t_end = nowUsec();
+            const std::uint64_t waited = t_done - w.submitUsec;
+            const std::uint64_t queue_wait =
+                waited > run_usec ? waited - run_usec : 0;
+            hQueueWait_.observe(queue_wait);
+            hRender_.observe(t_end - t_done);
+            hRequest_.observe(t_end - w.t0);
+            json::JsonObject rec = accessRecord(w.reqId, "run");
+            rec.field("workload", p.workload)
+                .field("key", p.key)
+                .raw("cached", "false")
+                .field("exit_code", std::uint64_t(
+                                        static_cast<unsigned>(
+                                            exit_code)));
+            if (*kind)
+                rec.field("error", std::string(kind));
+            rec.field("parse_usec", w.parseUsec)
+                .field("key_usec", w.keyUsec)
+                .field("cache_probe_usec", w.probeUsec)
+                .field("queue_wait_usec", queue_wait)
+                .field("worker_run_usec", run_usec)
+                .field("render_usec", t_end - t_done)
+                .field("total_usec", t_end - w.t0);
+            logAccess(rec);
         }
     }
 }
@@ -734,11 +1200,14 @@ Server::flushWrites()
         bool waiting = false;
         for (const auto &[ticket, p] : pending_) {
             (void)ticket;
-            if (std::find(p.waiters.begin(), p.waiters.end(),
-                          it->first) != p.waiters.end()) {
-                waiting = true;
-                break;
+            for (const Waiter &w : p.waiters) {
+                if (w.connId == it->first) {
+                    waiting = true;
+                    break;
+                }
             }
+            if (waiting)
+                break;
         }
         if (c.closing && c.out.empty() && !waiting) {
             ::close(c.fd);
@@ -755,6 +1224,18 @@ Server::run()
     signal(SIGPIPE, SIG_IGN);
     signal(SIGTERM, onTerminate);
     signal(SIGINT, onTerminate);
+
+    if (!opts_.traceDir.empty())
+        ::mkdir(opts_.traceDir.c_str(), 0777);
+    if (!opts_.accessLog.empty()) {
+        accessLog_ = std::fopen(opts_.accessLog.c_str(), "a");
+        if (!accessLog_)
+            std::fprintf(stderr,
+                         "specslice_serve: cannot open access log "
+                         "'%s': %s\n",
+                         opts_.accessLog.c_str(),
+                         std::strerror(errno));
+    }
 
     if (!listenOn(opts_.socketPath))
         return 1;
@@ -816,11 +1297,20 @@ Server::run()
 
     ::close(listenFd_);
     ::unlink(opts_.socketPath.c_str());
-    std::fprintf(stderr, "specslice_serve: shut down (%llu requests, "
-                         "%llu hits, %llu misses)\n",
-                 static_cast<unsigned long long>(requests_),
-                 static_cast<unsigned long long>(servedHits_),
-                 static_cast<unsigned long long>(servedMisses_));
+    if (accessLog_) {
+        std::fclose(accessLog_);
+        accessLog_ = nullptr;
+    }
+    std::fprintf(
+        stderr,
+        "specslice_serve: shut down (%llu requests, "
+        "%llu hits, %llu misses)\n",
+        static_cast<unsigned long long>(
+            metrics_.reg.value("ss_requests_total")),
+        static_cast<unsigned long long>(
+            metrics_.reg.value("ss_served_cache_hits_total")),
+        static_cast<unsigned long long>(
+            metrics_.reg.value("ss_served_cache_misses_total")));
     return 0;
 }
 
@@ -843,6 +1333,24 @@ clientMain(const Options &o)
     }
 
     std::string response, err;
+    if (o.op == "ping") {
+        // Liveness plus distance: measure the round trip on the
+        // client's monotonic clock and splice it into the envelope.
+        std::uint64_t rtt = 0;
+        if (!serve_client::requestTimed(o.connectPath, request,
+                                        response, rtt, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 5;
+        }
+        if (!response.empty() && response.back() == '}')
+            response = response.substr(0, response.size() - 1) +
+                       ", \"rtt_usec\": " + std::to_string(rtt) +
+                       "}";
+        std::printf("%s\n", response.c_str());
+        std::string perr;
+        auto env = json::parse(response, perr);
+        return env && env->getBool("ok") ? 0 : 5;
+    }
     if (!serve_client::requestOnce(o.connectPath, request, response,
                                    err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());

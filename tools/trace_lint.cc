@@ -7,17 +7,31 @@
  * each carrying the required "name"/"ph"/"ts"/"pid"/"tid" keys.
  *
  *     trace_lint trace.json
+ *     trace_lint --merged merged_trace.json
+ *
+ * --merged additionally validates the shape the cross-process merger
+ * (obs/trace_merge) guarantees: every complete ("ph":"X") event has a
+ * "ts", timestamps are monotonically non-decreasing within each
+ * (pid, tid) lane, every event's pid lane carries process_name
+ * metadata, and every event's args carry the "req" request id the
+ * daemon propagated into the worker.
  *
  * Exits 0 when the file would load in chrome://tracing / Perfetto,
- * 1 with a diagnostic otherwise. Used by the trace_smoke ctest.
+ * 1 with a diagnostic otherwise. Used by the trace_smoke and
+ * metrics_smoke ctests.
  */
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace
@@ -177,9 +191,10 @@ struct Parser
         }
     }
 
-    /** Parse an object; when keys is non-null, collect its keys. */
+    /** Parse an object; when kv is non-null, collect each key and
+     *  the raw text of its value. */
     bool
-    parseObject(std::vector<std::string> *keys)
+    parseObject(std::vector<std::pair<std::string, std::string>> *kv)
     {
         if (!consume('{'))
             return false;
@@ -193,20 +208,27 @@ struct Parser
             std::size_t key_start = pos;
             if (!parseString())
                 return false;
-            if (keys) {
+            std::string key;
+            if (kv) {
                 // The raw key without surrounding quotes (escapes are
                 // fine: none of the checked keys contain any).
-                skipWs();
                 std::size_t s = key_start;
                 while (s < text.size() && text[s] != '"')
                     ++s;
                 std::size_t e = s + 1;
                 while (e < text.size() && text[e] != '"')
                     ++e;
-                keys->push_back(text.substr(s + 1, e - s - 1));
+                key = text.substr(s + 1, e - s - 1);
             }
-            if (!consume(':') || !parseValue())
+            if (!consume(':'))
                 return false;
+            skipWs();
+            std::size_t vstart = pos;
+            if (!parseValue())
+                return false;
+            if (kv)
+                kv->emplace_back(std::move(key),
+                                 text.substr(vstart, pos - vstart));
             skipWs();
             if (pos < text.size() && text[pos] == ',') {
                 ++pos;
@@ -239,22 +261,66 @@ struct Parser
     }
 };
 
-/** Does the event object starting at `pos` carry all required keys? */
-bool
-checkEventKeys(Parser &p)
+/** Cross-event state for --merged validation. */
+struct MergedState
 {
-    std::vector<std::string> keys;
-    if (!p.parseObject(&keys))
+    /** (pid, tid) -> last seen ts: per-lane monotonicity. */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+        lastTs;
+    std::set<std::uint64_t> eventPids;  ///< pids of "X" events
+    std::set<std::uint64_t> namedPids;  ///< pids with process_name
+};
+
+/** Does the event object starting at `pos` carry all required keys
+ *  (and, in merged mode, the merger's guarantees)? */
+bool
+checkEvent(Parser &p, MergedState *merged)
+{
+    std::vector<std::pair<std::string, std::string>> kv;
+    if (!p.parseObject(&kv))
         return false;
+    auto find = [&kv](const char *key) -> const std::string * {
+        for (const auto &[k, v] : kv)
+            if (k == key)
+                return &v;
+        return nullptr;
+    };
     for (const char *req : {"name", "ph", "pid", "tid"}) {
-        bool found = false;
-        for (const std::string &k : keys)
-            if (k == req)
-                found = true;
-        if (!found)
+        if (!find(req))
             return p.fail(std::string("event missing \"") + req +
                           "\" key");
     }
+    if (!merged)
+        return true;
+
+    const std::string &ph = *find("ph");
+    const std::uint64_t pid =
+        std::strtoull(find("pid")->c_str(), nullptr, 10);
+    const std::uint64_t tid =
+        std::strtoull(find("tid")->c_str(), nullptr, 10);
+    if (ph == "\"M\"") {
+        if (*find("name") == "\"process_name\"")
+            merged->namedPids.insert(pid);
+        return true;
+    }
+    // Complete events: a timestamp, monotonic within its lane, and
+    // the propagated request id in args.
+    const std::string *ts_text = find("ts");
+    if (!ts_text)
+        return p.fail("merged event missing \"ts\"");
+    const std::uint64_t ts =
+        std::strtoull(ts_text->c_str(), nullptr, 10);
+    auto lane = std::make_pair(pid, tid);
+    auto it = merged->lastTs.find(lane);
+    if (it != merged->lastTs.end() && ts < it->second)
+        return p.fail("ts went backwards within lane pid=" +
+                      std::to_string(pid) +
+                      " tid=" + std::to_string(tid));
+    merged->lastTs[lane] = ts;
+    merged->eventPids.insert(pid);
+    const std::string *args = find("args");
+    if (!args || args->find("\"req\"") == std::string::npos)
+        return p.fail("merged event args carry no \"req\" id");
     return true;
 }
 
@@ -263,10 +329,22 @@ checkEventKeys(Parser &p)
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: trace_lint <trace.json>\n");
+    bool merged = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--merged") == 0)
+            merged = true;
+        else if (!path)
+            path = argv[i];
+        else
+            path = "";  // too many operands
+    }
+    if (!path || !*path) {
+        std::fprintf(stderr,
+                     "usage: trace_lint [--merged] <trace.json>\n");
         return 2;
     }
+    argv[1] = const_cast<char *>(path);
 
     std::ifstream is(argv[1]);
     if (!is) {
@@ -320,11 +398,12 @@ main(int argc, char **argv)
                      argv[1]);
         return 1;
     }
+    MergedState mstate;
     std::size_t events = 0;
     p.skipWs();
     if (p.pos < text.size() && text[p.pos] != ']') {
         for (;;) {
-            if (!checkEventKeys(p)) {
+            if (!checkEvent(p, merged ? &mstate : nullptr)) {
                 std::fprintf(stderr, "trace_lint: %s: %s\n", argv[1],
                              p.error.c_str());
                 return 1;
@@ -337,6 +416,22 @@ main(int argc, char **argv)
             }
             break;
         }
+    }
+
+    if (merged) {
+        for (std::uint64_t pid : mstate.eventPids) {
+            if (!mstate.namedPids.count(pid)) {
+                std::fprintf(stderr,
+                             "trace_lint: %s: pid lane %llu has no "
+                             "process_name metadata\n",
+                             argv[1],
+                             static_cast<unsigned long long>(pid));
+                return 1;
+            }
+        }
+        std::printf("trace_lint: %s: ok (%zu events, %zu lanes)\n",
+                    argv[1], events, mstate.eventPids.size());
+        return 0;
     }
 
     std::printf("trace_lint: %s: ok (%zu events)\n", argv[1], events);
