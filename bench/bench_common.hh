@@ -56,6 +56,10 @@ namespace specslice::bench
  *   5 — wall-clock fields ("wall_seconds"/"sim_insts_per_sec") become
  *       omittable (--no-wall, sweep-service documents); optional
  *       "cached" marker on served results (additive)
+ *   6 — trace-driven runs: job specs accept "trace_file" (serve
+ *       requests, specslice_run --trace-file) and specslice_replay
+ *       emits per-trace replay documents/BENCH_replay.json stamped
+ *       with this version
  *
  * The constant itself lives in sim/result_json.hh so the sweep
  * service stamps the same version.

@@ -1,0 +1,161 @@
+#include "branch/predictor_client.hh"
+
+#include "branch/history.hh"
+#include "branch/predictor_unit.hh"
+#include "branch/yags.hh"
+
+namespace specslice::branch
+{
+
+namespace
+{
+
+/**
+ * The paper's composite front end behind the client API. Drives
+ * BranchPredictorUnit exactly as core::SmtCore does for correct-path
+ * instructions: checkpoint before every control op, speculative
+ * history shift at predict, train-then-recover at update (updateCond
+ * first, then on a mispredict restore the checkpoint and shift the
+ * resolved outcome — the same ordering resolveBranch uses). An
+ * in-order replay has no wrong path, so "recovery" collapses to
+ * fixing the speculative history, but going through the identical
+ * call sequence keeps this client faithful to the hardware model.
+ */
+class PaperClient : public PredictorClient
+{
+  public:
+    const char *name() const override { return "paper"; }
+
+    bool
+    predictCond(Addr pc, Addr) override
+    {
+        cp_ = bpu_.checkpoint();
+        lastDir_ = bpu_.predictCond(pc, /*override_dir=*/-1, ctx_);
+        return lastDir_;
+    }
+
+    void
+    updateCond(Addr pc, bool taken) override
+    {
+        bpu_.updateCond(pc, ctx_, taken);
+        if (lastDir_ != taken) {
+            bpu_.restore(cp_);
+            bpu_.shiftResolved(taken);
+        }
+    }
+
+    Addr
+    predictTarget(Addr pc, TargetKind kind) override
+    {
+        cp_ = bpu_.checkpoint();
+        lastTarget_ = kind == TargetKind::Return
+                          ? bpu_.popReturn()
+                          : bpu_.predictIndirect(pc, ctx_);
+        return lastTarget_;
+    }
+
+    void
+    updateTarget(Addr pc, TargetKind kind, Addr target) override
+    {
+        if (kind == TargetKind::Return) {
+            // Returns train nothing (the RAS already popped); a wrong
+            // pop rewinds the stack like a squash does.
+            if (lastTarget_ != target)
+                bpu_.restore(cp_);
+            return;
+        }
+        bpu_.updateIndirect(pc, ctx_, target);
+        if (lastTarget_ != target) {
+            bpu_.restore(cp_);
+            bpu_.shiftResolvedTarget(target);
+        }
+    }
+
+    void observeCall(Addr return_pc) override { bpu_.pushCall(return_pc); }
+
+    void
+    report(std::map<std::string, std::uint64_t> &out) const override
+    {
+        for (const auto &[key, stat] : bpu_.stats().counters())
+            out[key] = stat.value();
+    }
+
+  private:
+    BranchPredictorUnit bpu_;
+    SpecCheckpoint cp_;
+    PredictContext ctx_;
+    bool lastDir_ = false;
+    Addr lastTarget_ = invalidAddr;
+};
+
+/** YAGS alone, trained with resolved history (no target model). */
+class YagsClient : public PredictorClient
+{
+  public:
+    const char *name() const override { return "yags"; }
+
+    bool
+    predictCond(Addr pc, Addr) override
+    {
+        lastHist_ = ghist_.value();
+        return yags_.predict(pc, lastHist_);
+    }
+
+    void
+    updateCond(Addr pc, bool taken) override
+    {
+        yags_.update(pc, lastHist_, taken);
+        ghist_.shift(taken);
+    }
+
+    Addr predictTarget(Addr, TargetKind) override { return invalidAddr; }
+    void updateTarget(Addr, TargetKind, Addr) override {}
+    void observeCall(Addr) override {}
+
+  private:
+    YagsPredictor yags_;
+    GlobalHistory ghist_;
+    std::uint64_t lastHist_ = 0;
+};
+
+/** Backward-taken / forward-not-taken, the classic static baseline. */
+class StaticClient : public PredictorClient
+{
+  public:
+    const char *name() const override { return "static"; }
+
+    bool
+    predictCond(Addr pc, Addr taken_target) override
+    {
+        return taken_target != invalidAddr && taken_target <= pc;
+    }
+
+    void updateCond(Addr, bool) override {}
+    Addr predictTarget(Addr, TargetKind) override { return invalidAddr; }
+    void updateTarget(Addr, TargetKind, Addr) override {}
+    void observeCall(Addr) override {}
+};
+
+} // namespace
+
+std::unique_ptr<PredictorClient>
+makePredictorClient(const std::string &name)
+{
+    if (name == "paper")
+        return std::make_unique<PaperClient>();
+    if (name == "yags")
+        return std::make_unique<YagsClient>();
+    if (name == "static")
+        return std::make_unique<StaticClient>();
+    return nullptr;
+}
+
+const std::vector<std::string> &
+predictorClientNames()
+{
+    static const std::vector<std::string> names = {"paper", "yags",
+                                                   "static"};
+    return names;
+}
+
+} // namespace specslice::branch

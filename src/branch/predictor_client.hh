@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The CVP-style predictor-serving API: a predictor consumes a stream
+ * of retired control-flow events through a narrow
+ * predict/update/report interface (as in the Championship Value
+ * Prediction harness), so the same predictor stack that sits inside
+ * the timing core can be driven by externally-supplied traces at
+ * sustained throughput — no pipeline required.
+ *
+ * Contract (in-order, one dynamic instruction at a time):
+ *
+ *   conditional branch:   predictCond(pc, target)  then
+ *                         updateCond(pc, taken)
+ *   return:               predictTarget(pc, Return) then
+ *                         updateTarget(pc, Return, actual)
+ *   indirect jump:        predictTarget(pc, Jump)   then
+ *                         updateTarget(pc, Jump, actual)
+ *   indirect call:        predictTarget(pc, Call), observeCall(ret),
+ *                         then updateTarget(pc, Call, actual)
+ *   direct call:          observeCall(return_pc)
+ *
+ * Every predict is followed by its update before the next predict
+ * (retired-stream replay), so implementations may latch prediction
+ * context in member state instead of threading tokens through the
+ * caller. report() exposes implementation counters for result JSON.
+ */
+
+#ifndef SPECSLICE_BRANCH_PREDICTOR_CLIENT_HH
+#define SPECSLICE_BRANCH_PREDICTOR_CLIENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specslice::branch
+{
+
+/** Which target-predicting structure a control transfer exercises. */
+enum class TargetKind
+{
+    Return,  ///< return-address-stack pop
+    Jump,    ///< indirect jump
+    Call,    ///< indirect call (predict, then observeCall)
+};
+
+class PredictorClient
+{
+  public:
+    virtual ~PredictorClient() = default;
+
+    /** Registry name ("paper", "yags", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Predict a conditional branch's direction. @param taken_target
+     * the branch's static taken-target (available at decode in this
+     * machine; lets static heuristics do backward-taken).
+     */
+    virtual bool predictCond(Addr pc, Addr taken_target) = 0;
+
+    /** Train with the resolved direction of the last predictCond. */
+    virtual void updateCond(Addr pc, bool taken) = 0;
+
+    /** Predict a return/indirect target (invalidAddr = no idea). */
+    virtual Addr predictTarget(Addr pc, TargetKind kind) = 0;
+
+    /** Train with the resolved target of the last predictTarget. */
+    virtual void updateTarget(Addr pc, TargetKind kind, Addr target) = 0;
+
+    /** A call retired; return_pc is the fall-through address. */
+    virtual void observeCall(Addr return_pc) = 0;
+
+    /** Merge implementation-specific counters into out (prefixed with
+     *  the client name by the caller, so keys need no prefix here). */
+    virtual void
+    report(std::map<std::string, std::uint64_t> &out) const
+    {
+        (void)out;
+    }
+};
+
+/**
+ * Instantiate a registered client by name. @return nullptr for an
+ * unknown name (predictorClientNames() lists the valid ones).
+ *
+ *   "paper"   the full Table 1 front end (YAGS + cascaded indirect +
+ *             RAS) driven exactly as the timing core drives it:
+ *             speculative history shifted at predict, checkpointed
+ *             per control op, restored + corrected on a mispredict.
+ *   "yags"    the YAGS direction predictor alone with resolved-
+ *             outcome history (no target model: targets always miss).
+ *   "static"  backward-taken/forward-not-taken, no target model.
+ */
+std::unique_ptr<PredictorClient> makePredictorClient(
+    const std::string &name);
+
+/** The registered client names, in presentation order. */
+const std::vector<std::string> &predictorClientNames();
+
+} // namespace specslice::branch
+
+#endif // SPECSLICE_BRANCH_PREDICTOR_CLIENT_HH

@@ -11,6 +11,41 @@ using json::JsonObject;
 using json::Value;
 using json::jsonArray;
 
+check::Digest::Section
+digestSection(const std::string &config, const RunResult &r)
+{
+    check::Digest::Section s;
+    s.config = config;
+    auto &c = s.counters;
+    c["cycles"] = r.cycles;
+    c["main_retired"] = r.mainRetired;
+    c["main_fetched"] = r.mainFetched;
+    c["main_fetched_wrongpath"] = r.mainFetchedWrongPath;
+    c["slice_fetched"] = r.sliceFetched;
+    c["slice_retired"] = r.sliceRetired;
+    c["cond_branches"] = r.condBranches;
+    c["mispredictions"] = r.mispredictions;
+    c["main_loads"] = r.loads;
+    c["l1d_misses_main"] = r.l1dMissesMain;
+    c["covered_misses"] = r.coveredMisses;
+    c["slice_prefetches"] = r.slicePrefetches;
+    c["forks"] = r.forks;
+    c["forks_squashed"] = r.forksSquashed;
+    c["forks_ignored"] = r.forksIgnored;
+    c["predictions_generated"] = r.predictionsGenerated;
+    c["correlator_used"] = r.correlatorUsed;
+    c["correlator_wrong"] = r.correlatorWrong;
+    c["late_predictions"] = r.latePredictions;
+    c["late_reversals"] = r.lateReversals;
+    // Every detail counter rides along (prefixed: several share names
+    // with the top-level fields above), so any behavioural drift in
+    // any subsystem shows up in the diff.
+    for (const auto &[k, v] : r.detail.counters())
+        c["detail." + k] = v.value();
+    s.ratios["ipc"] = r.ipc();
+    return s;
+}
+
 json::JsonObject
 perfRecord(const WorkloadPerf &p, bool include_wall)
 {

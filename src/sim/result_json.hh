@@ -24,6 +24,7 @@
 
 #include <string>
 
+#include "check/digest.hh"
 #include "common/jsonio.hh"
 #include "core/smt_core.hh"
 
@@ -41,7 +42,7 @@ using core::outcomeName;
  * specslice_run --json, sweep-service responses). History lives in
  * bench/bench_common.hh next to the benchSchemaVersion alias.
  */
-constexpr std::uint64_t resultSchemaVersion = 5;
+constexpr std::uint64_t resultSchemaVersion = 6;
 
 /** One workload's timed simulation, as recorded by a bench binary. */
 struct WorkloadPerf
@@ -68,6 +69,16 @@ struct WorkloadPerf
  */
 json::JsonObject perfRecord(const WorkloadPerf &p,
                             bool include_wall = true);
+
+/**
+ * One golden-digest section for a finished run: the exact counter set
+ * specslice_verify commits to golden/ (every top-level counter, every
+ * "detail."-prefixed subsystem counter, the ipc ratio). Shared by the
+ * verify tool and specslice_replay --sim so a trace-mode digest is
+ * built from the same fields as the execution-mode corpus.
+ */
+check::Digest::Section digestSection(const std::string &config,
+                                     const RunResult &r);
 
 /** Render a RunResult as a lossless single-line JSON object. */
 std::string resultToJson(const RunResult &r);

@@ -10,6 +10,7 @@
 #include "obs/metrics.hh"
 #include "sim/experiments.hh"
 #include "sim/run_key.hh"
+#include "trace/frontend.hh"
 #include "workloads/workloads.hh"
 
 namespace specslice::sim
@@ -129,27 +130,39 @@ prepare(const JobSpec &s, PreparedJob &out, std::string &error)
                 " out of range (valid: 1..64)";
         return false;
     }
-    const std::vector<std::string> &all = workloads::allWorkloadNames();
-    if (std::find(all.begin(), all.end(), s.workload) == all.end()) {
-        error = "unknown workload '" + s.workload + "'";
-        return false;
-    }
     if (!fault::FaultPlan::parse(s.inject, out.plan, error))
         return false;
     out.plan.seed = s.seed;
 
-    // The workload must outlast the whole sampling span (same formula
-    // as specslice_run / specslice_verify).
-    const std::uint64_t per_region = s.insts + s.warmup;
-    const std::uint64_t span =
-        s.fastforward +
-        (std::max(1u, s.sampleRegions) - 1) *
-            (s.sampleStride ? s.sampleStride : per_region) +
-        per_region;
-    workloads::Params params;
-    params.scale = span * 2;
-    params.seed = s.seed;
-    out.wl = workloads::buildWorkload(s.workload, params);
+    if (!s.traceFile.empty()) {
+        // Trace mode: the workload (program, entry, memory image,
+        // slices, scale) comes out of the trace file itself.
+        std::optional<trace::LoadedTrace> loaded =
+            trace::loadTraceWorkload(s.traceFile, error);
+        if (!loaded)
+            return false;
+        out.wl = std::move(loaded->workload);
+    } else {
+        const std::vector<std::string> &all =
+            workloads::allWorkloadNames();
+        if (std::find(all.begin(), all.end(), s.workload) ==
+            all.end()) {
+            error = "unknown workload '" + s.workload + "'";
+            return false;
+        }
+        // The workload must outlast the whole sampling span (same
+        // formula as specslice_run / specslice_verify).
+        const std::uint64_t per_region = s.insts + s.warmup;
+        const std::uint64_t span =
+            s.fastforward +
+            (std::max(1u, s.sampleRegions) - 1) *
+                (s.sampleStride ? s.sampleStride : per_region) +
+            per_region;
+        workloads::Params params;
+        params.scale = span * 2;
+        params.seed = s.seed;
+        out.wl = workloads::buildWorkload(s.workload, params);
+    }
 
     out.cfg = s.width == 8 ? MachineConfig::eightWide()
                            : MachineConfig::fourWide();
@@ -158,6 +171,7 @@ prepare(const JobSpec &s, PreparedJob &out, std::string &error)
         out.cfg.mainThreadFetchBias = s.bias;
 
     RunOptions &o = out.opts;
+    o.traceFile = s.traceFile;
     o.maxMainInstructions = s.insts;
     o.warmupInstructions = s.warmup;
     o.maxCycles = s.maxCycles;
@@ -220,6 +234,7 @@ JobSpec::fromJson(const json::Value &doc, JobSpec &out,
     }
     FieldReader r{doc, error};
     r.string("workload", out.workload);
+    r.string("trace_file", out.traceFile);
     r.u32("width", out.width);
     r.u64("insts", out.insts);
     r.u64("warmup", out.warmup);
@@ -254,6 +269,7 @@ JobSpec::toJson() const
 {
     json::JsonObject o;
     o.field("workload", workload)
+        .field("trace_file", traceFile)
         .field("width", std::uint64_t{width})
         .field("insts", insts)
         .field("warmup", warmup)

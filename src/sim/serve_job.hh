@@ -42,6 +42,14 @@ namespace specslice::sim
 struct JobSpec
 {
     std::string workload = "vpr";
+    /**
+     * Run from this sstr trace file instead of a named workload
+     * ("trace_file" on the wire; "" = workload mode). The embedded
+     * workload's name overrides `workload` in the result document,
+     * and the cache key carries the trace's content hash, so serving
+     * trace runs is exactly as cacheable as serving named ones.
+     */
+    std::string traceFile;
     unsigned width = 4;
     std::uint64_t insts = 300'000;
     std::uint64_t warmup = 100'000;

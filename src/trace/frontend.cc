@@ -1,0 +1,224 @@
+#include "trace/frontend.hh"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "arch/checkpoint.hh"
+#include "isa/opcodes.hh"
+#include "trace/reader.hh"
+#include "trace/writer.hh"
+
+namespace specslice::trace
+{
+
+namespace
+{
+
+/** Classify one retired instruction for the record stream. */
+TraceRecord
+toRecord(const arch::TraceEvent &ev)
+{
+    TraceRecord r;
+    r.pc = ev.pc;
+    const isa::Instruction &si = *ev.inst;
+    if (si.isCondBranch()) {
+        r.kind = RecordKind::CondBranch;
+        r.taken = ev.result.taken;
+        r.target = si.target;
+    } else if (si.isReturn()) {
+        r.kind = RecordKind::Return;
+        r.taken = true;
+        r.target = ev.result.nextPc;
+    } else if (si.isIndirect()) {
+        r.kind = si.isCall() ? RecordKind::IndirectCall
+                             : RecordKind::IndirectJump;
+        r.taken = true;
+        r.target = ev.result.nextPc;
+    } else if (si.traits().isUncondDirect) {
+        r.kind = si.isCall() ? RecordKind::Call : RecordKind::UncondDirect;
+        r.taken = true;
+        r.target = si.target;
+    } else if (si.op == isa::Opcode::Halt) {
+        r.kind = RecordKind::Halt;
+    } else if (si.isLoad()) {
+        r.kind = RecordKind::Load;
+        r.memAddr = ev.result.memAddr;
+    } else if (si.isStore()) {
+        r.kind = RecordKind::Store;
+        r.memAddr = ev.result.memAddr;
+    } else {
+        r.kind = RecordKind::Other;
+    }
+    return r;
+}
+
+} // namespace
+
+std::optional<EmitResult>
+emitWorkloadTrace(const sim::Workload &wl, std::uint64_t data_seed,
+                  std::uint64_t max_insts, const std::string &path,
+                  std::string &error)
+{
+    TraceMeta meta;
+    meta.name = wl.name;
+    meta.entryPc = wl.entry;
+    meta.programFingerprint = arch::fingerprintProgram(wl.program);
+    meta.dataSeed = data_seed;
+    meta.scale = wl.scale;
+
+    TraceWriter w(path, meta);
+    w.writeProgram(wl.program);
+    w.writeSlices(wl.slices);
+
+    arch::MemoryImage mem;
+    if (wl.initMemory)
+        wl.initMemory(mem);
+    w.writeMemory(mem);
+    if (!w.ok()) {
+        error = w.error();
+        return std::nullopt;
+    }
+
+    const arch::TraceResult tr =
+        arch::trace(wl.program, wl.entry, mem, max_insts,
+                    [&](const arch::TraceEvent &ev) {
+                        w.append(toRecord(ev));
+                    });
+
+    EmitResult out;
+    out.records = w.recordCount();
+    out.stop = tr.reason;
+    if (!w.finalize()) {
+        error = w.error();
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<LoadedTrace>
+loadTraceWorkload(const std::string &path, std::string &error)
+{
+    std::optional<TraceFile> file = TraceFile::open(path, error);
+    if (!file)
+        return std::nullopt;
+    if (!file->hasProgram()) {
+        error = "trace '" + path +
+                "' carries no program section; it cannot seed a "
+                "simulation (re-emit with specslice_replay --emit)";
+        return std::nullopt;
+    }
+
+    LoadedTrace out;
+    out.meta = file->meta();
+    out.path = path;
+
+    sim::Workload &wl = out.workload;
+    wl.name = file->meta().name;
+    wl.entry = file->meta().entryPc;
+    wl.scale = file->meta().scale;
+    if (!file->program(wl.program, error))
+        return std::nullopt;
+    if (arch::fingerprintProgram(wl.program) !=
+        file->meta().programFingerprint) {
+        error = "trace '" + path +
+                "' program fingerprint mismatch (corrupt section?)";
+        return std::nullopt;
+    }
+    if (!file->slices(wl.slices, error))
+        return std::nullopt;
+
+    // Decode the pages once and share them across runs: initMemory is
+    // called per run (runs must stay independent) and the workload is
+    // copied freely by the harnesses, so the lambda owns the page list
+    // through a shared_ptr rather than the mapping.
+    struct PageCopy
+    {
+        Addr pnum;
+        std::vector<std::uint8_t> data;
+    };
+    auto pages = std::make_shared<std::vector<PageCopy>>();
+    {
+        arch::MemoryImage img;
+        if (!file->initMemory(img, error))
+            return std::nullopt;
+        for (Addr pnum : img.pageNumbers())
+            pages->push_back(
+                {pnum,
+                 std::vector<std::uint8_t>(
+                     img.pageData(pnum),
+                     img.pageData(pnum) + arch::MemoryImage::pageSize)});
+    }
+    wl.initMemory = [pages](arch::MemoryImage &m) {
+        for (const PageCopy &p : *pages)
+            m.importPage(p.pnum, p.data.data());
+    };
+    return out;
+}
+
+std::optional<std::uint64_t>
+verifyTraceFidelity(const std::string &path, std::string &error)
+{
+    std::optional<TraceFile> file = TraceFile::open(path, error);
+    if (!file)
+        return std::nullopt;
+    if (!file->hasProgram()) {
+        error = "trace '" + path + "' carries no program section";
+        return std::nullopt;
+    }
+
+    isa::Program prog;
+    if (!file->program(prog, error))
+        return std::nullopt;
+    arch::MemoryImage mem;
+    if (!file->initMemory(mem, error))
+        return std::nullopt;
+
+    TraceReader rd = file->records();
+    std::string mismatch;
+    const arch::TraceResult tr = arch::trace(
+        prog, file->meta().entryPc, mem, file->meta().recordCount,
+        [&](const arch::TraceEvent &ev) {
+            if (!mismatch.empty())
+                return;
+            TraceRecord want = toRecord(ev);
+            TraceRecord got;
+            if (!rd.next(got)) {
+                mismatch = rd.ok() ? "record stream ended early at #" +
+                                         std::to_string(rd.position())
+                                   : rd.error();
+                return;
+            }
+            if (got.pc != want.pc || got.kind != want.kind ||
+                got.taken != want.taken || got.target != want.target ||
+                got.memAddr != want.memAddr) {
+                mismatch =
+                    "record #" + std::to_string(rd.position() - 1) +
+                    " diverges from re-execution: stored {pc=" +
+                    std::to_string(got.pc) + ", " +
+                    std::string(recordKindName(got.kind)) +
+                    "}, re-executed {pc=" + std::to_string(want.pc) +
+                    ", " + std::string(recordKindName(want.kind)) + "}";
+            }
+        });
+    (void)tr;
+    if (!mismatch.empty()) {
+        error = "trace '" + path + "': " + mismatch;
+        return std::nullopt;
+    }
+    TraceRecord extra;
+    if (rd.next(extra)) {
+        error = "trace '" + path + "': record stream has " +
+                std::to_string(file->meta().recordCount -
+                               rd.position() + 1) +
+                " records beyond the re-executed instruction stream";
+        return std::nullopt;
+    }
+    if (!rd.ok()) {
+        error = "trace '" + path + "': " + rd.error();
+        return std::nullopt;
+    }
+    return rd.position();
+}
+
+} // namespace specslice::trace

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * sstr trace-format tests: varint edge cases, record round-trips over
+ * the full kind/delta space, structural rejection of truncated and
+ * corrupted files, record-stream fidelity against functional
+ * re-execution, and the load-bearing frontend property — a workload
+ * reconstructed from its trace produces the exact same timing-core
+ * counters as the original.
+ */
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor_client.hh"
+#include "sim/result_json.hh"
+#include "sim/simulator.hh"
+#include "trace/format.hh"
+#include "trace/frontend.hh"
+#include "trace/reader.hh"
+#include "trace/replay.hh"
+#include "trace/writer.hh"
+#include "workloads/workloads.hh"
+
+using namespace specslice;
+
+namespace
+{
+
+/** Fresh per-test scratch path, removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &stem)
+    {
+        static int counter = 0;
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(counter++) + ".sstr"))
+                    .string();
+        std::filesystem::remove(path_);
+    }
+
+    ~TempFile()
+    {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(is),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+trace::TraceMeta
+recordsOnlyMeta(std::uint64_t entry = 0x1000)
+{
+    trace::TraceMeta meta;
+    meta.name = "synthetic";
+    meta.entryPc = entry;
+    meta.programFingerprint = 0;
+    meta.dataSeed = 7;
+    meta.scale = 0;
+    return meta;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------
+
+TEST(TraceFormatTest, VarintRoundTripsBoundaryValues)
+{
+    const std::uint64_t cases[] = {
+        0,
+        1,
+        127,
+        128,
+        129,
+        16'383,
+        16'384,
+        (1ull << 21) - 1,
+        1ull << 21,
+        (1ull << 35) + 12'345,
+        (1ull << 56) - 1,
+        1ull << 56,
+        (1ull << 63) - 1,
+        1ull << 63,
+        std::numeric_limits<std::uint64_t>::max(),
+    };
+    for (std::uint64_t v : cases) {
+        std::string buf;
+        trace::putVarint(buf, v);
+        ASSERT_LE(buf.size(), 10u) << v;
+        const auto *p =
+            reinterpret_cast<const std::uint8_t *>(buf.data());
+        const auto *end = p + buf.size();
+        std::uint64_t got = 0;
+        ASSERT_TRUE(trace::getVarint(p, end, got)) << v;
+        EXPECT_EQ(got, v);
+        EXPECT_EQ(p, end) << "decoder must consume every byte for " << v;
+    }
+}
+
+TEST(TraceFormatTest, VarintRejectsTruncationAndOverflow)
+{
+    std::string buf;
+    trace::putVarint(buf, std::numeric_limits<std::uint64_t>::max());
+    // Every proper prefix is a truncated varint.
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+        const auto *p =
+            reinterpret_cast<const std::uint8_t *>(buf.data());
+        const auto *end = p + len;
+        std::uint64_t v = 0;
+        EXPECT_FALSE(trace::getVarint(p, end, v)) << len;
+    }
+    // 10 continuation-heavy bytes encoding more than 64 bits.
+    const std::uint8_t over[] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                 0xff, 0xff, 0xff, 0xff, 0x7f};
+    const std::uint8_t *p = over;
+    std::uint64_t v = 0;
+    EXPECT_FALSE(trace::getVarint(p, p + sizeof(over), v));
+}
+
+TEST(TraceFormatTest, ZigzagRoundTripsExtremes)
+{
+    const std::int64_t cases[] = {
+        0,
+        1,
+        -1,
+        63,
+        -64,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    for (std::int64_t v : cases)
+        EXPECT_EQ(trace::zigzagDecode(trace::zigzagEncode(v)), v) << v;
+}
+
+// ---------------------------------------------------------------
+// Record stream round-trip
+// ---------------------------------------------------------------
+
+TEST(TraceFormatTest, RecordsRoundTripAcrossKindsAndDeltas)
+{
+    TempFile tmp("roundtrip");
+
+    // Every kind, with hostile deltas: backward jumps, far-apart
+    // memory addresses, a PC that wraps the address-space midpoint.
+    std::vector<trace::TraceRecord> recs;
+    auto add = [&](Addr pc, trace::RecordKind kind, bool taken,
+                   Addr target, Addr mem) {
+        trace::TraceRecord r;
+        r.pc = pc;
+        r.kind = kind;
+        r.taken = taken;
+        r.target = target;
+        r.memAddr = mem;
+        recs.push_back(r);
+    };
+    add(0x1000, trace::RecordKind::Other, false, invalidAddr,
+        invalidAddr);
+    add(0x1008, trace::RecordKind::CondBranch, true, 0x40, invalidAddr);
+    add(0x40, trace::RecordKind::CondBranch, false, 0x8000'0000'0000,
+        invalidAddr);
+    add(0x48, trace::RecordKind::Load, false, invalidAddr, 0x10);
+    add(0x50, trace::RecordKind::Store, false, invalidAddr,
+        0x7fff'ffff'f000);
+    add(0x58, trace::RecordKind::Call, true, 0x2000, invalidAddr);
+    add(0x2000, trace::RecordKind::Return, true, 0x60, invalidAddr);
+    add(0x60, trace::RecordKind::IndirectJump, true, 0x9000,
+        invalidAddr);
+    add(0x9000, trace::RecordKind::IndirectCall, true, 0x1000,
+        invalidAddr);
+    add(0x1000, trace::RecordKind::UncondDirect, true, 0x1010,
+        invalidAddr);
+    add(0x1010, trace::RecordKind::Load, false, invalidAddr, 0x8);
+    add(0x1018, trace::RecordKind::Halt, false, invalidAddr,
+        invalidAddr);
+    // Push past one chunk boundary so chunk-reset deltas are covered.
+    for (std::uint64_t i = 0; i < 2 * trace::recordsPerChunk; ++i)
+        add(0x4000 + i * 8, trace::RecordKind::Other, false,
+            invalidAddr, invalidAddr);
+
+    trace::TraceMeta meta = recordsOnlyMeta();
+    {
+        trace::TraceWriter w(tmp.path(), meta);
+        ASSERT_TRUE(w.ok()) << w.error();
+        for (const auto &r : recs)
+            w.append(r);
+        ASSERT_TRUE(w.finalize()) << w.error();
+        EXPECT_EQ(w.recordCount(), recs.size());
+    }
+
+    std::string err;
+    auto file = trace::TraceFile::open(tmp.path(), err);
+    ASSERT_TRUE(file) << err;
+    EXPECT_EQ(file->meta().recordCount, recs.size());
+    EXPECT_EQ(file->meta().name, "synthetic");
+    EXPECT_EQ(file->meta().dataSeed, 7u);
+    EXPECT_FALSE(file->hasProgram());
+
+    trace::TraceReader rd = file->records();
+    trace::TraceRecord got;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        ASSERT_TRUE(rd.next(got)) << "record " << i << ": "
+                                  << rd.error();
+        EXPECT_EQ(got.pc, recs[i].pc) << i;
+        EXPECT_EQ(got.kind, recs[i].kind) << i;
+        EXPECT_EQ(got.taken, recs[i].taken) << i;
+        EXPECT_EQ(got.target, recs[i].target) << i;
+        EXPECT_EQ(got.memAddr, recs[i].memAddr) << i;
+    }
+    EXPECT_FALSE(rd.next(got));
+    EXPECT_TRUE(rd.ok()) << rd.error();
+
+    // rewind() restarts the stream from record zero.
+    rd.rewind();
+    ASSERT_TRUE(rd.next(got));
+    EXPECT_EQ(got.pc, recs[0].pc);
+}
+
+// ---------------------------------------------------------------
+// Structural rejection
+// ---------------------------------------------------------------
+
+TEST(TraceFormatTest, RejectsCorruptHeaderAndTruncation)
+{
+    TempFile tmp("reject");
+    trace::TraceMeta meta = recordsOnlyMeta();
+    {
+        trace::TraceWriter w(tmp.path(), meta);
+        trace::TraceRecord r;
+        r.pc = 0x1000;
+        r.kind = trace::RecordKind::Other;
+        for (int i = 0; i < 100; ++i) {
+            w.append(r);
+            r.pc += 8;
+        }
+        ASSERT_TRUE(w.finalize()) << w.error();
+    }
+    const std::vector<std::uint8_t> good = readAll(tmp.path());
+    ASSERT_GT(good.size(), 64u);
+    std::string err;
+
+    // Pristine file opens.
+    ASSERT_TRUE(trace::TraceFile::open(tmp.path(), err)) << err;
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[0] ^= 0xff;
+        writeAll(tmp.path(), bad);
+        err.clear();
+        EXPECT_FALSE(trace::TraceFile::open(tmp.path(), err));
+        EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+    }
+
+    // Unsupported format version (bytes 4..7).
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[4] = 0x63;
+        writeAll(tmp.path(), bad);
+        err.clear();
+        EXPECT_FALSE(trace::TraceFile::open(tmp.path(), err));
+        EXPECT_NE(err.find("version"), std::string::npos) << err;
+    }
+
+    // Truncation anywhere in the tail: dropped footer, dropped chunk
+    // bytes, dropped section header.
+    for (std::size_t keep :
+         {good.size() - 1, good.size() - 16, good.size() / 2, 40ul}) {
+        std::vector<std::uint8_t> bad(good.begin(),
+                                      good.begin() +
+                                          static_cast<long>(keep));
+        writeAll(tmp.path(), bad);
+        err.clear();
+        EXPECT_FALSE(trace::TraceFile::open(tmp.path(), err))
+            << "kept " << keep << " bytes";
+        EXPECT_FALSE(err.empty());
+    }
+
+    // A flipped byte inside the record payload breaks the FNV.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[bad.size() - 24] ^= 0x01;
+        writeAll(tmp.path(), bad);
+        err.clear();
+        EXPECT_FALSE(trace::TraceFile::open(tmp.path(), err));
+        EXPECT_FALSE(err.empty());
+    }
+
+    // An unfinalized writer (no footer, zero header count with a live
+    // stream) must not be readable.
+    {
+        TempFile dead("unfinalized");
+        trace::TraceWriter w(dead.path(), meta);
+        trace::TraceRecord r;
+        r.pc = 0x1000;
+        r.kind = trace::RecordKind::Other;
+        w.append(r);
+        // No finalize(); stream out what's buffered.
+        err.clear();
+        EXPECT_FALSE(trace::TraceFile::open(dead.path(), err));
+    }
+}
+
+// ---------------------------------------------------------------
+// Fidelity and replay determinism
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** A small emitted workload trace shared by the heavier tests. */
+struct EmittedTrace
+{
+    TempFile tmp{"emitted"};
+    sim::Workload wl;
+    std::uint64_t records = 0;
+
+    explicit EmittedTrace(std::uint64_t insts = 6'000,
+                          std::uint64_t warmup = 1'000)
+    {
+        workloads::Params p;
+        p.scale = (insts + warmup) * 2;
+        p.seed = 1;
+        wl = workloads::buildWorkload("vpr", p);
+        std::string err;
+        auto res = trace::emitWorkloadTrace(wl, p.seed, insts + warmup,
+                                            tmp.path(), err);
+        EXPECT_TRUE(res) << err;
+        if (res)
+            records = res->records;
+    }
+};
+
+} // namespace
+
+TEST(TraceFrontendTest, EmittedTraceMatchesFunctionalReExecution)
+{
+    EmittedTrace t;
+    ASSERT_GT(t.records, 0u);
+    std::string err;
+    auto checked = trace::verifyTraceFidelity(t.tmp.path(), err);
+    ASSERT_TRUE(checked) << err;
+    EXPECT_EQ(*checked, t.records);
+}
+
+TEST(TraceFrontendTest, ReplayIsBitIdenticalAcrossRuns)
+{
+    EmittedTrace t;
+    std::string err;
+    auto file = trace::TraceFile::open(t.tmp.path(), err);
+    ASSERT_TRUE(file) << err;
+
+    for (const std::string &name : branch::predictorClientNames()) {
+        auto c1 = branch::makePredictorClient(name);
+        auto c2 = branch::makePredictorClient(name);
+        ASSERT_TRUE(c1 && c2) << name;
+        trace::TraceReader r1 = file->records();
+        trace::TraceReader r2 = file->records();
+        trace::ReplayStats s1 = trace::replayRecords(r1, *c1);
+        trace::ReplayStats s2 = trace::replayRecords(r2, *c2);
+        ASSERT_TRUE(r1.ok() && r2.ok()) << name;
+        // The digest section folds in every counter and client stat;
+        // equal sections = bit-identical replay.
+        const auto sec1 = trace::replaySection(name, s1);
+        const auto sec2 = trace::replaySection(name, s2);
+        EXPECT_EQ(sec1.counters, sec2.counters) << name;
+        EXPECT_EQ(sec1.ratios, sec2.ratios) << name;
+        EXPECT_GT(s1.condBranches, 0u) << name;
+    }
+}
+
+TEST(TraceFrontendTest, LoadedWorkloadReproducesDirectExecution)
+{
+    const std::uint64_t insts = 6'000, warmup = 1'000;
+    EmittedTrace t(insts, warmup);
+    std::string err;
+    auto loaded = trace::loadTraceWorkload(t.tmp.path(), err);
+    ASSERT_TRUE(loaded) << err;
+    EXPECT_EQ(loaded->workload.name, t.wl.name);
+    EXPECT_EQ(loaded->workload.entry, t.wl.entry);
+    EXPECT_EQ(loaded->workload.slices.size(), t.wl.slices.size());
+
+    sim::RunOptions opts;
+    opts.maxMainInstructions = insts;
+    opts.warmupInstructions = warmup;
+    opts.check = true;
+
+    sim::Simulator direct(sim::MachineConfig::fourWide());
+    sim::Simulator viaTrace(sim::MachineConfig::fourWide());
+    const auto a =
+        sim::digestSection("slices", direct.run(t.wl, opts, true));
+    const auto b = sim::digestSection(
+        "slices", viaTrace.run(loaded->workload, opts, true));
+    // Counter-exact equality: the reconstructed workload IS the
+    // original as far as the timing core can tell.
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.ratios, b.ratios);
+}
+
+TEST(TraceFrontendTest, LoadRejectsRecordsOnlyTraces)
+{
+    TempFile tmp("norecs");
+    trace::TraceMeta meta = recordsOnlyMeta();
+    {
+        trace::TraceWriter w(tmp.path(), meta);
+        ASSERT_TRUE(w.finalize()) << w.error();
+    }
+    std::string err;
+    EXPECT_FALSE(trace::loadTraceWorkload(tmp.path(), err));
+    EXPECT_NE(err.find("no program section"), std::string::npos) << err;
+}

@@ -99,6 +99,38 @@ if [ -z "$MISSES" ] || [ "$MISSES" -ne "${#WORKLOADS[@]}" ]; then
     exit 1
 fi
 
+echo "== trace-mode requests: byte-identity and warm-pass hits"
+"$BIN/specslice_replay" --emit --workload vpr --insts "$INSTS" \
+    --warmup "$WARMUP" --out "$WORK/vpr.sstr" > /dev/null
+trace_request() {
+    printf '{"trace_file": "%s", "insts": %d, "warmup": %d}' \
+        "$WORK/vpr.sstr" "$INSTS" "$WARMUP"
+}
+"$BIN/specslice_serve" --connect "$SOCK" \
+    --request "$(trace_request)" > "$WORK/trace1.vpr.json"
+"$BIN/specslice_run" --trace-file "$WORK/vpr.sstr" --insts "$INSTS" \
+    --warmup "$WARMUP" --json --no-wall > "$WORK/direct-trace.vpr.json"
+diff "$WORK/direct-trace.vpr.json" "$WORK/trace1.vpr.json"
+
+# The warm pass over the same trace request must be all cache hits:
+# the run key fingerprints the trace *content*, so an unchanged file
+# can never miss (and a rewritten one can never falsely hit).
+STATS="$("$BIN/specslice_serve" --connect "$SOCK" --stats)"
+MISSES_COLD="$(printf '%s' "$STATS" \
+    | sed -n 's/.*"misses": \([0-9]*\).*/\1/p')"
+"$BIN/specslice_serve" --connect "$SOCK" \
+    --request "$(trace_request)" > "$WORK/trace2.vpr.json"
+diff "$WORK/trace1.vpr.json" "$WORK/trace2.vpr.json"
+STATS="$("$BIN/specslice_serve" --connect "$SOCK" --stats)"
+MISSES_WARM="$(printf '%s' "$STATS" \
+    | sed -n 's/.*"misses": \([0-9]*\).*/\1/p')"
+if [ -z "$MISSES_COLD" ] || [ -z "$MISSES_WARM" ] ||
+       [ "$MISSES_WARM" -ne "$MISSES_COLD" ]; then
+    echo "FAIL: warm trace-mode request missed the cache" \
+         "($MISSES_COLD -> $MISSES_WARM)" >&2
+    exit 1
+fi
+
 echo "== clean shutdown"
 "$BIN/specslice_serve" --connect "$SOCK" --shutdown > /dev/null
 for _ in $(seq 1 100); do
