@@ -152,7 +152,10 @@ writeAll(int fd, const char *p, std::size_t n)
 
 using namespace proc_detail;
 
-ProcPool::ProcPool(unsigned workers, JobFn fn) : fn_(std::move(fn))
+ProcPool::ProcPool(unsigned workers, JobFn fn,
+                   unsigned max_job_attempts)
+    : fn_(std::move(fn)),
+      maxAttempts_(std::max(1u, max_job_attempts))
 {
     unsigned n = std::max(1u, std::min(workers, maxWorkers));
 
@@ -165,6 +168,13 @@ ProcPool::ProcPool(unsigned workers, JobFn fn) : fn_(std::move(fn))
             reg->counter("ss_worker_busy_usec_total",
                          "Wall microseconds workers spent running "
                          "job functions");
+        mRetries_ = reg->counter(
+            "ss_job_retries_total",
+            "Jobs requeued after crashing their worker");
+        mPoisoned_ = reg->counter(
+            "ss_jobs_poisoned_total",
+            "Jobs failed permanently after crashing "
+            "max_job_attempts workers");
     }
 
     void *mem =
@@ -233,6 +243,12 @@ ProcPool::spawnWorker(unsigned index)
     int fds[2];
     SS_ASSERT(::pipe(fds) == 0, "proc pool pipe failed");
 
+    // Clear the lane's shared record BEFORE forking: the child may
+    // pick a job and publish its ticket immediately, and a parent
+    // wipe racing that publish would lose the ticket — a subsequent
+    // crash would then look idle and the job would never settle.
+    shm_->workers[index] = WorkerRecord{};
+
     pid_t pid = ::fork();
     SS_ASSERT(pid >= 0, "proc pool fork failed");
     if (pid == 0) {
@@ -252,7 +268,6 @@ ProcPool::spawnWorker(unsigned index)
     ::close(fds[1]);
     // Non-blocking read end: drain loops must never hang the parent.
     ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
-    shm_->workers[index] = WorkerRecord{};
     workers_[index].pid = pid;
     workers_[index].pipeFd = fds[0];
     workers_[index].buf.clear();
@@ -369,7 +384,58 @@ ProcPool::submit(const std::string &payload, std::string &error)
     pthread_cond_broadcast(&shm_->cv);
     pthread_mutex_unlock(&shm_->mu);
     ++inFlight_;
+    pending_[ticket] = PendingJob{payload, 1, false};
     return ticket;
+}
+
+bool
+ProcPool::cancelQueued(std::uint64_t ticket)
+{
+    if (!shm_)
+        return false;
+    lockRobust(&shm_->mu);
+    bool found = false;
+    for (Slot &s : shm_->slots) {
+        if (s.state == SlotQueued && s.ticket == ticket) {
+            s.state = SlotFree;
+            found = true;
+            // A submitter may be waiting for a free slot.
+            pthread_cond_broadcast(&shm_->cv);
+            break;
+        }
+    }
+    pthread_mutex_unlock(&shm_->mu);
+    if (found) {
+        pending_.erase(ticket);
+        if (inFlight_)
+            --inFlight_;
+    }
+    return found;
+}
+
+bool
+ProcPool::killActive(std::uint64_t ticket)
+{
+    if (!shm_)
+        return false;
+    int victim_pid = -1;
+    lockRobust(&shm_->mu);
+    for (unsigned i = 0; i < workers_.size(); ++i) {
+        const WorkerRecord &rec = shm_->workers[i];
+        if (rec.active && rec.ticket == ticket &&
+            workers_[i].pid > 0) {
+            victim_pid = workers_[i].pid;
+            break;
+        }
+    }
+    pthread_mutex_unlock(&shm_->mu);
+    if (victim_pid < 0)
+        return false;
+    auto it = pending_.find(ticket);
+    if (it != pending_.end())
+        it->second.condemned = true;
+    ::kill(victim_pid, SIGKILL);
+    return true;
 }
 
 void
@@ -391,10 +457,34 @@ ProcPool::drainFrames(Worker &w, std::vector<Result> &out)
         r.status = static_cast<JobStatus>(status);
         r.payload = w.buf.substr(headerBytes, len);
         w.buf.erase(0, headerBytes + len);
+        pending_.erase(r.ticket);
         out.push_back(std::move(r));
         if (inFlight_)
             --inFlight_;
     }
+}
+
+bool
+ProcPool::requeueCrashed(std::uint64_t ticket, const PendingJob &job)
+{
+    lockRobust(&shm_->mu);
+    Slot *slot = nullptr;
+    for (Slot &s : shm_->slots) {
+        if (s.state == SlotFree) {
+            slot = &s;
+            break;
+        }
+    }
+    if (slot) {
+        slot->ticket = ticket;
+        slot->len = static_cast<std::uint32_t>(job.payload.size());
+        std::memcpy(slot->payload, job.payload.data(),
+                    job.payload.size());
+        slot->state = SlotQueued;
+        pthread_cond_broadcast(&shm_->cv);
+    }
+    pthread_mutex_unlock(&shm_->mu);
+    return slot != nullptr;
 }
 
 void
@@ -428,22 +518,52 @@ ProcPool::reapAndRespawn(std::vector<Result> &out)
         shm_->workers[i] = WorkerRecord{};
         pthread_mutex_unlock(&shm_->mu);
         if (rec.active) {
-            Result crashed;
-            crashed.ticket = rec.ticket;
-            crashed.status = JobStatus::Crashed;
+            std::string how;
             if (WIFSIGNALED(status)) {
-                crashed.payload =
-                    "worker killed by signal " +
-                    std::to_string(WTERMSIG(status)) + " (respawned)";
+                how = "worker killed by signal " +
+                      std::to_string(WTERMSIG(status)) +
+                      " (respawned)";
             } else {
-                crashed.payload =
-                    "worker exited with status " +
-                    std::to_string(WEXITSTATUS(status)) +
-                    " mid-job (respawned)";
+                how = "worker exited with status " +
+                      std::to_string(WEXITSTATUS(status)) +
+                      " mid-job (respawned)";
             }
-            out.push_back(std::move(crashed));
-            if (inFlight_)
-                --inFlight_;
+
+            auto pj = pending_.find(rec.ticket);
+            bool condemned =
+                pj != pending_.end() && pj->second.condemned;
+            bool retryable = !condemned && pj != pending_.end() &&
+                             maxAttempts_ > 1 &&
+                             pj->second.attempts < maxAttempts_;
+            if (retryable && !stopped_ &&
+                requeueCrashed(rec.ticket, pj->second)) {
+                // Same ticket goes back in the ring on a fresh
+                // worker; no result surfaces for this attempt.
+                ++pj->second.attempts;
+                ++crashRetries_;
+                mRetries_.inc();
+            } else {
+                Result crashed;
+                crashed.ticket = rec.ticket;
+                if (!condemned && pj != pending_.end() &&
+                    maxAttempts_ > 1 &&
+                    pj->second.attempts >= maxAttempts_) {
+                    crashed.status = JobStatus::Poisoned;
+                    crashed.payload =
+                        "job crashed " +
+                        std::to_string(pj->second.attempts) +
+                        " workers (" + how +
+                        "); poisoned, not retried";
+                    mPoisoned_.inc();
+                } else {
+                    crashed.status = JobStatus::Crashed;
+                    crashed.payload = how;
+                }
+                pending_.erase(rec.ticket);
+                out.push_back(std::move(crashed));
+                if (inFlight_)
+                    --inFlight_;
+            }
         }
 
         if (!stopped_) {

@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,8 @@ class ProcPool
         Done = 0,     ///< fn returned; payload is its return value
         Failed = 1,   ///< fn threw; payload is the exception text
         Crashed = 2,  ///< worker process died; payload is a diagnosis
+        Poisoned = 3, ///< job crashed its worker max_job_attempts
+                      ///< times; failed permanently, not retried
     };
 
     struct Result
@@ -79,8 +82,17 @@ class ProcPool
     /**
      * Fork `workers` children immediately (>=1; silently clamped).
      * fn is invoked only in the children.
+     *
+     * @param max_job_attempts how many times one job may crash a
+     *        worker before it is failed permanently. 1 (the default)
+     *        keeps the legacy behavior: the first crash surfaces as
+     *        a Crashed result. Higher values requeue the job — same
+     *        ticket, fresh worker — until the cap, when it surfaces
+     *        as Poisoned. A poison job (one that deterministically
+     *        kills its worker) can then never respawn-loop the pool.
      */
-    ProcPool(unsigned workers, JobFn fn);
+    ProcPool(unsigned workers, JobFn fn,
+             unsigned max_job_attempts = 1);
 
     /** Stops workers (cooperatively, then SIGKILL) and reaps them. */
     ~ProcPool();
@@ -112,6 +124,25 @@ class ProcPool
     std::vector<Result> runBatch(
         const std::vector<std::string> &payloads);
 
+    /**
+     * Free a still-queued job's slot: no worker has picked it up, no
+     * result will be produced, the ticket is forgotten. Used by the
+     * server to retire a request whose deadline expired while queued.
+     * @return false if the ticket is not in the queue (already
+     *         running, finished, or unknown).
+     */
+    bool cancelQueued(std::uint64_t ticket);
+
+    /**
+     * SIGKILL the worker currently executing `ticket` (e.g. one
+     * wedged past a request deadline). The death surfaces through
+     * the normal reap path as one Crashed result for the ticket —
+     * condemned jobs are never retried, whatever max_job_attempts
+     * says — and the lane is respawned. @return false if no worker
+     * is running that ticket.
+     */
+    bool killActive(std::uint64_t ticket);
+
     /** Worker-pipe read fds, for embedding in an external poll loop;
      *  call poll(0) when any becomes readable. Invalidated by
      *  respawns, so re-query after every poll(). */
@@ -124,6 +155,10 @@ class ProcPool
     std::vector<int> workerPids() const;
 
     std::uint64_t respawns() const { return respawns_; }
+
+    /** Crash-retries performed (job requeued after killing a
+     *  worker); each is also counted in ss_job_retries_total. */
+    std::uint64_t crashRetries() const { return crashRetries_; }
 
     /** Jobs submitted but not yet resolved. */
     std::size_t inFlight() const { return inFlight_; }
@@ -140,23 +175,41 @@ class ProcPool
         std::string buf;        ///< partial-frame reassembly
     };
 
+    /** Parent-side copy of a submitted job, kept until its result
+     *  arrives so a crash can requeue it (same ticket). */
+    struct PendingJob
+    {
+        std::string payload;
+        unsigned attempts = 1;   ///< executions started so far
+        bool condemned = false;  ///< killActive()'d: never retry
+    };
+
     void spawnWorker(unsigned index);
     [[noreturn]] void workerMain(unsigned index, int write_fd);
     /** Parse complete frames out of w.buf into results. */
     void drainFrames(Worker &w, std::vector<Result> &out);
+    /** Put a crashed job back in the ring under its original
+     *  ticket; false when the ring is full. */
+    bool requeueCrashed(std::uint64_t ticket, const PendingJob &job);
     /** waitpid sweep: synthesize Crashed results, fork replacements. */
     void reapAndRespawn(std::vector<Result> &out);
 
     JobFn fn_;
     proc_detail::SharedRegion *shm_ = nullptr;
+    unsigned maxAttempts_ = 1;
     // Registered before the first fork so worker pages share slots;
     // written from workerMain (ambient registry bound to the worker's
-    // own page). No-ops without an ambient registry.
+    // own page). No-ops without an ambient registry. The retry and
+    // poison counters are parent-side (page 0).
     obs::Counter mJobs_;
     obs::Counter mBusyUsec_;
+    obs::Counter mRetries_;
+    obs::Counter mPoisoned_;
     std::vector<Worker> workers_;
+    std::map<std::uint64_t, PendingJob> pending_;
     std::uint64_t nextTicket_ = 1;
     std::uint64_t respawns_ = 0;
+    std::uint64_t crashRetries_ = 0;
     std::size_t inFlight_ = 0;
     bool stopped_ = false;
 };

@@ -9,10 +9,13 @@
 #include <sstream>
 #include <vector>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "fault/fault.hh"
 
 namespace specslice::sim
 {
@@ -65,6 +68,26 @@ namespace
 
 constexpr char entryMagic[] = "SSRC1";
 
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
 bool
 makeDirs(const std::string &path)
 {
@@ -83,6 +106,58 @@ makeDirs(const std::string &path)
             return false;
     }
     return true;
+}
+
+/** errno values that mean "the disk, not the caller, is broken" and
+ *  flip the cache into pass-through mode instead of failing runs. */
+bool
+diskFailureErrno(int err)
+{
+    return err == ENOSPC || err == EDQUOT || err == EIO;
+}
+
+/**
+ * Validate one entry file end to end: magic, key echo, payload
+ * length, FNV-1a checksum, no trailing bytes. On success fills
+ * `payload`. Used by lookup() and scrub().
+ */
+bool
+readEntry(const std::string &path, const std::string &key,
+          std::string &payload, bool flip_tap = false)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+
+    // Header line: "SSRC1 <key> <payload_bytes> <fnv64hex>\n".
+    std::string header;
+    if (!std::getline(is, header))
+        return false;
+    std::istringstream hs(header);
+    std::string magic, echoed_key, sum_text;
+    std::uint64_t payload_bytes = 0;
+    if (!(hs >> magic >> echoed_key >> payload_bytes >> sum_text) ||
+        magic != entryMagic || echoed_key != key ||
+        sum_text.size() != 16)
+        return false;
+
+    payload.assign(payload_bytes, '\0');
+    if (payload_bytes &&
+        !is.read(payload.data(),
+                 static_cast<std::streamsize>(payload_bytes)))
+        return false;
+    // Trailing bytes mean the length field lies: reject.
+    char extra;
+    if (is.get(extra))
+        return false;
+
+    // Deterministic bit-rot for the chaos harness: flip one payload
+    // bit after the read so the checksum below catches it.
+    if (flip_tap && !payload.empty() &&
+        fault::serviceFire(fault::Site::CacheFlip))
+        payload[payload.size() / 2] ^= 1;
+
+    return hex64(fnv1a64(payload)) == sum_text;
 }
 
 /** RAII flock on <dir>/index.lock. */
@@ -175,6 +250,12 @@ ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
         mRejected_ = reg->counter(
             "ss_cache_rejected_total",
             "Corrupt/truncated cache entries rejected on lookup");
+        mQuarantined_ = reg->counter(
+            "ss_cache_quarantined_total",
+            "Corrupt cache entries moved to <dir>/quarantine/");
+        mPassthrough_ = reg->counter(
+            "ss_cache_passthrough_total",
+            "Cache stores skipped in degraded pass-through mode");
     }
 }
 
@@ -186,6 +267,23 @@ ResultCache::entryPath(const std::string &key) const
     if (key.size() <= 2)
         return dir_ + "/short/" + key;
     return dir_ + "/" + key.substr(0, 2) + "/" + key.substr(2);
+}
+
+void
+ResultCache::quarantineEntry(const std::string &path,
+                             const std::string &key)
+{
+    // Preserve the corrupt bytes for postmortem; a failed rename
+    // (quarantine dir unwritable, cross-device) falls back to unlink
+    // so a poisoned entry can never be served twice either way.
+    const std::string qdir = dir_ + "/quarantine";
+    bool moved = makeDirs(qdir) &&
+                 ::rename(path.c_str(),
+                          (qdir + "/" + key).c_str()) == 0;
+    if (!moved)
+        ::unlink(path.c_str());
+    ++stats_.quarantined;
+    mQuarantined_.inc();
 }
 
 bool
@@ -212,55 +310,19 @@ ResultCache::lookup(const std::string &key)
 {
     std::lock_guard<std::mutex> guard(mu_);
     const std::string path = entryPath(key);
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
+    if (::access(path.c_str(), F_OK) != 0) {
         ++stats_.misses;
         mMisses_.inc();
         return std::nullopt;
     }
 
-    // Header line: "SSRC1 <key> <payload_bytes>\n".
-    std::string header;
-    if (!std::getline(is, header)) {
+    std::string payload;
+    if (!readEntry(path, key, payload, /*flip_tap=*/true)) {
         ++stats_.rejected;
         ++stats_.misses;
         mRejected_.inc();
         mMisses_.inc();
-        ::unlink(path.c_str());
-        return std::nullopt;
-    }
-    std::istringstream hs(header);
-    std::string magic, echoed_key;
-    std::uint64_t payload_bytes = 0;
-    if (!(hs >> magic >> echoed_key >> payload_bytes) ||
-        magic != entryMagic || echoed_key != key) {
-        ++stats_.rejected;
-        ++stats_.misses;
-        mRejected_.inc();
-        mMisses_.inc();
-        ::unlink(path.c_str());
-        return std::nullopt;
-    }
-
-    std::string payload(payload_bytes, '\0');
-    if (payload_bytes &&
-        !is.read(payload.data(),
-                 static_cast<std::streamsize>(payload_bytes))) {
-        ++stats_.rejected;
-        ++stats_.misses;
-        mRejected_.inc();
-        mMisses_.inc();
-        ::unlink(path.c_str());
-        return std::nullopt;
-    }
-    // Trailing bytes mean the length field lies: reject.
-    char extra;
-    if (is.get(extra)) {
-        ++stats_.rejected;
-        ++stats_.misses;
-        mRejected_.inc();
-        mMisses_.inc();
-        ::unlink(path.c_str());
+        quarantineEntry(path, key);
         return std::nullopt;
     }
 
@@ -276,41 +338,92 @@ ResultCache::store(const std::string &key, const std::string &payload,
                    std::string &error)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    if (degraded_) {
+        ++stats_.passthrough;
+        mPassthrough_.inc();
+        return true;
+    }
+    if (fault::serviceFire(fault::Site::CacheEnospc)) {
+        // Injected disk-full: degrade exactly as a real ENOSPC would.
+        degraded_ = true;
+        ++stats_.passthrough;
+        mPassthrough_.inc();
+        return true;
+    }
+
     const std::string path = entryPath(key);
     const std::string parent = path.substr(0, path.rfind('/'));
     if (!makeDirs(parent)) {
+        if (diskFailureErrno(errno)) {
+            degraded_ = true;
+            ++stats_.passthrough;
+            mPassthrough_.inc();
+            return true;
+        }
         error = "cannot create cache directory '" + parent + "'";
         return false;
     }
 
     // Stage in the target directory (rename must not cross devices);
     // pid + address makes the name unique across processes and
-    // threads.
+    // threads. POSIX I/O so failures carry a classifiable errno.
     std::ostringstream tmpname;
     tmpname << path << ".tmp." << ::getpid() << "."
             << reinterpret_cast<std::uintptr_t>(&tmpname);
     const std::string tmp = tmpname.str();
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            error = "cannot stage cache entry '" + tmp + "'";
-            return false;
-        }
-        os << entryMagic << " " << key << " " << payload.size()
-           << "\n";
-        os.write(payload.data(),
-                 static_cast<std::streamsize>(payload.size()));
-        os.flush();
-        if (!os) {
-            error = "write to cache entry '" + tmp + "' failed";
+
+    const std::string header = std::string(entryMagic) + " " + key +
+                               " " + std::to_string(payload.size()) +
+                               " " + hex64(fnv1a64(payload)) + "\n";
+    int fd = ::open(tmp.c_str(),
+                    O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0666);
+    int staging_errno = fd < 0 ? errno : 0;
+    if (fd >= 0) {
+        auto writeAllFd = [&](const char *p, std::size_t n) {
+            while (n) {
+                ssize_t w = ::write(fd, p, n);
+                if (w < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    staging_errno = errno;
+                    return false;
+                }
+                p += w;
+                n -= static_cast<std::size_t>(w);
+            }
+            return true;
+        };
+        if (!writeAllFd(header.data(), header.size()) ||
+            !writeAllFd(payload.data(), payload.size())) {
+            ::close(fd);
             ::unlink(tmp.c_str());
-            return false;
+            fd = -1;
+        } else {
+            ::close(fd);
         }
     }
+    if (fd < 0) {
+        if (diskFailureErrno(staging_errno)) {
+            degraded_ = true;
+            ++stats_.passthrough;
+            mPassthrough_.inc();
+            return true;
+        }
+        error = "cannot stage cache entry '" + tmp +
+                "': " + std::strerror(staging_errno);
+        return false;
+    }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
-        error = std::string("cannot commit cache entry: ") +
-                std::strerror(errno);
+        int err = errno;
         ::unlink(tmp.c_str());
+        if (diskFailureErrno(err)) {
+            degraded_ = true;
+            ++stats_.passthrough;
+            mPassthrough_.inc();
+            return true;
+        }
+        error = std::string("cannot commit cache entry: ") +
+                std::strerror(err);
         return false;
     }
     ++stats_.stores;
@@ -350,6 +463,107 @@ ResultCache::store(const std::string &key, const std::string &payload,
         ++stats_.evictions;
         mEvictions_.inc();
     }
+    return true;
+}
+
+bool
+ResultCache::scrub(ScrubReport &report, std::string &error,
+                   bool delete_corrupt)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    report = ScrubReport{};
+
+    DIR *top = ::opendir(dir_.c_str());
+    if (!top) {
+        error = "cannot open cache directory '" + dir_ +
+                "': " + std::strerror(errno);
+        return false;
+    }
+
+    // key -> verified payload bytes, for the index rebuild below.
+    std::map<std::string, std::uint64_t> verified;
+
+    struct dirent *de;
+    while ((de = ::readdir(top)) != nullptr) {
+        const std::string bucket = de->d_name;
+        if (bucket == "." || bucket == ".." ||
+            bucket == "quarantine")
+            continue;
+        const std::string bucket_path = dir_ + "/" + bucket;
+        struct stat st;
+        if (::stat(bucket_path.c_str(), &st) != 0)
+            continue;
+        if (!S_ISDIR(st.st_mode)) {
+            // Top-level files: the index, its lock, stale index
+            // staging files. Only the last are garbage.
+            if (bucket.rfind("index.tmp.", 0) == 0) {
+                ::unlink(bucket_path.c_str());
+                ++report.tmpRemoved;
+            }
+            continue;
+        }
+
+        DIR *sub = ::opendir(bucket_path.c_str());
+        if (!sub)
+            continue;
+        struct dirent *fe;
+        while ((fe = ::readdir(sub)) != nullptr) {
+            const std::string name = fe->d_name;
+            if (name == "." || name == "..")
+                continue;
+            const std::string path = bucket_path + "/" + name;
+            if (name.find(".tmp.") != std::string::npos) {
+                // Crashed writer's staging file: never committed,
+                // safe to drop.
+                ::unlink(path.c_str());
+                ++report.tmpRemoved;
+                continue;
+            }
+            const std::string key =
+                bucket == "short" ? name : bucket + name;
+            ++report.scanned;
+            std::string payload;
+            if (readEntry(path, key, payload)) {
+                ++report.ok;
+                report.bytes += payload.size();
+                verified[key] = payload.size();
+            } else if (delete_corrupt) {
+                ::unlink(path.c_str());
+                ++report.deleted;
+            } else {
+                quarantineEntry(path, key);
+                ++report.quarantined;
+            }
+        }
+        ::closedir(sub);
+    }
+    ::closedir(top);
+
+    // Rebuild the index from the survivors: drop lines whose entry is
+    // gone (or failed verification), adopt files the index missed,
+    // correct stale byte counts. Existing recency survives.
+    if (!withIndex(
+            [&](CacheIndex &idx) {
+                for (auto it = idx.entries.begin();
+                     it != idx.entries.end();) {
+                    auto v = verified.find(it->first);
+                    if (v == verified.end()) {
+                        it = idx.entries.erase(it);
+                        ++report.indexDropped;
+                    } else {
+                        it->second.bytes = v->second;
+                        ++it;
+                    }
+                }
+                for (const auto &[key, bytes] : verified) {
+                    if (!idx.entries.count(key)) {
+                        idx.insert(key, bytes);
+                        ++report.indexAdded;
+                    }
+                }
+            },
+            error))
+        return false;
     return true;
 }
 

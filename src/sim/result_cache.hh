@@ -6,8 +6,8 @@
  * plus the binary fingerprint) and stored under a two-level fanout —
  * `<dir>/<key[0:2]>/<key[2:]>` — so a populated cache never piles a
  * hundred thousand files into one directory. Each entry file carries
- * a magic/key/length header and the payload (a resultToJson document
- * or any other byte string the caller round-trips).
+ * a magic/key/length/checksum header and the payload (a resultToJson
+ * document or any other byte string the caller round-trips).
  *
  * Crash/concurrency discipline:
  *  - Writers stage to a unique temp file in the entry's directory and
@@ -19,9 +19,22 @@
  *    rewritten via temp-file + rename. The index is advisory: a
  *    missing or stale index line never loses data (lookup goes to
  *    the entry file), it only delays eviction.
- *  - Lookup validates magic, key echo, and payload length; a
- *    truncated or corrupted entry is deleted and reported as a miss,
- *    never served.
+ *  - Lookup validates magic, key echo, payload length, and an FNV-1a
+ *    payload checksum; a truncated or corrupted entry is quarantined
+ *    (moved to `<dir>/quarantine/<key>` for postmortem) and reported
+ *    as a miss, never served.
+ *
+ * Failure discipline (robustness):
+ *  - A store that fails with a disk-full/IO errno (ENOSPC, EDQUOT,
+ *    EIO) flips the cache into sticky *pass-through* mode: subsequent
+ *    stores are counted (`passthrough`) and skipped, lookups still
+ *    hit whatever is already on disk, and the caller never sees a
+ *    failure. A full disk degrades a sweep to cold-run speed instead
+ *    of killing it.
+ *  - scrub() (surfaced as `specslice_serve --fsck`) walks the fanout,
+ *    re-verifies every entry end to end, quarantines or deletes the
+ *    corrupt ones, clears staged temp files, and rebuilds the LRU
+ *    index from the survivors.
  *
  * Eviction is LRU by commit/touch sequence number, triggered on
  * store() when the total payload bytes exceed the configured cap.
@@ -57,6 +70,24 @@ class ResultCache
         std::uint64_t evictions = 0;
         /** Corrupt/truncated entries rejected (counted as misses). */
         std::uint64_t rejected = 0;
+        /** Rejected entries preserved under <dir>/quarantine/. */
+        std::uint64_t quarantined = 0;
+        /** Stores skipped while degraded to pass-through mode. */
+        std::uint64_t passthrough = 0;
+    };
+
+    /** What scrub() saw and did; every entry file lands in exactly
+     *  one of ok/quarantined/deleted. */
+    struct ScrubReport
+    {
+        std::uint64_t scanned = 0;     ///< entry files examined
+        std::uint64_t ok = 0;          ///< verified end to end
+        std::uint64_t quarantined = 0; ///< corrupt, moved aside
+        std::uint64_t deleted = 0;     ///< corrupt, unlinked
+        std::uint64_t tmpRemoved = 0;  ///< stale .tmp.* staging files
+        std::uint64_t indexDropped = 0; ///< index lines w/o a file
+        std::uint64_t indexAdded = 0;   ///< files the index missed
+        std::uint64_t bytes = 0;        ///< payload bytes verified ok
     };
 
     /** Default size cap: plenty for full-suite sweeps at many
@@ -83,19 +114,39 @@ class ResultCache
     /**
      * Commit payload under key (atomically; concurrent writers of the
      * same key converge on one entry). Runs LRU eviction afterwards.
-     * @return false and set error on I/O failure.
+     * Disk-full/IO failures flip the cache into pass-through mode and
+     * return true (degraded, not fatal); other failures return false
+     * and set error.
      */
     bool store(const std::string &key, const std::string &payload,
                std::string &error);
 
+    /**
+     * Walk every entry on disk, verify headers + checksums, move
+     * corrupt entries to `<dir>/quarantine/` (or unlink them when
+     * `delete_corrupt`), remove stale staging files, and rebuild the
+     * flock'd LRU index from the verified survivors (existing
+     * recency order is preserved where the index already knew the
+     * entry). @return false and set error only if the walk or index
+     * rewrite itself fails.
+     */
+    bool scrub(ScrubReport &report, std::string &error,
+               bool delete_corrupt = false);
+
     /** Entries currently listed in the index (locks the index). */
     std::uint64_t entryCount();
+
+    /** True once a disk failure flipped the cache to pass-through. */
+    bool degraded() const { return degraded_; }
 
     const std::string &dir() const { return dir_; }
     const Stats &stats() const { return stats_; }
 
   private:
     std::string entryPath(const std::string &key) const;
+    /** Move a corrupt entry aside (fallback: unlink). */
+    void quarantineEntry(const std::string &path,
+                         const std::string &key);
     /** Rewrite the index applying fn under the lock. */
     bool withIndex(
         const std::function<void(cache_detail::CacheIndex &)> &fn,
@@ -105,6 +156,7 @@ class ResultCache
     std::uint64_t maxBytes_;
     mutable std::mutex mu_;  ///< guards stats_ + in-process I/O
     Stats stats_;
+    bool degraded_ = false;  ///< sticky pass-through mode
     // Ambient-registry mirrors of stats_; no-ops when no registry is
     // installed. Registered at construction so forked workers inherit
     // the same shared-memory slots.
@@ -113,6 +165,8 @@ class ResultCache
     obs::Counter mStores_;
     obs::Counter mEvictions_;
     obs::Counter mRejected_;
+    obs::Counter mQuarantined_;
+    obs::Counter mPassthrough_;
 };
 
 } // namespace specslice::sim

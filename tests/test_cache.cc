@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "common/hash.hh"
+#include "fault/fault.hh"
 #include "sim/result_cache.hh"
 #include "sim/run_key.hh"
 #include "sim/serve_job.hh"
@@ -447,4 +448,160 @@ TEST(ResultCacheTest, ConcurrentMixedKeysAllLand)
     for (std::thread &th : threads)
         th.join();
     EXPECT_EQ(shared.entryCount(), 40u);
+}
+
+// ---------------------------------------------------------------
+// Corruption, degradation, scrub
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** XOR the file's last byte (the payload tail) in place. */
+void
+flipLastByte(const std::string &file)
+{
+    std::fstream fs(file,
+                    std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(fs.good()) << file;
+    fs.seekg(0, std::ios::end);
+    std::streamoff len = fs.tellg();
+    ASSERT_GT(len, 0);
+    char c = 0;
+    fs.seekg(len - 1);
+    fs.read(&c, 1);
+    c ^= 0x1;
+    fs.seekp(len - 1);
+    fs.write(&c, 1);
+}
+
+} // namespace
+
+TEST(ResultCacheTest, FlippedPayloadByteIsQuarantinedOnRead)
+{
+    TempCacheDir dir;
+    sim::ResultCache cache(dir.path());
+    const std::string key(64, 'f');
+    std::string err;
+    ASSERT_TRUE(cache.store(key, "checksummed payload bytes", err))
+        << err;
+
+    const std::string file = entryFile(dir.path(), key);
+    flipLastByte(file);
+
+    // Silent corruption must never be served: checksum mismatch ->
+    // miss, and the corpse moves to quarantine/ for postmortem.
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().rejected, 1u);
+    EXPECT_EQ(cache.stats().quarantined, 1u);
+    EXPECT_FALSE(std::filesystem::exists(file));
+    EXPECT_TRUE(std::filesystem::exists(dir.path() + "/quarantine/" +
+                                        key));
+
+    // The slot is reusable immediately.
+    ASSERT_TRUE(cache.store(key, "fresh replacement", err));
+    auto back = cache.lookup(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, "fresh replacement");
+}
+
+TEST(ResultCacheTest, InjectedDiskFullDegradesToPassthrough)
+{
+    fault::FaultPlan plan;
+    std::string perr;
+    ASSERT_TRUE(
+        fault::FaultPlan::parse("cache.enospc@n1", plan, perr))
+        << perr;
+    plan.seed = 7;
+    fault::Injector inj(plan);
+    fault::setServiceInjector(&inj);
+
+    TempCacheDir dir;
+    sim::ResultCache cache(dir.path());
+    std::string err;
+    const std::string key(64, 'e');
+    // A full disk must not fail the run: the store is absorbed.
+    EXPECT_TRUE(cache.store(key, "payload", err)) << err;
+    fault::setServiceInjector(nullptr);
+
+    EXPECT_TRUE(cache.degraded());
+    EXPECT_EQ(cache.stats().passthrough, 1u);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+
+    // Degradation is sticky: the injector is gone, but the cache
+    // stays in pass-through for its lifetime.
+    EXPECT_TRUE(cache.store(key, "payload", err));
+    EXPECT_EQ(cache.stats().passthrough, 2u);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST(ResultCacheTest, InjectedReadFlipRejectsEntry)
+{
+    TempCacheDir dir;
+    sim::ResultCache cache(dir.path());
+    const std::string key(64, 'a');
+    std::string err;
+    ASSERT_TRUE(cache.store(key, "healthy on disk", err)) << err;
+
+    fault::FaultPlan plan;
+    std::string perr;
+    ASSERT_TRUE(fault::FaultPlan::parse("cache.flip@n1", plan, perr))
+        << perr;
+    plan.seed = 7;
+    fault::Injector inj(plan);
+    fault::setServiceInjector(&inj);
+    // The flip tap corrupts the bytes between disk and caller; the
+    // checksum catches it and the lookup misses instead of serving
+    // garbage.
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    fault::setServiceInjector(nullptr);
+    EXPECT_EQ(cache.stats().rejected, 1u);
+    EXPECT_EQ(cache.stats().quarantined, 1u);
+}
+
+TEST(ResultCacheTest, ScrubQuarantinesCorruptAndRepairsIndex)
+{
+    TempCacheDir dir;
+    sim::ResultCache cache(dir.path());
+    std::string err;
+    const std::string k1(64, '1'), k2(64, '2'), k3(64, '3');
+    ASSERT_TRUE(cache.store(k1, "payload one", err));
+    ASSERT_TRUE(cache.store(k2, "payload two", err));
+    ASSERT_TRUE(cache.store(k3, "payload three", err));
+
+    // Corrupt k2 in place, delete k3 behind the cache's back, drop a
+    // crashed writer's staging file next to k1.
+    flipLastByte(entryFile(dir.path(), k2));
+    std::filesystem::remove(entryFile(dir.path(), k3));
+    std::ofstream(entryFile(dir.path(), k1) + ".tmp.9999") << "junk";
+
+    sim::ResultCache::ScrubReport rep;
+    ASSERT_TRUE(cache.scrub(rep, err)) << err;
+    EXPECT_EQ(rep.scanned, 2u); // k3's file is already gone
+    EXPECT_EQ(rep.ok, 1u);
+    EXPECT_EQ(rep.quarantined, 1u);
+    EXPECT_EQ(rep.deleted, 0u);
+    EXPECT_EQ(rep.tmpRemoved, 1u);
+    EXPECT_EQ(rep.indexDropped, 2u); // k2 corrupt + k3 missing
+    EXPECT_EQ(rep.indexAdded, 0u);
+    EXPECT_EQ(rep.bytes, std::string("payload one").size());
+
+    EXPECT_EQ(cache.entryCount(), 1u);
+    EXPECT_TRUE(cache.lookup(k1).has_value());
+    EXPECT_TRUE(std::filesystem::exists(dir.path() + "/quarantine/" +
+                                        k2));
+
+    // --fsck-delete mode: corrupt entries are unlinked, not kept.
+    ASSERT_TRUE(cache.store(k3, "fresh three", err));
+    flipLastByte(entryFile(dir.path(), k3));
+    ASSERT_TRUE(cache.scrub(rep, err, /*delete_corrupt=*/true)) << err;
+    EXPECT_EQ(rep.deleted, 1u);
+    EXPECT_FALSE(std::filesystem::exists(entryFile(dir.path(), k3)));
+
+    // A lost index is rebuilt from the verified survivors.
+    std::filesystem::remove(dir.path() + "/index");
+    ASSERT_TRUE(cache.scrub(rep, err)) << err;
+    EXPECT_EQ(rep.indexAdded, 1u);
+    EXPECT_EQ(cache.entryCount(), 1u);
 }

@@ -235,3 +235,164 @@ TEST(ProcPoolTest, IdleWorkersBlockInsteadOfSpinning)
             << "worker " << pids[i] << " burned CPU while idle";
     }
 }
+
+TEST(ProcPoolTest, PoisonJobIsFailedPermanentlyAfterAttemptCap)
+{
+    sim::ProcPool pool(
+        2,
+        [](const std::string &in) -> std::string {
+            if (in == "poison")
+                ::raise(SIGKILL);
+            return "ok:" + in;
+        },
+        /*max_job_attempts=*/3);
+
+    std::string err;
+    std::uint64_t ticket = pool.submit("poison", err);
+    ASSERT_NE(ticket, 0u) << err;
+
+    std::vector<sim::ProcPool::Result> results;
+    for (int tries = 0; tries < 200 && results.empty(); ++tries) {
+        auto batch = pool.poll(100);
+        results.insert(results.end(), batch.begin(), batch.end());
+    }
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].ticket, ticket);
+    EXPECT_EQ(results[0].status, sim::ProcPool::JobStatus::Poisoned);
+    EXPECT_NE(results[0].payload.find("poisoned"), std::string::npos);
+    // 3 attempts = 2 requeues; every crash cost (and replaced) a
+    // worker.
+    EXPECT_EQ(pool.crashRetries(), 2u);
+    EXPECT_GE(pool.respawns(), 3u);
+    EXPECT_EQ(pool.inFlight(), 0u);
+
+    // The poison job must not have wedged the pool.
+    auto after = pool.runBatch({"still"});
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].status, sim::ProcPool::JobStatus::Done);
+    EXPECT_EQ(after[0].payload, "ok:still");
+}
+
+TEST(ProcPoolTest, TransientCrashIsRetriedToSuccess)
+{
+    // The job crashes its worker twice, then succeeds: cross-process
+    // attempt memory lives in a scratch file (workers are forks and
+    // share the cwd).
+    const std::string marker =
+        "procpool_retry_" + std::to_string(::getpid()) + ".tmp";
+    ::unlink(marker.c_str());
+    sim::ProcPool pool(
+        1,
+        [marker](const std::string &in) -> std::string {
+            if (in != "flaky")
+                return "ok";
+            std::ifstream is(marker);
+            std::string text((std::istreambuf_iterator<char>(is)),
+                             std::istreambuf_iterator<char>());
+            if (text.size() >= 2)
+                return "survived";
+            std::ofstream(marker, std::ios::app) << "x";
+            ::raise(SIGKILL);
+            return "unreachable";
+        },
+        /*max_job_attempts=*/3);
+
+    std::string err;
+    std::uint64_t ticket = pool.submit("flaky", err);
+    ASSERT_NE(ticket, 0u) << err;
+    std::vector<sim::ProcPool::Result> results;
+    for (int tries = 0; tries < 200 && results.empty(); ++tries) {
+        auto batch = pool.poll(100);
+        results.insert(results.end(), batch.begin(), batch.end());
+    }
+    ::unlink(marker.c_str());
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].ticket, ticket);
+    EXPECT_EQ(results[0].status, sim::ProcPool::JobStatus::Done);
+    EXPECT_EQ(results[0].payload, "survived");
+    EXPECT_EQ(pool.crashRetries(), 2u);
+}
+
+TEST(ProcPoolTest, KillActiveCondemnsJobDespiteRetryBudget)
+{
+    sim::ProcPool pool(
+        1,
+        [](const std::string &in) -> std::string {
+            if (in == "hang")
+                for (;;)
+                    ::usleep(100 * 1000);
+            return "ok:" + in;
+        },
+        /*max_job_attempts=*/5);
+
+    std::string err;
+    std::uint64_t ticket = pool.submit("hang", err);
+    ASSERT_NE(ticket, 0u) << err;
+    // Give the worker time to pick the job up and publish its ticket.
+    bool killed = false;
+    for (int tries = 0; tries < 100 && !killed; ++tries) {
+        ::usleep(50 * 1000);
+        killed = pool.killActive(ticket);
+    }
+    ASSERT_TRUE(killed);
+    EXPECT_FALSE(pool.killActive(ticket + 999)); // unknown ticket
+
+    std::vector<sim::ProcPool::Result> results;
+    for (int tries = 0; tries < 200 && results.empty(); ++tries) {
+        auto batch = pool.poll(100);
+        results.insert(results.end(), batch.begin(), batch.end());
+    }
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].ticket, ticket);
+    // Condemned: surfaces as Crashed once, never re-queued.
+    EXPECT_EQ(results[0].status, sim::ProcPool::JobStatus::Crashed);
+    EXPECT_EQ(pool.crashRetries(), 0u);
+    EXPECT_EQ(pool.inFlight(), 0u);
+
+    auto after = pool.runBatch({"next"});
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].status, sim::ProcPool::JobStatus::Done);
+}
+
+TEST(ProcPoolTest, CancelQueuedRetiresUnstartedJob)
+{
+    sim::ProcPool pool(1, [](const std::string &in) -> std::string {
+        if (in == "hang")
+            for (;;)
+                ::usleep(100 * 1000);
+        return "ok:" + in;
+    });
+
+    std::string err;
+    std::uint64_t running = pool.submit("hang", err);
+    ASSERT_NE(running, 0u) << err;
+    // Wait until the single worker owns "hang" so the next submit
+    // stays queued.
+    bool picked = false;
+    for (int tries = 0; tries < 100 && !picked; ++tries) {
+        ::usleep(50 * 1000);
+        picked = pool.queueDepth() == 0;
+    }
+    ASSERT_TRUE(picked);
+    std::uint64_t queued = pool.submit("never-runs", err);
+    ASSERT_NE(queued, 0u) << err;
+    EXPECT_EQ(pool.inFlight(), 2u);
+
+    EXPECT_TRUE(pool.cancelQueued(queued));
+    EXPECT_FALSE(pool.cancelQueued(queued)); // already gone
+    EXPECT_FALSE(pool.cancelQueued(running)); // running, not queued
+    EXPECT_EQ(pool.inFlight(), 1u);
+    EXPECT_EQ(pool.queueDepth(), 0u);
+
+    // Unblock the lane and confirm only the running job reports.
+    ASSERT_TRUE(pool.killActive(running));
+    std::vector<sim::ProcPool::Result> results;
+    for (int tries = 0; tries < 200 && results.empty(); ++tries) {
+        auto batch = pool.poll(100);
+        results.insert(results.end(), batch.begin(), batch.end());
+    }
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].ticket, running);
+    EXPECT_EQ(results[0].status, sim::ProcPool::JobStatus::Crashed);
+    EXPECT_EQ(pool.inFlight(), 0u);
+}

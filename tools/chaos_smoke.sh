@@ -1,0 +1,214 @@
+#!/usr/bin/env bash
+# Chaos gate for the sweep service.
+#
+# Starts a specslice_serve daemon with a seeded service-layer fault
+# plan (wedged workers, crashed workers, disk-full cache stores,
+# bit-flipped cache reads, dropped sockets), plus a short request
+# deadline and a small admission cap, then drives two 12-workload
+# sweeps with concurrent retrying clients. Asserts the hardening
+# contract end to end:
+#
+#   1. Bounded outcomes: every client exits with a typed code —
+#      0 (served), 4 (typed terminal run failure: deadline_exceeded,
+#      poisoned, ...), or 5 (transport budget exhausted). No client
+#      hangs: per-attempt I/O deadlines plus the retry budget bound
+#      the wall clock, and the ctest TIMEOUT backstops the whole run.
+#   2. Correctness under injection: any workload served OK in both
+#      passes yields byte-identical documents.
+#   3. Accounting: the failure counters in /metrics exactly match the
+#      access log — shed == "overloaded" lines, deadline_exceeded ==
+#      "deadline_exceeded" lines, job retries == op="job_retry" lines,
+#      quarantines == op="cache_quarantine" lines, poisoned ==
+#      "poisoned" lines.
+#   4. The chaos actually bit (some failure counter moved), the daemon
+#      still shuts down cleanly, and --fsck over the surviving cache
+#      reports ok.
+#
+# Artifacts (access log, traces, responses) stay in $WORK; set
+# SS_CHAOS_ARTIFACTS to a directory to keep them for CI upload.
+#
+# Usage: chaos_smoke.sh <tool-bin-dir>
+set -euo pipefail
+
+BIN="${1:?usage: chaos_smoke.sh <tool-bin-dir>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/chaos_smoke.XXXXXX")"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    if [ -n "${SS_CHAOS_ARTIFACTS:-}" ]; then
+        mkdir -p "$SS_CHAOS_ARTIFACTS"
+        cp -r "$WORK"/. "$SS_CHAOS_ARTIFACTS"/ 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/serve.sock"
+CACHE="$WORK/cache"
+INSTS=10000
+WARMUP=2000
+WORKLOADS=(bzip2 crafty eon gap gcc gzip mcf parser perl twolf
+           vortex vpr)
+PLAN='serve.wedge:4000@p0.15,serve.crash@n2,cache.enospc@p0.2'
+PLAN="$PLAN,cache.flip@n4,sock.drop@n6"
+
+"$BIN/specslice_serve" --socket "$SOCK" --cache "$CACHE" \
+    --workers 4 --deadline-ms 2500 --max-pending 6 \
+    --max-attempts 2 --inject "$PLAN" --inject-seed 42 \
+    --access-log "$WORK/access.ndjson" --trace-dir "$WORK/traces" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    if "$BIN/specslice_serve" --connect "$SOCK" --ping \
+            > /dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: server exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+request() {
+    printf '{"workload": "%s", "insts": %d, "warmup": %d}' \
+        "$1" "$INSTS" "$WARMUP"
+}
+
+# One concurrent retrying client per workload. Client exit codes land
+# in $WORK/<pass>.<wl>.rc; responses in $WORK/<pass>.<wl>.json.
+sweep() {
+    local pass="$1" pids=() wl
+    for wl in "${WORKLOADS[@]}"; do
+        (
+            rc=0
+            "$BIN/specslice_serve" --connect "$SOCK" \
+                --request "$(request "$wl")" \
+                --timeout-ms 20000 --retries 4 \
+                > "$WORK/$pass.$wl.json" 2>> "$WORK/client.err" \
+                || rc=$?
+            echo "$rc" > "$WORK/$pass.$wl.rc"
+        ) &
+        pids+=($!)
+    done
+    local p
+    for p in "${pids[@]}"; do
+        wait "$p" || true
+    done
+}
+
+echo "== pass 1: cold 12-workload sweep under injection"
+sweep pass1
+echo "== pass 2: warm sweep (hits, flips, drops)"
+sweep pass2
+
+SERVED=0
+for pass in pass1 pass2; do
+    for wl in "${WORKLOADS[@]}"; do
+        rc="$(cat "$WORK/$pass.$wl.rc")"
+        case "$rc" in
+            0) SERVED=$((SERVED + 1)) ;;
+            4|5) ;;  # typed terminal failure / transport budget spent
+            *)
+                echo "FAIL: $pass/$wl exited $rc (untyped)" >&2
+                exit 1
+                ;;
+        esac
+    done
+done
+if [ "$SERVED" -lt 6 ]; then
+    echo "FAIL: only $SERVED/24 requests served OK under chaos" >&2
+    exit 1
+fi
+echo "   $SERVED/24 requests served OK, rest typed"
+
+echo "== byte-identity for workloads served OK in both passes"
+IDENTICAL=0
+for wl in "${WORKLOADS[@]}"; do
+    if [ "$(cat "$WORK/pass1.$wl.rc")" = 0 ] &&
+           [ "$(cat "$WORK/pass2.$wl.rc")" = 0 ]; then
+        diff "$WORK/pass1.$wl.json" "$WORK/pass2.$wl.json"
+        IDENTICAL=$((IDENTICAL + 1))
+    fi
+done
+echo "   $IDENTICAL workloads byte-identical across passes"
+
+echo "== counters reconcile with the access log"
+METRICS="$("$BIN/specslice_serve" --connect "$SOCK" --metrics \
+               --timeout-ms 20000)"
+counter() {
+    printf '%s' "$METRICS" \
+        | sed -n "s/.*\"$1\": \([0-9]*\).*/\1/p" | head -n 1
+}
+logged() {
+    grep -c "$1" "$WORK/access.ndjson" || true
+}
+SHED="$(counter ss_shed_total)"
+DEADLINE="$(counter ss_deadline_exceeded_total)"
+RETRIES="$(counter ss_job_retries_total)"
+QUARANTINE="$(counter ss_cache_quarantined_total)"
+POISONED="$(counter ss_jobs_poisoned_total)"
+DROPS="$(counter ss_sock_drops_total)"
+for v in SHED DEADLINE RETRIES QUARANTINE POISONED DROPS; do
+    if [ -z "${!v}" ]; then
+        echo "FAIL: counter $v missing from /metrics" >&2
+        exit 1
+    fi
+done
+
+reconcile() {
+    local name="$1" counted="$2" lines="$3"
+    if [ "$counted" -ne "$lines" ]; then
+        echo "FAIL: $name counter=$counted but access log has" \
+             "$lines matching lines" >&2
+        exit 1
+    fi
+    echo "   $name: counter == log == $counted"
+}
+reconcile shed "$SHED" "$(logged '"error": "overloaded"')"
+reconcile deadline "$DEADLINE" \
+    "$(logged '"error": "deadline_exceeded"')"
+reconcile job_retries "$RETRIES" "$(logged '"op": "job_retry"')"
+reconcile quarantined "$QUARANTINE" \
+    "$(logged '"op": "cache_quarantine"')"
+reconcile poisoned "$POISONED" "$(logged '"error": "poisoned"')"
+
+CHAOS=$((SHED + DEADLINE + RETRIES + QUARANTINE + POISONED + DROPS))
+if [ "$CHAOS" -eq 0 ]; then
+    echo "FAIL: injection plan never fired (no failure counter" \
+         "moved)" >&2
+    exit 1
+fi
+echo "   chaos events: shed=$SHED deadline=$DEADLINE" \
+     "retries=$RETRIES quarantined=$QUARANTINE poisoned=$POISONED" \
+     "sock_drops=$DROPS"
+
+echo "== clean shutdown despite the chaos"
+"$BIN/specslice_serve" --connect "$SOCK" --shutdown \
+    --timeout-ms 20000 > /dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server ignored shutdown request" >&2
+    exit 1
+fi
+wait "$SERVER_PID" || {
+    echo "FAIL: server exited abnormally" >&2
+    exit 1
+}
+SERVER_PID=""
+
+echo "== offline fsck over the survivor cache"
+FSCK="$("$BIN/specslice_serve" --fsck --cache "$CACHE")"
+echo "$FSCK"
+case "$FSCK" in
+    *'"ok": true'*) ;;
+    *)
+        echo "FAIL: --fsck reported failure" >&2
+        exit 1
+        ;;
+esac
+
+echo "PASS: chaos smoke ok (served=$SERVED chaos_events=$CHAOS)"

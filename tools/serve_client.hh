@@ -6,6 +6,16 @@
  * call; matching request/response pairs across a shared connection is
  * the caller's problem (the helpers here use one connection per
  * request, which the Unix-domain transport makes cheap).
+ *
+ * Robustness: every transport primitive is bounded. connectUnix
+ * performs a nonblocking connect raced against a deadline, then arms
+ * SO_RCVTIMEO/SO_SNDTIMEO so a wedged daemon turns into a typed
+ * ErrKind::timeout instead of a client hung forever. requestRetry
+ * layers jittered-exponential-backoff retries on top, retrying
+ * transport failures and the retryable envelope kinds (`draining`,
+ * `overloaded`, `crashed`) while passing terminal envelopes
+ * (`deadline_exceeded`, `poisoned`, `bad_request`, ...) straight
+ * through.
  */
 
 #ifndef SPECSLICE_TOOLS_SERVE_CLIENT_HH
@@ -17,43 +27,117 @@
 #include <ctime>
 #include <string>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/jsonio.hh"
+
 namespace specslice::serve_client
 {
 
-/** Connect to the server's Unix-domain socket.
- *  @return the fd, or -1 with error set. */
-inline int
-connectUnix(const std::string &path, std::string &error)
+/** What broke, when something broke. Lets callers distinguish "the
+ *  daemon is slow/wedged" (timeout — retryable, the server may still
+ *  be working) from "the daemon is gone" (connect) from "the stream
+ *  died mid-exchange" (transport). */
+enum class ErrKind
 {
-    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
-        error = "socket path too long: " + path;
+    none,
+    connect,   ///< could not reach the socket (incl. connect timeout)
+    timeout,   ///< read/write exceeded the io deadline
+    transport, ///< stream error / connection closed mid-response
+};
+
+/** Per-request transport deadlines (milliseconds; 0 = no bound). */
+struct RequestOpts
+{
+    int connectTimeoutMs = 5000;
+    int ioTimeoutMs = 120000;
+};
+
+/**
+ * Connect to the server's Unix-domain socket within
+ * opts.connectTimeoutMs, then arm send/receive timeouts of
+ * opts.ioTimeoutMs on the fd.
+ * @return the fd, or -1 with error (and kind, if non-null) set.
+ */
+inline int
+connectUnix(const std::string &path, std::string &error,
+            const RequestOpts &opts = {}, ErrKind *kind = nullptr)
+{
+    auto fail = [&](ErrKind k, const std::string &msg) {
+        if (kind)
+            *kind = k;
+        error = msg;
         return -1;
-    }
-    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) {
-        error = std::string("socket: ") + std::strerror(errno);
-        return -1;
-    }
+    };
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        return fail(ErrKind::connect, "socket path too long: " + path);
+    int fd = ::socket(AF_UNIX,
+                      SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        return fail(ErrKind::connect,
+                    std::string("socket: ") + std::strerror(errno));
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, path.c_str(),
                  sizeof(addr.sun_path) - 1);
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        error = "connect " + path + ": " + std::strerror(errno);
-        ::close(fd);
-        return -1;
+        if (errno != EINPROGRESS && errno != EAGAIN) {
+            ::close(fd);
+            return fail(ErrKind::connect, "connect " + path + ": " +
+                                              std::strerror(errno));
+        }
+        // Nonblocking connect in flight: wait for writability.
+        pollfd pfd{fd, POLLOUT, 0};
+        int rc = ::poll(&pfd, 1,
+                        opts.connectTimeoutMs > 0
+                            ? opts.connectTimeoutMs
+                            : -1);
+        if (rc == 0) {
+            ::close(fd);
+            return fail(ErrKind::connect,
+                        "connect " + path + ": timed out after " +
+                            std::to_string(opts.connectTimeoutMs) +
+                            " ms");
+        }
+        int soerr = 0;
+        socklen_t slen = sizeof(soerr);
+        if (rc < 0 ||
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) !=
+                0 ||
+            soerr != 0) {
+            ::close(fd);
+            return fail(ErrKind::connect,
+                        "connect " + path + ": " +
+                            std::strerror(soerr ? soerr : errno));
+        }
     }
+
+    // Back to blocking, with kernel-enforced per-call deadlines so a
+    // wedged daemon cannot hang readLine/writeAll forever.
+    int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    if (opts.ioTimeoutMs > 0) {
+        timeval tv{};
+        tv.tv_sec = opts.ioTimeoutMs / 1000;
+        tv.tv_usec = (opts.ioTimeoutMs % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    if (kind)
+        *kind = ErrKind::none;
     return fd;
 }
 
 /** Write the whole buffer, retrying on EINTR / partial writes. */
 inline bool
-writeAll(int fd, const std::string &data, std::string &error)
+writeAll(int fd, const std::string &data, std::string &error,
+         ErrKind *kind = nullptr)
 {
     std::size_t off = 0;
     while (off < data.size()) {
@@ -61,6 +145,14 @@ writeAll(int fd, const std::string &data, std::string &error)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                if (kind)
+                    *kind = ErrKind::timeout;
+                error = "write timed out (daemon wedged?)";
+                return false;
+            }
+            if (kind)
+                *kind = ErrKind::transport;
             error = std::string("write: ") + std::strerror(errno);
             return false;
         }
@@ -71,7 +163,8 @@ writeAll(int fd, const std::string &data, std::string &error)
 
 /** Read up to (and consuming) one '\n'-terminated line. */
 inline bool
-readLine(int fd, std::string &line, std::string &error)
+readLine(int fd, std::string &line, std::string &error,
+         ErrKind *kind = nullptr)
 {
     line.clear();
     char c;
@@ -80,10 +173,21 @@ readLine(int fd, std::string &line, std::string &error)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                if (kind)
+                    *kind = ErrKind::timeout;
+                error = "read timed out waiting for the response "
+                        "(daemon wedged?)";
+                return false;
+            }
+            if (kind)
+                *kind = ErrKind::transport;
             error = std::string("read: ") + std::strerror(errno);
             return false;
         }
         if (n == 0) {
+            if (kind)
+                *kind = ErrKind::transport;
             error = "server closed the connection mid-response";
             return false;
         }
@@ -91,6 +195,8 @@ readLine(int fd, std::string &line, std::string &error)
             return true;
         line += c;
         if (line.size() > 64 * 1024 * 1024) {
+            if (kind)
+                *kind = ErrKind::transport;
             error = "response line unreasonably large";
             return false;
         }
@@ -100,17 +206,19 @@ readLine(int fd, std::string &line, std::string &error)
 /**
  * One round trip on a fresh connection: send `request` (a single-line
  * JSON document, newline appended here) and read the response line.
- * @return false with error set on any transport failure.
+ * @return false with error (and kind, if non-null) set on any
+ *         transport failure.
  */
 inline bool
 requestOnce(const std::string &socket_path, const std::string &request,
-            std::string &response, std::string &error)
+            std::string &response, std::string &error,
+            const RequestOpts &opts = {}, ErrKind *kind = nullptr)
 {
-    int fd = connectUnix(socket_path, error);
+    int fd = connectUnix(socket_path, error, opts, kind);
     if (fd < 0)
         return false;
-    bool ok = writeAll(fd, request + "\n", error) &&
-              readLine(fd, response, error);
+    bool ok = writeAll(fd, request + "\n", error, kind) &&
+              readLine(fd, response, error, kind);
     ::close(fd);
     return ok;
 }
@@ -123,11 +231,11 @@ requestOnce(const std::string &socket_path, const std::string &request,
 inline bool
 requestTimed(const std::string &socket_path, const std::string &request,
              std::string &response, std::uint64_t &rtt_usec,
-             std::string &error)
+             std::string &error, const RequestOpts &opts = {})
 {
     timespec t0{}, t1{};
     ::clock_gettime(CLOCK_MONOTONIC, &t0);
-    if (!requestOnce(socket_path, request, response, error))
+    if (!requestOnce(socket_path, request, response, error, opts))
         return false;
     ::clock_gettime(CLOCK_MONOTONIC, &t1);
     rtt_usec = static_cast<std::uint64_t>(t1.tv_sec - t0.tv_sec) *
@@ -135,6 +243,121 @@ requestTimed(const std::string &socket_path, const std::string &request,
                static_cast<std::uint64_t>(t1.tv_nsec / 1000 -
                                           t0.tv_nsec / 1000);
     return true;
+}
+
+/** Retry schedule: exponential backoff with deterministic jitter. */
+struct RetryPolicy
+{
+    unsigned attempts = 5;      ///< total tries (1 = no retry)
+    unsigned baseDelayMs = 50;  ///< first backoff step
+    unsigned maxDelayMs = 2000; ///< backoff ceiling
+    std::uint64_t seed = 0x5eed; ///< jitter stream (vary per client)
+};
+
+/** What requestRetry did, for logs/BENCH docs. */
+struct RetryStats
+{
+    unsigned attempts = 0;  ///< tries actually made
+    unsigned retries = 0;   ///< attempts - 1 when any retry happened
+    std::uint64_t backoffMs = 0; ///< total time slept between tries
+};
+
+/** Is this envelope's error kind worth retrying? Retryable kinds are
+ *  the transient ones the server itself recovers from; the rest
+ *  (`bad_request`, `deadline_exceeded`, `poisoned`, `run_failed`,
+ *  ...) would fail identically on every retry. */
+inline bool
+retryableEnvelopeKind(const std::string &error_kind)
+{
+    return error_kind == "draining" || error_kind == "shutdown" ||
+           error_kind == "overloaded" || error_kind == "crashed";
+}
+
+/**
+ * requestOnce with retries: transport failures (connect refused,
+ * connect/read/write timeout, dropped connection) and retryable error
+ * envelopes are retried up to policy.attempts times with jittered
+ * exponential backoff; an `overloaded` envelope's `retry_after_ms`
+ * hint overrides the computed delay.
+ *
+ * @return true when a *response* was obtained — possibly a terminal
+ *         error envelope the caller still has to interpret; false
+ *         only when every attempt failed at the transport layer or
+ *         retries were exhausted on retryable envelopes (in which
+ *         case `response` holds the last envelope if any was seen).
+ */
+inline bool
+requestRetry(const std::string &socket_path,
+             const std::string &request, std::string &response,
+             std::string &error, const RetryPolicy &policy = {},
+             const RequestOpts &opts = {},
+             RetryStats *stats = nullptr)
+{
+    std::uint64_t jitter = policy.seed * 0x9e3779b97f4a7c15ull + 1;
+    RetryStats local;
+    RetryStats &st = stats ? *stats : local;
+    st = RetryStats{};
+
+    const unsigned tries = policy.attempts ? policy.attempts : 1;
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        ++st.attempts;
+        ErrKind kind = ErrKind::none;
+        response.clear();
+        bool got =
+            requestOnce(socket_path, request, response, error, opts,
+                        &kind);
+
+        std::int64_t hint_ms = -1;
+        if (got) {
+            // A response arrived. ok envelopes and terminal errors
+            // both end the loop; only retryable kinds continue it.
+            std::string perr;
+            auto env = json::parse(response, perr);
+            bool retry_env = false;
+            if (env && env->isObject() &&
+                !env->getBool("ok", true)) {
+                // The kind lives at the top level on run-failure
+                // envelopes and nested under "error" on the rest.
+                std::string ek = env->getStr("error_kind");
+                if (ek.empty())
+                    if (const json::Value *e = env->get("error"))
+                        ek = e->getStr("kind");
+                if (retryableEnvelopeKind(ek)) {
+                    retry_env = true;
+                    if (const json::Value *h =
+                            env->get("retry_after_ms"))
+                        if (h->isNumber())
+                            hint_ms = static_cast<std::int64_t>(
+                                env->getU64("retry_after_ms"));
+                    error = "server answered '" + ek + "'";
+                }
+            }
+            if (!retry_env)
+                return true;
+        }
+        if (attempt + 1 >= tries)
+            return false;
+
+        // Exponential backoff with full jitter in the upper half,
+        // deterministic from policy.seed so test runs reproduce.
+        std::uint64_t step =
+            std::uint64_t(policy.baseDelayMs ? policy.baseDelayMs : 1)
+            << (attempt < 16 ? attempt : 16);
+        if (step > policy.maxDelayMs)
+            step = policy.maxDelayMs;
+        if (hint_ms >= 0)
+            step = static_cast<std::uint64_t>(hint_ms);
+        jitter = jitter * 6364136223846793005ull +
+                 1442695040888963407ull;
+        std::uint64_t delay =
+            step / 2 + (step ? jitter % (step / 2 + 1) : 0);
+        if (delay) {
+            ::poll(nullptr, 0, static_cast<int>(delay));
+            st.backoffMs += delay;
+        }
+        ++st.retries;
+    }
+    return false;
 }
 
 /**

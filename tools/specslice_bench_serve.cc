@@ -99,6 +99,7 @@ struct SweepResult
     double seconds = 0.0;
     std::atomic<unsigned> errors{0};
     std::atomic<unsigned> cached{0};
+    std::atomic<unsigned> retries{0};
 };
 
 /**
@@ -114,18 +115,24 @@ runSweep(const std::string &socket,
     double t0 = now();
     std::vector<std::thread> threads;
     for (unsigned t = 0; t < clients; ++t) {
-        threads.emplace_back([&]() {
+        threads.emplace_back([&, t]() {
+            serve_client::RetryPolicy policy;
+            policy.seed = 0xb5eedull * (t + 1);
             for (;;) {
                 std::size_t i = cursor.fetch_add(1);
                 if (i >= requests.size())
                     return;
                 std::string response, err;
-                if (!serve_client::requestOnce(socket, requests[i],
-                                               response, err)) {
+                serve_client::RetryStats rs;
+                if (!serve_client::requestRetry(socket, requests[i],
+                                                response, err, policy,
+                                                {}, &rs)) {
                     std::fprintf(stderr, "error: %s\n", err.c_str());
+                    out.retries += rs.retries;
                     ++out.errors;
                     continue;
                 }
+                out.retries += rs.retries;
                 std::string perr;
                 auto env = json::parse(response, perr);
                 if (!env || !env->getBool("ok") ||
@@ -278,6 +285,10 @@ main(int argc, char **argv)
         .field("warm_seconds", warm.seconds)
         .field("warm_speedup_x", speedup)
         .field("warm_cached", std::uint64_t{warm.cached.load()})
+        .field("client_retries",
+               std::uint64_t{cold.retries.load() +
+                             warm.retries.load() +
+                             burst.retries.load()})
         .raw("server_stats",
              have_stats ? stats_response : "null");
     std::ofstream os("BENCH_serve.json");

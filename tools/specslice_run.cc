@@ -398,6 +398,14 @@ main(int argc, char **argv)
         }
     }
     plan.seed = o.seed;
+    if (plan.hasServiceSites()) {
+        std::fprintf(stderr,
+                     "error: the plan names service-level sites "
+                     "(serve.*/cache.*/sock.*); those inject into "
+                     "the sweep daemon — pass them to "
+                     "specslice_serve --inject instead\n");
+        return 2;
+    }
 
     if (!o.saveCheckpoint.empty() && o.compare) {
         std::fprintf(stderr,

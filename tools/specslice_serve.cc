@@ -60,6 +60,7 @@
 
 #include "common/hash.hh"
 #include "common/jsonio.hh"
+#include "fault/fault.hh"
 #include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_merge.hh"
@@ -123,12 +124,25 @@ struct Options
     bool verbose = false;
     std::string accessLog;  ///< NDJSON per-request log ("" = off)
     std::string traceDir;   ///< worker trace fragments ("" = off)
+    std::uint64_t deadlineMs = 0;  ///< default per-request deadline
+                                   ///< (0 = none; requests may set
+                                   ///< their own "deadline_ms")
+    std::uint64_t maxPending = 48; ///< admission cap: distinct jobs
+                                   ///< in flight before shedding
+    unsigned maxJobAttempts = 2;   ///< crash-retry cap per job
+    std::string inject;            ///< service-site fault plan
+    std::uint64_t injectSeed = 1;
+    bool fsck = false;      ///< scrub the cache and exit
+    bool fsckDelete = false;  ///< --fsck deletes instead of
+                              ///< quarantining
 
     // Client mode.
     std::string connectPath;
     std::string request;  ///< full request line (client)
     std::string op;       ///< ping | stats | shutdown (client)
     bool raw = false;     ///< print the envelope, not the doc
+    int timeoutMs = 120000;  ///< client I/O deadline per attempt
+    unsigned retries = 4;    ///< client retries after first attempt
 };
 
 [[noreturn]] void
@@ -153,6 +167,26 @@ usage(int code)
         "  --trace-dir DIR   workers write per-request --chrome-trace\n"
         "                    fragments here; the trace_merge op\n"
         "                    stitches them into merged_trace.json\n"
+        "  --deadline-ms N   default per-request deadline: a run past\n"
+        "                    it gets a typed deadline_exceeded error\n"
+        "                    and its worker is SIGKILLed (default 0 =\n"
+        "                    none; requests may set \"deadline_ms\")\n"
+        "  --max-pending N   admission cap: distinct jobs in flight\n"
+        "                    before new work is shed with a typed\n"
+        "                    overloaded error (default 48)\n"
+        "  --max-attempts N  times one job may crash a worker before\n"
+        "                    it is failed as poisoned (default 2)\n"
+        "  --inject SPEC     service-site fault plan (serve.wedge,\n"
+        "                    serve.crash, cache.enospc, cache.flip,\n"
+        "                    sock.drop; also read from SS_INJECT)\n"
+        "  --inject-seed N   fault plan seed (default 1)\n"
+        "maintenance:\n"
+        "  --fsck            scrub --cache: verify every entry's\n"
+        "                    header + checksum, quarantine corrupt\n"
+        "                    ones, rebuild the LRU index; prints a\n"
+        "                    JSON report and exits (no daemon)\n"
+        "  --fsck-delete     with --fsck: delete corrupt entries\n"
+        "                    instead of quarantining them\n"
         "client options:\n"
         "  --connect PATH    talk to the daemon at PATH\n"
         "  --request JSON    send one request line; prints the result\n"
@@ -162,6 +196,12 @@ usage(int code)
         "  --metrics         fetch the service metrics (JSON form;\n"
         "                    GET /metrics serves Prometheus text)\n"
         "  --trace-merge     merge worker trace fragments now\n"
+        "  --timeout-ms N    per-attempt I/O deadline (default\n"
+        "                    120000; a wedged daemon turns into a\n"
+        "                    typed timeout, never a hang)\n"
+        "  --retries N       retries after the first attempt for\n"
+        "                    transport failures and retryable\n"
+        "                    envelopes (default 4)\n"
         "exit codes (client): the run's specslice_run-compatible exit\n"
         "code; 5 on transport or protocol errors\n");
     std::exit(code);
@@ -204,6 +244,31 @@ parseArgs(int argc, char **argv)
             o.accessLog = next();
         else if (a == "--trace-dir")
             o.traceDir = next();
+        else if (a == "--deadline-ms")
+            o.deadlineMs = parseNum(next());
+        else if (a == "--max-pending") {
+            o.maxPending = parseNum(next());
+            if (o.maxPending == 0)
+                usage(2);
+        } else if (a == "--max-attempts") {
+            o.maxJobAttempts =
+                static_cast<unsigned>(parseNum(next()));
+            if (o.maxJobAttempts == 0)
+                usage(2);
+        } else if (a == "--inject")
+            o.inject = next();
+        else if (a == "--inject-seed")
+            o.injectSeed = parseNum(next());
+        else if (a == "--fsck")
+            o.fsck = true;
+        else if (a == "--fsck-delete")
+            o.fsckDelete = true;
+        else if (a == "--timeout-ms") {
+            o.timeoutMs = static_cast<int>(parseNum(next()));
+            if (o.timeoutMs <= 0)
+                usage(2);
+        } else if (a == "--retries")
+            o.retries = static_cast<unsigned>(parseNum(next()));
         else if (a == "--connect")
             o.connectPath = next();
         else if (a == "--request")
@@ -227,6 +292,14 @@ parseArgs(int argc, char **argv)
                          a.c_str());
             usage(2);
         }
+    }
+    if (o.fsck) {
+        if (!o.socketPath.empty() || !o.connectPath.empty()) {
+            std::fprintf(stderr, "error: --fsck runs offline; drop "
+                                 "--socket/--connect\n");
+            usage(2);
+        }
+        return o;
     }
     if (o.socketPath.empty() == o.connectPath.empty()) {
         std::fprintf(stderr,
@@ -311,6 +384,12 @@ struct MetricsHost
                     "Run requests that needed a simulation");
         reg.counter("ss_worker_crashes_total",
                     "Jobs lost to a worker process death");
+        reg.counter("ss_shed_total",
+                    "Run requests shed by admission control");
+        reg.counter("ss_deadline_exceeded_total",
+                    "Run requests that missed their deadline");
+        reg.counter("ss_sock_drops_total",
+                    "Connections dropped mid-response (injected)");
         reg.gauge("ss_pool_queue_depth",
                   "Jobs queued in the shared ring, unclaimed");
         reg.gauge("ss_pool_in_flight",
@@ -349,20 +428,34 @@ struct MetricsHost
 class Server
 {
   public:
-    Server(const Options &o)
-        : opts_(o), cache_(o.cacheDir, o.cacheBytes),
+    Server(const Options &o, const fault::FaultPlan &plan)
+        : opts_(o), injectPlan_(plan),
+          cache_(o.cacheDir, o.cacheBytes),
           pool_(workerCountFor(o),
                 [dir = o.cacheDir, bytes = o.cacheBytes,
-                 trace_dir = o.traceDir](const std::string &payload) {
-                    return workerRun(dir, bytes, trace_dir, payload);
-                })
+                 trace_dir = o.traceDir,
+                 wplan = plan](const std::string &payload) {
+                    return workerRun(dir, bytes, trace_dir, wplan,
+                                     payload);
+                },
+                o.maxJobAttempts)
     {
+        // Post-fork on purpose: the workers install their own
+        // per-lane injectors inside workerRun; the daemon's instance
+        // drives the daemon-side sites (cache.flip on lookup,
+        // sock.drop on respond).
+        daemonInjector_ = fault::Injector(injectPlan_);
+        fault::setServiceInjector(&daemonInjector_);
+
         obs::MetricsRegistry &r = metrics_.reg;
         mRequests_ = r.counter("ss_requests_total");
         mRunRequests_ = r.counter("ss_run_requests_total");
         mServedHits_ = r.counter("ss_served_cache_hits_total");
         mServedMisses_ = r.counter("ss_served_cache_misses_total");
         mCrashes_ = r.counter("ss_worker_crashes_total");
+        mShed_ = r.counter("ss_shed_total");
+        mDeadline_ = r.counter("ss_deadline_exceeded_total");
+        mSockDrops_ = r.counter("ss_sock_drops_total");
         gQueueDepth_ = r.gauge("ss_pool_queue_depth");
         gInFlight_ = r.gauge("ss_pool_in_flight");
         gWorkers_ = r.gauge("ss_pool_workers");
@@ -404,6 +497,7 @@ class Server
         std::uint64_t keyUsec = 0;
         std::uint64_t probeUsec = 0;
         std::uint64_t submitUsec = 0;  ///< joined the queue
+        std::uint64_t deadlineUsec = 0;  ///< absolute; 0 = none
     };
 
     struct Pending
@@ -431,8 +525,32 @@ class Server
      *  with the request id and this worker's lane. */
     static std::string
     workerRun(const std::string &cache_dir, std::uint64_t cache_bytes,
-              const std::string &trace_dir, const std::string &payload)
+              const std::string &trace_dir,
+              const fault::FaultPlan &plan,
+              const std::string &payload)
     {
+        // First job in this worker process: install the per-lane
+        // service injector. Each lane gets its own seed stream so a
+        // plan's firing pattern is deterministic per worker, not
+        // dependent on which worker claims which job.
+        static bool s_injector_installed = false;
+        static fault::Injector s_injector;
+        if (!s_injector_installed) {
+            if (plan.hasServiceSites()) {
+                unsigned lane = 0;
+                if (obs::MetricsRegistry *reg =
+                        obs::ambientMetrics())
+                    lane = reg->boundProcess();
+                fault::FaultPlan lane_plan = plan;
+                lane_plan.seed =
+                    plan.seed ^
+                    (0xd1b54a32d192ed03ull * (lane + 1));
+                s_injector = fault::Injector(lane_plan);
+                fault::setServiceInjector(&s_injector);
+            }
+            s_injector_installed = true;
+        }
+
         auto nl = payload.find('\n');
         if (nl == std::string::npos)
             throw std::runtime_error("malformed worker payload");
@@ -449,6 +567,24 @@ class Server
         sim::JobSpec spec;
         if (!sim::JobSpec::fromJson(*doc, spec, err))
             throw std::runtime_error("bad worker spec: " + err);
+
+        // Chaos taps, after the job is marked active in the shared
+        // record (so the daemon can diagnose/kill this lane):
+        // serve.wedge stalls as a wedged simulation would; a request
+        // deadline is what ends it. serve.crash dies exactly as a
+        // SIGSEGV'd simulation does.
+        if (fault::serviceFire(fault::Site::ServeWedge)) {
+            std::uint64_t ms =
+                fault::serviceArg(fault::Site::ServeWedge);
+            while (ms) {
+                int chunk = static_cast<int>(
+                    std::min<std::uint64_t>(ms, 1000));
+                ::poll(nullptr, 0, chunk);
+                ms -= static_cast<std::uint64_t>(chunk);
+            }
+        }
+        if (fault::serviceFire(fault::Site::ServeCrash))
+            ::raise(SIGKILL);
 
         const bool tracing = !trace_dir.empty() && !req_id.empty();
         std::unique_ptr<obs::EventBuffer> events;
@@ -513,10 +649,30 @@ class Server
     void processNdjson(Conn &c);
     void processHttp(Conn &c);
     void handleRequest(Conn &c, const std::string &line);
-    void respond(Conn &c, const std::string &envelope);
+    /** Queue one response line (or its HTTP wrapping). `droppable`
+     *  marks run responses the sock.drop chaos site may truncate;
+     *  `retry_after_ms >= 0` adds the HTTP Retry-After header. */
+    void respond(Conn &c, const std::string &envelope,
+                 bool droppable = false, int retry_after_ms = -1);
     void respondHttpText(Conn &c, const std::string &body,
                          const char *content_type);
+    /** The typed run-failure envelope (crashed/poisoned/deadline/
+     *  overloaded all share this shape; doc stays last). */
+    std::string runFailEnvelope(const std::string &workload,
+                                std::uint64_t seed,
+                                const std::string &key,
+                                const std::string &kind,
+                                const std::string &message,
+                                int retry_after_ms = -1);
     void drainPool();
+    /** Expire waiters past their deadline: typed responses now, the
+     *  queued job cancelled or its worker SIGKILLed. */
+    void expireDeadlines();
+    /** Emit synthetic op="job_retry" access lines so the log stays
+     *  reconcilable with ss_job_retries_total. */
+    void logPoolRetries();
+    /** Poll timeout bounded by the nearest waiter deadline. */
+    int pollTimeoutMs() const;
     void flushWrites();
     std::string statsEnvelope();
     std::string metricsEnvelope();
@@ -533,6 +689,8 @@ class Server
     /** Declared before cache_ and pool_ on purpose: their ctors
      *  register metrics, and the pool ctor forks. */
     MetricsHost metrics_;
+    fault::FaultPlan injectPlan_;
+    fault::Injector daemonInjector_;
     sim::ResultCache cache_;
     sim::ProcPool pool_;
     int listenFd_ = -1;
@@ -546,9 +704,11 @@ class Server
     /** key -> ticket (in-flight dedup) */
     std::map<std::string, std::uint64_t> inFlightKeys_;
     bool shuttingDown_ = false;
+    std::uint64_t loggedRetries_ = 0;     ///< crashRetries() watermark
+    std::uint64_t loggedQuarantines_ = 0; ///< cache quarantine mark
 
     obs::Counter mRequests_, mRunRequests_, mServedHits_,
-        mServedMisses_, mCrashes_;
+        mServedMisses_, mCrashes_, mShed_, mDeadline_, mSockDrops_;
     obs::Gauge gQueueDepth_, gInFlight_, gWorkers_, gRespawns_,
         gBusyPpm_, gUptime_;
     obs::Histogram hRequest_, hParse_, hKey_, hProbe_, hQueueWait_,
@@ -745,18 +905,34 @@ Server::respondHttpText(Conn &c, const std::string &body,
 }
 
 void
-Server::respond(Conn &c, const std::string &envelope)
+Server::respond(Conn &c, const std::string &envelope, bool droppable,
+                int retry_after_ms)
 {
+    std::string wire;
     if (c.http) {
         const std::string body = envelope + "\n";
-        c.out += "HTTP/1.1 200 OK\r\nContent-Type: application/"
-                 "json\r\nContent-Length: " +
-                 std::to_string(body.size()) +
-                 "\r\nConnection: close\r\n\r\n" + body;
+        wire = "HTTP/1.1 200 OK\r\nContent-Type: application/"
+               "json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n";
+        if (retry_after_ms >= 0)
+            wire += "Retry-After: " +
+                    std::to_string((retry_after_ms + 999) / 1000) +
+                    "\r\n";
+        wire += "Connection: close\r\n\r\n" + body;
         c.closing = true;
     } else {
-        c.out += envelope + "\n";
+        wire = envelope + "\n";
     }
+    // sock.drop: ship half the response, then slam the connection —
+    // the client sees a stream truncated mid-envelope (a typed
+    // transport error it retries; the rerun is served from cache).
+    if (droppable && fault::serviceFire(fault::Site::SockDrop)) {
+        mSockDrops_.inc();
+        c.out += wire.substr(0, wire.size() / 2);
+        c.closing = true;
+        return;
+    }
+    c.out += wire;
 }
 
 void
@@ -814,7 +990,12 @@ Server::statsEnvelope()
         .field("misses", reg.value("ss_cache_misses_total"))
         .field("stores", reg.value("ss_cache_stores_total"))
         .field("evictions", reg.value("ss_cache_evictions_total"))
-        .field("rejected", reg.value("ss_cache_rejected_total"));
+        .field("rejected", reg.value("ss_cache_rejected_total"))
+        .field("quarantined",
+               reg.value("ss_cache_quarantined_total"))
+        .field("passthrough",
+               reg.value("ss_cache_passthrough_total"))
+        .raw("degraded", cache_.degraded() ? "true" : "false");
     std::vector<std::string> pids;
     for (int pid : pool_.workerPids())
         pids.push_back(std::to_string(pid));
@@ -833,7 +1014,13 @@ Server::statsEnvelope()
                reg.value("ss_served_cache_misses_total"))
         .field("worker_jobs", reg.value("ss_worker_jobs_total"))
         .field("worker_crashes",
-               reg.value("ss_worker_crashes_total"));
+               reg.value("ss_worker_crashes_total"))
+        .field("shed", reg.value("ss_shed_total"))
+        .field("deadline_exceeded",
+               reg.value("ss_deadline_exceeded_total"))
+        .field("poisoned", reg.value("ss_jobs_poisoned_total"))
+        .field("job_retries", reg.value("ss_job_retries_total"))
+        .field("sock_drops", reg.value("ss_sock_drops_total"));
     json::JsonObject doc;
     doc.raw("ok", "true")
         .field("op", std::string("stats"))
@@ -917,6 +1104,34 @@ Server::traceMergeEnvelope()
     return doc.str();
 }
 
+std::string
+Server::runFailEnvelope(const std::string &workload,
+                        std::uint64_t seed, const std::string &key,
+                        const std::string &kind,
+                        const std::string &message,
+                        int retry_after_ms)
+{
+    std::string doc =
+        sim::errorDocument(workload, seed, kind, message);
+    json::JsonObject err;
+    err.field("kind", kind).field("message", message);
+    json::JsonObject o;
+    o.raw("ok", "false")
+        .field("op", std::string("run"))
+        .field("schema_version", sim::resultSchemaVersion)
+        .field("workload", workload)
+        .field("seed", seed)
+        .raw("cached", "false")
+        .field("key", key)
+        .field("exit_code", std::uint64_t{4})
+        .field("error_kind", kind);
+    if (retry_after_ms >= 0)
+        o.field("retry_after_ms",
+                std::uint64_t(retry_after_ms));
+    o.raw("error", err.str()).raw("doc", doc);
+    return o.str();
+}
+
 void
 Server::handleRequest(Conn &c, const std::string &line)
 {
@@ -991,10 +1206,10 @@ Server::handleRequest(Conn &c, const std::string &line)
 
     mRunRequests_.inc();
     if (shuttingDown_) {
-        respond(c, errorEnvelope("run", "shutdown",
+        respond(c, errorEnvelope("run", "draining",
                                  "server is draining"));
         logAccess(accessRecord(req_id, "run")
-                      .field("error", std::string("shutdown")));
+                      .field("error", std::string("draining")));
         return;
     }
     sim::JobSpec spec;
@@ -1014,17 +1229,31 @@ Server::handleRequest(Conn &c, const std::string &line)
         return;
     }
 
+    // Per-request deadline: explicit "deadline_ms" beats the daemon
+    // default. JobSpec::fromJson ignores unknown members, so the
+    // field never perturbs the cache key.
+    const std::uint64_t deadline_ms =
+        doc->getU64("deadline_ms", opts_.deadlineMs);
+
     auto payload = cache_.lookup(key);
     const std::uint64_t t_probe = nowUsec();
     hProbe_.observe(t_probe - t_key);
+    if (cache_.stats().quarantined > loggedQuarantines_) {
+        // That probe just quarantined a corrupt entry; keep the
+        // access log reconcilable with ss_cache_quarantined_total.
+        loggedQuarantines_ = cache_.stats().quarantined;
+        logAccess(accessRecord(req_id, "cache_quarantine")
+                      .field("key", key));
+    }
     if (payload) {
         auto nl = payload->find('\n');
         if (nl != std::string::npos) {
             mServedHits_.inc();
             int exit_code = std::atoi(payload->substr(0, nl).c_str());
-            respond(c, runEnvelope(spec.workload, spec.seed, true,
-                                   key, exit_code,
-                                   payload->substr(nl + 1)));
+            respond(c,
+                    runEnvelope(spec.workload, spec.seed, true, key,
+                                exit_code, payload->substr(nl + 1)),
+                    /*droppable=*/true);
             const std::uint64_t t_end = nowUsec();
             hRender_.observe(t_end - t_probe);
             hRequest_.observe(t_end - t0);
@@ -1054,6 +1283,7 @@ Server::handleRequest(Conn &c, const std::string &line)
     w.parseUsec = t_parse - t0;
     w.keyUsec = t_key - t_parse;
     w.probeUsec = t_probe - t_key;
+    w.deadlineUsec = deadline_ms ? t0 + deadline_ms * 1000 : 0;
     for (auto &[id, conn] : conns_)
         if (&conn == &c)
             w.connId = id;
@@ -1065,13 +1295,39 @@ Server::handleRequest(Conn &c, const std::string &line)
         pending_[it->second].waiters.push_back(w);
         return;
     }
+
+    // Admission control: past the cap, shed instead of queueing.
+    // The cap sits below the pool's slot ring so submit() can never
+    // block the accept loop, and the typed envelope + Retry-After
+    // hint turn the overload into client backoff instead of a pile-
+    // up. (Piggybacked waiters above are exempt: they add no work.)
+    if (pending_.size() >= opts_.maxPending) {
+        const int hint_ms = 250;
+        mShed_.inc();
+        respond(c,
+                runFailEnvelope(spec.workload, spec.seed, key,
+                                "overloaded",
+                                std::to_string(pending_.size()) +
+                                    " jobs in flight (cap " +
+                                    std::to_string(opts_.maxPending) +
+                                    "); retry after backoff",
+                                hint_ms),
+                /*droppable=*/false, hint_ms);
+        logAccess(accessRecord(req_id, "run")
+                      .field("workload", spec.workload)
+                      .field("key", key)
+                      .field("error", std::string("overloaded")));
+        return;
+    }
+
     std::string serr;
     std::uint64_t ticket = pool_.submit(
         key + " " + reqIdStr(req_id) + "\n" + spec.toJson(), serr);
     if (!ticket) {
-        respond(c, errorEnvelope("run", "overload", serr));
+        respond(c, errorEnvelope("run", "overloaded", serr));
+        mShed_.inc();
         logAccess(accessRecord(req_id, "run")
-                      .field("error", std::string("overload")));
+                      .field("error", std::string("overloaded")));
         return;
     }
     w.submitUsec = nowUsec();
@@ -1123,33 +1379,30 @@ Server::drainPool()
             envelope = runEnvelope(p.workload, p.seed, false, p.key,
                                    exit_code, doc);
         } else {
-            // Failed (exception) or Crashed (worker died): one typed
-            // error document per the batch contract; the pool has
-            // already respawned a replacement for a crash.
-            kind = r.status == sim::ProcPool::JobStatus::Crashed
-                       ? "crashed"
-                       : "failed";
-            if (r.status == sim::ProcPool::JobStatus::Crashed)
+            // Failed (exception), Crashed (worker died), or Poisoned
+            // (crashed max_job_attempts workers): one typed error
+            // document per the batch contract; the pool has already
+            // respawned a replacement for a crash.
+            switch (r.status) {
+            case sim::ProcPool::JobStatus::Crashed:
+                kind = "crashed";
                 mCrashes_.inc();
-            std::string doc = sim::errorDocument(p.workload, p.seed,
-                                                 kind, r.payload);
-            json::JsonObject o;
-            o.raw("ok", "false")
-                .field("op", std::string("run"))
-                .field("schema_version", sim::resultSchemaVersion)
-                .field("workload", p.workload)
-                .field("seed", p.seed)
-                .raw("cached", "false")
-                .field("key", p.key)
-                .field("exit_code", std::uint64_t{4})
-                .field("error_kind", std::string(kind))
-                .raw("doc", doc);
-            envelope = o.str();
+                break;
+            case sim::ProcPool::JobStatus::Poisoned:
+                kind = "poisoned";
+                mCrashes_.inc();
+                break;
+            default:
+                kind = "failed";
+                break;
+            }
+            envelope = runFailEnvelope(p.workload, p.seed, p.key,
+                                       kind, r.payload);
         }
         for (const Waiter &w : p.waiters) {
             auto cit = conns_.find(w.connId);
             if (cit != conns_.end())
-                respond(cit->second, envelope);
+                respond(cit->second, envelope, /*droppable=*/true);
             const std::uint64_t t_end = nowUsec();
             const std::uint64_t waited = t_done - w.submitUsec;
             const std::uint64_t queue_wait =
@@ -1176,6 +1429,99 @@ Server::drainPool()
             logAccess(rec);
         }
     }
+}
+
+void
+Server::expireDeadlines()
+{
+    const std::uint64_t now = nowUsec();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        Pending &p = it->second;
+        std::vector<Waiter> keep, expired;
+        for (Waiter &w : p.waiters) {
+            if (w.deadlineUsec && now >= w.deadlineUsec)
+                expired.push_back(w);
+            else
+                keep.push_back(w);
+        }
+        if (expired.empty()) {
+            ++it;
+            continue;
+        }
+        p.waiters = std::move(keep);
+
+        const std::string envelope = runFailEnvelope(
+            p.workload, p.seed, p.key, "deadline_exceeded",
+            "request exceeded its deadline; job " +
+                std::string(p.waiters.empty() ? "cancelled"
+                                              : "still running for "
+                                                "other waiters"));
+        for (const Waiter &w : expired) {
+            mDeadline_.inc();
+            auto cit = conns_.find(w.connId);
+            if (cit != conns_.end())
+                respond(cit->second, envelope, /*droppable=*/true);
+            const std::uint64_t t_end = nowUsec();
+            logAccess(accessRecord(w.reqId, "run")
+                          .field("workload", p.workload)
+                          .field("key", p.key)
+                          .raw("cached", "false")
+                          .field("exit_code", std::uint64_t{4})
+                          .field("error",
+                                 std::string("deadline_exceeded"))
+                          .field("total_usec", t_end - w.t0));
+            hRequest_.observe(t_end - w.t0);
+        }
+
+        if (!p.waiters.empty()) {
+            ++it;
+            continue;
+        }
+        // Nobody is waiting any more: reclaim the job. Still queued
+        // -> free the slot and forget the key; already running ->
+        // SIGKILL the lane (never retried) and keep the waiterless
+        // entry so drainPool swallows the late Crashed result.
+        if (pool_.cancelQueued(it->first)) {
+            inFlightKeys_.erase(p.key);
+            it = pending_.erase(it);
+        } else {
+            pool_.killActive(it->first);
+            ++it;
+        }
+    }
+}
+
+void
+Server::logPoolRetries()
+{
+    const std::uint64_t retries = pool_.crashRetries();
+    while (loggedRetries_ < retries) {
+        ++loggedRetries_;
+        logAccess(accessRecord(0, "job_retry")
+                      .field("retry", loggedRetries_));
+    }
+}
+
+int
+Server::pollTimeoutMs() const
+{
+    int timeout = pending_.empty() ? 1000 : 200;
+    const std::uint64_t now = nowUsec();
+    for (const auto &[ticket, p] : pending_) {
+        (void)ticket;
+        for (const Waiter &w : p.waiters) {
+            if (!w.deadlineUsec)
+                continue;
+            std::uint64_t left_ms = w.deadlineUsec > now
+                                        ? (w.deadlineUsec - now) / 1000
+                                        : 0;
+            if (static_cast<int>(std::min<std::uint64_t>(
+                    left_ms, 1000)) < timeout)
+                timeout = static_cast<int>(
+                    std::min<std::uint64_t>(left_ms, 1000));
+        }
+    }
+    return std::max(timeout, 1);
 }
 
 void
@@ -1273,8 +1619,7 @@ Server::run()
         for (int fd : pool_fds)
             fds.push_back({fd, POLLIN, 0});
 
-        int rc = ::poll(fds.data(), fds.size(),
-                        pending_.empty() ? 1000 : 200);
+        int rc = ::poll(fds.data(), fds.size(), pollTimeoutMs());
         if (rc < 0 && errno != EINTR)
             break;
 
@@ -1292,6 +1637,8 @@ Server::run()
         // poll woke for another reason (or a worker died without
         // writing — reapAndRespawn runs inside poll(0)).
         drainPool();
+        logPoolRetries();
+        expireDeadlines();
         flushWrites();
     }
 
@@ -1332,13 +1679,16 @@ clientMain(const Options &o)
         request = "{\"op\": \"" + o.op + "\"}";
     }
 
+    serve_client::RequestOpts net;
+    net.ioTimeoutMs = o.timeoutMs;
+
     std::string response, err;
     if (o.op == "ping") {
         // Liveness plus distance: measure the round trip on the
         // client's monotonic clock and splice it into the envelope.
         std::uint64_t rtt = 0;
         if (!serve_client::requestTimed(o.connectPath, request,
-                                        response, rtt, err)) {
+                                        response, rtt, err, net)) {
             std::fprintf(stderr, "error: %s\n", err.c_str());
             return 5;
         }
@@ -1351,11 +1701,22 @@ clientMain(const Options &o)
         auto env = json::parse(response, perr);
         return env && env->getBool("ok") ? 0 : 5;
     }
-    if (!serve_client::requestOnce(o.connectPath, request, response,
-                                   err)) {
-        std::fprintf(stderr, "error: %s\n", err.c_str());
+    serve_client::RetryPolicy policy;
+    policy.attempts = o.retries + 1;
+    policy.seed = static_cast<std::uint64_t>(::getpid());
+    serve_client::RetryStats rstats;
+    if (!serve_client::requestRetry(o.connectPath, request, response,
+                                    err, policy, net, &rstats)) {
+        std::fprintf(stderr, "error: %s (%u attempts)\n", err.c_str(),
+                     rstats.attempts);
         return 5;
     }
+    if (rstats.retries && o.verbose)
+        std::fprintf(stderr,
+                     "specslice_serve: %u retries, %llu ms backoff\n",
+                     rstats.retries,
+                     static_cast<unsigned long long>(
+                         rstats.backoffMs));
     if (o.raw || o.request.empty()) {
         std::printf("%s\n", response.c_str());
         std::string perr;
@@ -1391,14 +1752,79 @@ clientMain(const Options &o)
     return static_cast<int>(env->getU64("exit_code", 5));
 }
 
+// ---------------------------------------------------------------
+// Offline cache fsck
+// ---------------------------------------------------------------
+
+int
+fsckMain(const Options &o)
+{
+    sim::ResultCache cache(o.cacheDir, o.cacheBytes);
+    sim::ResultCache::ScrubReport rep;
+    std::string err;
+    const bool ok = cache.scrub(rep, err, o.fsckDelete);
+    json::JsonObject doc;
+    doc.raw("ok", ok ? "true" : "false")
+        .field("op", std::string("fsck"))
+        .field("dir", o.cacheDir)
+        .field("scanned", rep.scanned)
+        .field("verified", rep.ok)
+        .field("quarantined", rep.quarantined)
+        .field("deleted", rep.deleted)
+        .field("tmp_removed", rep.tmpRemoved)
+        .field("index_dropped", rep.indexDropped)
+        .field("index_added", rep.indexAdded)
+        .field("bytes_verified", rep.bytes);
+    if (!ok)
+        doc.field("error", err);
+    std::printf("%s\n", doc.str().c_str());
+    if (!ok)
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options o = parseArgs(argc, argv);
+    if (o.fsck)
+        return fsckMain(o);
     if (!o.connectPath.empty())
         return clientMain(o);
-    Server server(o);
+
+    // The daemon's injection plan: SS_INJECT from the environment
+    // plus --inject, merged (the parser rejects duplicate sites, so
+    // the sources cannot silently override each other). Only
+    // service-level sites belong here — simulation sites inject into
+    // the workers' simulated machines and go on the *request*, where
+    // they perturb the cache key like any other run parameter.
+    std::string inject_spec;
+    if (const char *env = std::getenv("SS_INJECT"))
+        inject_spec = env;
+    if (!o.inject.empty())
+        inject_spec += (inject_spec.empty() ? "" : ",") + o.inject;
+    fault::FaultPlan plan;
+    {
+        std::string perr;
+        if (!fault::FaultPlan::parse(inject_spec, plan, perr)) {
+            std::fprintf(stderr, "error: %s\n%s", perr.c_str(),
+                         fault::FaultPlan::grammarHelp().c_str());
+            return 2;
+        }
+    }
+    plan.seed = o.injectSeed;
+    if (plan.hasSimSites()) {
+        std::fprintf(
+            stderr,
+            "error: the daemon plan names simulation sites; those "
+            "belong in the run request's \"inject\" field (they "
+            "change the result, hence the cache key) — the daemon "
+            "--inject takes only serve.*/cache.*/sock.* sites\n");
+        return 2;
+    }
+
+    Server server(o, plan);
     return server.run();
 }
